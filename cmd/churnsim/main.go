@@ -1,0 +1,86 @@
+// Command churnsim regenerates the churn-resilience results of §8:
+//
+//	churnsim -fig 16   analytic P(success) vs added redundancy for
+//	                   information slicing and onion+erasure-codes, at node
+//	                   failure probabilities 0.1 and 0.3 (L=5, d=2)
+//	churnsim -fig 17   experimental session success over a failure-injected
+//	                   overlay running the real protocol stacks: slicing,
+//	                   onion+erasure-codes, and standard onion routing
+//	churnsim -fig 0    both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"infoslicing/internal/churn"
+	"infoslicing/internal/metrics"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (16, 17; 0 = both)")
+	trials := flag.Int("trials", 25, "sessions per point (fig 17)")
+	failProb := flag.Float64("p", 0.2, "per-session node failure probability (fig 17)")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	switch *fig {
+	case 16:
+		fig16()
+	case 17:
+		fig17(*trials, *failProb, *seed)
+	case 0:
+		fig16()
+		fig17(*trials, *failProb, *seed)
+	default:
+		log.Fatalf("churnsim: unknown figure %d", *fig)
+	}
+}
+
+func fig16() {
+	const l, d = 5, 2
+	for _, p := range []float64{0.1, 0.3} {
+		t := metrics.NewTable(
+			fmt.Sprintf("Fig. 16 — analytic transfer success vs redundancy (L=%d, d=%d, p=%g)", l, d, p),
+			"R")
+		sl := t.AddSeries("slicing")
+		ec := t.AddSeries("onion+EC")
+		for dp := d; dp <= d*6; dp++ {
+			r := float64(dp-d) / float64(d)
+			sl.Add(r, churn.SlicingSuccess(l, d, dp, p))
+			ec.Add(r, churn.OnionECSuccess(l, d, dp, p))
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func fig17(trials int, p float64, seed int64) {
+	const l, d = 5, 2
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig. 17 — experimental session success vs redundancy (L=%d, d=%d, p=%g, %d trials)",
+			l, d, p, trials),
+		"R")
+	sl := t.AddSeries("slicing")
+	ec := t.AddSeries("onion+EC")
+	so := t.AddSeries("std-onion")
+	for dp := d; dp <= d*3; dp++ {
+		res, err := churn.RunExperiment(churn.ExperimentParams{
+			L: l, D: d, DPrime: dp,
+			NodeFailProb: p, Trials: trials, Seed: seed,
+			Messages: 4, MessageBytes: 512,
+		})
+		if err != nil {
+			log.Fatalf("churnsim: %v", err)
+		}
+		r := float64(dp-d) / float64(d)
+		sl.Add(r, res.Slicing)
+		ec.Add(r, res.OnionEC)
+		so.Add(r, res.StandardOnion)
+		fmt.Fprintf(os.Stderr, "churnsim: R=%.1f done (slicing %.2f, onion+EC %.2f, std %.2f)\n",
+			r, res.Slicing, res.OnionEC, res.StandardOnion)
+	}
+	t.Fprint(os.Stdout)
+}

@@ -1,0 +1,424 @@
+// Package infoslicing is a Go implementation of information slicing
+// (Katti, Cohen, Katabi — "Information Slicing: Anonymity Using Unreliable
+// Overlays", NSDI 2007): anonymous, confidential, churn-resilient
+// communication over peer-to-peer overlays without any public-key
+// cryptography.
+//
+// Instead of onion layers, the sender multiplies each message with a random
+// matrix over GF(2^8), splits the result into d slices, and routes the
+// slices along vertex-disjoint paths that meet only at the destination.
+// Relays learn nothing but their own next hops; fewer than d slices carry
+// no information at all; and with d' > d slices plus in-network network
+// coding the flow survives relay churn.
+//
+// The package exposes a deliberately small facade:
+//
+//	nw := infoslicing.New(infoslicing.WithSeed(1))
+//	defer nw.Close()
+//	nw.Grow(24)                          // spin up overlay relays
+//	conn, _ := nw.Dial(infoslicing.DialSpec{L: 3, D: 2})
+//	conn.Send([]byte("Let's meet at 5pm"))
+//	msg := <-conn.Received()             // delivered at the hidden destination
+//
+// The full machinery — coding (internal/code), forwarding-graph
+// construction (internal/core), the relay daemon (internal/relay), overlay
+// transports and churn (internal/overlay), baselines and evaluation
+// harnesses — lives under internal/; see DESIGN.md for the map.
+package infoslicing
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"infoslicing/internal/asmap"
+	"infoslicing/internal/core"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/relay"
+	"infoslicing/internal/source"
+	"infoslicing/internal/wire"
+)
+
+// NodeID identifies an overlay node.
+type NodeID = wire.NodeID
+
+// Profile re-exports the overlay shaping profile.
+type Profile = overlay.Profile
+
+// Shaping profile constructors.
+var (
+	// LAN emulates the paper's 1 Gb/s local testbed.
+	LAN = overlay.LAN
+	// PlanetLab emulates the paper's loaded wide-area testbed.
+	PlanetLab = overlay.PlanetLab
+	// Unshaped runs at raw in-memory speed.
+	Unshaped = overlay.Unshaped
+)
+
+// Network is an in-process information-slicing overlay: a transport plus a
+// set of relay daemons.
+type Network struct {
+	cfg config
+	rng *rand.Rand
+	chn *overlay.ChanNetwork
+
+	mu      sync.Mutex
+	nodes   map[NodeID]*relay.Node
+	addrs   map[NodeID]netip.Addr // synthetic IPs for AS-diverse selection
+	asTable *asmap.Table
+	nextID  NodeID
+	nextSrc NodeID
+	conns   []*Conn
+	closed  bool
+}
+
+type config struct {
+	profile     Profile
+	seed        int64
+	relayCfg    relay.Config
+	hasRelayCfg bool
+}
+
+// Option configures a Network.
+type Option func(*config)
+
+// WithProfile selects the traffic-shaping profile (default Unshaped).
+func WithProfile(p Profile) Option { return func(c *config) { c.profile = p } }
+
+// WithSeed makes the network deterministic.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithRelayConfig overrides relay daemon timers.
+func WithRelayConfig(rc relay.Config) Option {
+	return func(c *config) { c.relayCfg = rc; c.hasRelayCfg = true }
+}
+
+// New creates an empty overlay network.
+func New(opts ...Option) *Network {
+	cfg := config{profile: overlay.Unshaped(), seed: time.Now().UnixNano()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	// The synthetic BGP table stands in for route-views (§9.1): relays get
+	// addresses inside it so DialSpec.ASDiverse can spread stages across
+	// autonomous systems.
+	table, err := asmap.Synthetic(64, rand.New(rand.NewSource(cfg.seed+2)))
+	if err != nil {
+		panic(err) // parameters are constants; unreachable
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     rng,
+		chn:     overlay.NewChanNetwork(cfg.profile, rand.New(rand.NewSource(cfg.seed+1))),
+		nodes:   make(map[NodeID]*relay.Node),
+		addrs:   make(map[NodeID]netip.Addr),
+		asTable: table,
+		nextID:  1,
+		nextSrc: 1 << 20,
+	}
+}
+
+// Errors.
+var (
+	ErrClosed    = errors.New("infoslicing: network closed")
+	ErrTooSmall  = errors.New("infoslicing: not enough relays")
+	ErrNoConsent = errors.New("infoslicing: destination not in network")
+)
+
+// Grow adds k relay daemons to the overlay and returns their ids.
+func (nw *Network) Grow(k int) ([]NodeID, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		id := nw.nextID
+		nw.nextID++
+		rc := nw.cfg.relayCfg
+		if !nw.cfg.hasRelayCfg {
+			rc = relay.Config{
+				SetupWait: 200 * time.Millisecond,
+				RoundWait: 200 * time.Millisecond,
+			}
+		}
+		rc.Rng = rand.New(rand.NewSource(nw.cfg.seed + int64(id)*31))
+		n, err := relay.New(id, nw.chn, rc)
+		if err != nil {
+			return ids, err
+		}
+		nw.nodes[id] = n
+		nw.addrs[id] = asmap.RandomAddr(nw.rng)
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Addr returns a relay's synthetic IP address (used by AS-diverse
+// selection; real deployments would use the node's public address).
+func (nw *Network) Addr(id NodeID) (netip.Addr, bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	a, ok := nw.addrs[id]
+	return a, ok
+}
+
+// Nodes lists the live relay ids.
+func (nw *Network) Nodes() []NodeID {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ids := make([]NodeID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Fail crashes a relay (churn injection); Revive restores it.
+func (nw *Network) Fail(id NodeID) { nw.chn.Fail(id) }
+
+// Revive restores a failed relay.
+func (nw *Network) Revive(id NodeID) { nw.chn.Revive(id) }
+
+// Stats returns transport counters: packets, bytes, lost.
+func (nw *Network) Stats() (pkts, bytes, lost int64) { return nw.chn.Stats() }
+
+// Close shuts down every relay and the transport.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	nodes := nw.nodes
+	nw.nodes = map[NodeID]*relay.Node{}
+	conns := nw.conns
+	nw.mu.Unlock()
+	for _, c := range conns {
+		c.stop()
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+	nw.chn.Close()
+}
+
+// DialSpec configures an anonymous flow.
+type DialSpec struct {
+	L int // path length (relay stages); default 3
+	D int // split factor; default 2
+
+	// DPrime adds churn redundancy when > D (defaults to D).
+	DPrime int
+
+	// Dest pins the destination relay; 0 picks one at random.
+	Dest NodeID
+
+	// Recode disables in-network redundancy regeneration when set to false
+	// explicitly via NoRecode.
+	NoRecode bool
+	// NoScramble disables the per-hop pattern-hiding transforms.
+	NoScramble bool
+
+	// ASDiverse selects relays spread across autonomous systems using the
+	// network's synthetic BGP table (§9.1), limiting what an adversary who
+	// owns large address blocks can place on the graph.
+	ASDiverse bool
+
+	// EstablishTimeout bounds the wait for the graph to come up
+	// (default 10s).
+	EstablishTimeout time.Duration
+}
+
+// Conn is one established anonymous flow from this process to a hidden
+// destination relay.
+type Conn struct {
+	nw     *Network
+	sender *source.Sender
+	graph  *core.Graph
+	dest   *relay.Node
+	srcs   []NodeID // transient source-endpoint attachments
+
+	recv     chan []byte
+	done     chan struct{}
+	stopOnce sync.Once
+
+	setupTime time.Duration
+}
+
+// Dial selects relays, builds a forwarding graph, establishes it, and waits
+// until the destination can decode.
+func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
+	if spec.L == 0 {
+		spec.L = 3
+	}
+	if spec.D == 0 {
+		spec.D = 2
+	}
+	if spec.DPrime == 0 {
+		spec.DPrime = spec.D
+	}
+	if spec.EstablishTimeout == 0 {
+		spec.EstablishTimeout = 10 * time.Second
+	}
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil, ErrClosed
+	}
+	need := spec.L * spec.DPrime
+	ids := make([]NodeID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		ids = append(ids, id)
+	}
+	if len(ids) < need {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrTooSmall, need, len(ids))
+	}
+	// Deterministic order before shuffling (map iteration is random).
+	sortIDs(ids)
+	nw.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if spec.ASDiverse {
+		// Reorder candidates so AS diversity is maximised among the first
+		// `need` picks (§9.1): one relay per AS before any AS repeats.
+		byAddr := make(map[netip.Addr]NodeID, len(ids))
+		cands := make([]netip.Addr, 0, len(ids))
+		for _, id := range ids {
+			a := nw.addrs[id]
+			byAddr[a] = id
+			cands = append(cands, a)
+		}
+		picked, err := asmap.DiverseSelect(nw.asTable, cands, len(cands), nw.rng)
+		if err == nil {
+			ids = ids[:0]
+			for _, a := range picked {
+				ids = append(ids, byAddr[a])
+			}
+		}
+	}
+	var relays []NodeID
+	if spec.Dest != 0 {
+		if _, ok := nw.nodes[spec.Dest]; !ok {
+			nw.mu.Unlock()
+			return nil, ErrNoConsent
+		}
+		relays = append(relays, spec.Dest)
+		for _, id := range ids {
+			if id != spec.Dest && len(relays) < need {
+				relays = append(relays, id)
+			}
+		}
+	} else {
+		relays = ids[:need]
+		spec.Dest = relays[nw.rng.Intn(need)]
+	}
+	// Source endpoints: the sender plus pseudo-sources (§3c), transient
+	// transport attachments that only transmit.
+	srcs := make([]NodeID, spec.DPrime)
+	for i := range srcs {
+		srcs[i] = nw.nextSrc
+		nw.nextSrc++
+		if err := nw.chn.Attach(srcs[i], func(NodeID, []byte) {}); err != nil {
+			nw.mu.Unlock()
+			return nil, err
+		}
+	}
+	seed := nw.rng.Int63()
+	destNode := nw.nodes[spec.Dest]
+	nw.mu.Unlock()
+
+	g, err := core.Build(core.Spec{
+		L: spec.L, D: spec.D, DPrime: spec.DPrime,
+		Relays: relays, Dest: spec.Dest, Sources: srcs,
+		Recode:   !spec.NoRecode,
+		Scramble: !spec.NoScramble,
+		Rng:      rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	snd := source.New(nw.chn, g, source.Config{}, rand.New(rand.NewSource(seed+1)))
+	start := time.Now()
+	if err := snd.Establish(); err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		nw: nw, sender: snd, graph: g, dest: destNode, srcs: srcs,
+		recv: make(chan []byte, 64),
+		done: make(chan struct{}),
+	}
+	// Wait for the destination to decode its routing block.
+	deadline := time.Now().Add(spec.EstablishTimeout)
+	for !destNode.Established(g.Flows[spec.Dest]) {
+		if time.Now().After(deadline) {
+			return nil, errors.New("infoslicing: establish timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.setupTime = time.Since(start)
+
+	// Demultiplex the destination relay's deliveries for this flow.
+	destFlow := g.Flows[spec.Dest]
+	go func() {
+		for {
+			select {
+			case m := <-destNode.Received():
+				if m.Flow == destFlow {
+					select {
+					case c.recv <- m.Data:
+					case <-c.done:
+						return
+					}
+				}
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	nw.mu.Lock()
+	nw.conns = append(nw.conns, c)
+	nw.mu.Unlock()
+	return c, nil
+}
+
+// Send transmits an anonymous, confidential message to the destination.
+func (c *Conn) Send(msg []byte) error { return c.sender.Send(msg) }
+
+// Received yields messages decoded and decrypted by the destination.
+func (c *Conn) Received() <-chan []byte { return c.recv }
+
+// Dest returns the destination relay's id (known only to the sender side).
+func (c *Conn) Dest() NodeID { return c.graph.Dest }
+
+// DestStage returns the 1-indexed stage the destination was hidden in.
+func (c *Conn) DestStage() int { return c.graph.DestStage }
+
+// SetupTime reports how long graph establishment took.
+func (c *Conn) SetupTime() time.Duration { return c.setupTime }
+
+// Close releases the flow's demultiplexer and detaches the transient
+// source endpoints. Relay-side flow state expires via GC.
+func (c *Conn) Close() { c.stop() }
+
+func (c *Conn) stop() {
+	c.stopOnce.Do(func() {
+		close(c.done)
+		for _, s := range c.srcs {
+			c.nw.chn.Detach(s)
+		}
+	})
+}
+
+func sortIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package anonymity
+
+import "math"
+
+// This file implements the closed-form expressions of Appendix A, used to
+// cross-check the simulator and to regenerate the analytic components of
+// Figs. 7-10.
+
+// binom returns C(n, k).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// binomTail returns P[X >= lo] for X ~ Binomial(n, p).
+func binomTail(n, lo int, p float64) float64 {
+	s := 0.0
+	for i := lo; i <= n; i++ {
+		s += binom(n, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+	}
+	return s
+}
+
+// SourceCase1Prob is the probability the source is fully exposed (§A.1,
+// §A.3): the attacker controls at least d of the d' stage-1 nodes. With
+// d' = d this reduces to the paper's f^d.
+func SourceCase1Prob(d, dPrime int, f float64) float64 {
+	if dPrime == 0 {
+		dPrime = d
+	}
+	return binomTail(dPrime, d, f)
+}
+
+// g is the helper of Eq. 9: the probability that a stage of x nodes contains
+// between 1 and y attackers, each node compromised with probability z.
+func g(x, y int, z float64) float64 {
+	s := 0.0
+	for i := 1; i <= y; i++ {
+		s += binom(x, i) * math.Pow(z, float64(i)) * math.Pow(1-z, float64(x-i))
+	}
+	return s
+}
+
+// DestPfail implements Eq. 9: the probability that at least one stage
+// strictly before stage j+1 consists entirely of attackers (d of d nodes),
+// following the paper's expression verbatim.
+func DestPfail(j, d int, f float64) float64 {
+	fd := math.Pow(f, float64(d))
+	gb := g(d, d-1, f)
+	s := 0.0
+	for i := 1; i <= j; i++ {
+		s += binom(j, i) * math.Pow(fd, float64(i)) * math.Pow(gb, float64(j-i))
+	}
+	return s
+}
+
+// DestCase1Prob implements Eq. 10: the destination is uniform over stages,
+// so the overall full-exposure probability averages Pfail over placements.
+func DestCase1Prob(L, d int, f float64) float64 {
+	s := 0.0
+	for j := 1; j <= L-1; j++ {
+		s += DestPfail(j, d, f)
+	}
+	return s / float64(L)
+}
+
+// DestPfailRedundant implements Eq. 12: with redundancy the attacker needs
+// only d of the d' nodes in some upstream stage.
+func DestPfailRedundant(j, d, dPrime int, f float64) float64 {
+	fd := binom(dPrime, d) * math.Pow(f, float64(d))
+	gb := g(dPrime, d-1, f)
+	s := 0.0
+	for i := 1; i <= j; i++ {
+		s += binom(j, i) * math.Pow(fd, float64(i)) * math.Pow(gb, float64(j-i))
+	}
+	return s
+}
+
+// DestCase1ProbRedundant averages Eq. 12 over destination placements.
+func DestCase1ProbRedundant(L, d, dPrime int, f float64) float64 {
+	s := 0.0
+	for j := 1; j <= L-1; j++ {
+		s += DestPfailRedundant(j, d, dPrime, f)
+	}
+	return s / float64(L)
+}
+
+// StageCompromiseProb is the exact probability that a stage of dPrime nodes
+// contains at least d attackers — the event that lets the attacker decode
+// everything downstream of the stage.
+func StageCompromiseProb(d, dPrime int, f float64) float64 {
+	if dPrime == 0 {
+		dPrime = d
+	}
+	return binomTail(dPrime, d, f)
+}

@@ -1,0 +1,261 @@
+package anonymity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func run(t *testing.T, p Params) Result {
+	t.Helper()
+	if p.Rng == nil {
+		p.Rng = rand.New(rand.NewSource(42))
+	}
+	if p.Trials == 0 {
+		p.Trials = 400
+	}
+	r, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{N: 0, L: 8, D: 3, F: 0.1, Trials: 1},
+		{N: 100, L: 0, D: 3, F: 0.1, Trials: 1},
+		{N: 100, L: 8, D: 0, F: 0.1, Trials: 1},
+		{N: 100, L: 8, D: 3, F: -0.1, Trials: 1},
+		{N: 100, L: 8, D: 3, F: 1.1, Trials: 1},
+		{N: 100, L: 8, D: 3, F: 0.1, Trials: 0},
+		{N: 10, L: 8, D: 3, F: 0.1, Trials: 1},             // graph larger than N
+		{N: 100, L: 2, D: 3, DPrime: 2, F: 0.1, Trials: 1}, // d' < d
+	}
+	for i, p := range bad {
+		if _, err := Simulate(p); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNoAttackersPerfectAnonymity(t *testing.T) {
+	r := run(t, Params{N: 10000, L: 8, D: 3, F: 0})
+	if r.Source != 1 || r.Destination != 1 {
+		t.Fatalf("f=0: src=%v dst=%v", r.Source, r.Destination)
+	}
+	if r.SourceCase1 != 0 || r.DestCase1 != 0 {
+		t.Fatal("f=0 should never fully expose")
+	}
+}
+
+func TestAllAttackersZeroAnonymity(t *testing.T) {
+	r := run(t, Params{N: 10000, L: 8, D: 3, F: 1})
+	// The destination is forced honest, so in the 1/L of trials where it
+	// lands in stage 1 that stage is not fully compromised and Eq. 8 yields
+	// a sliver of entropy; everywhere else the source is fully exposed.
+	if r.Source > 0.05 {
+		t.Fatalf("f=1 source anonymity %v", r.Source)
+	}
+	// The destination is forced honest, but every upstream stage is fully
+	// malicious whenever destStage > 1, so destination anonymity collapses.
+	if r.Destination > 0.2 {
+		t.Fatalf("f=1 destination anonymity %v", r.Destination)
+	}
+}
+
+func TestAnonymityBounds(t *testing.T) {
+	for _, f := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.9} {
+		r := run(t, Params{N: 10000, L: 8, D: 3, F: f})
+		for _, v := range []float64{r.Source, r.Destination} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("f=%v out of bounds: %+v", f, r)
+			}
+		}
+	}
+}
+
+// Fig. 7 shape: anonymity decreases as f grows; high anonymity at small f.
+func TestAnonymityDecreasesWithF(t *testing.T) {
+	prevSrc, prevDst := 1.1, 1.1
+	for _, f := range []float64{0.01, 0.1, 0.3, 0.6} {
+		r := run(t, Params{N: 10000, L: 8, D: 3, F: f, Trials: 800})
+		if r.Source > prevSrc+0.03 || r.Destination > prevDst+0.03 {
+			t.Fatalf("anonymity increased at f=%v: %+v", f, r)
+		}
+		prevSrc, prevDst = r.Source, r.Destination
+	}
+	r := run(t, Params{N: 10000, L: 8, D: 3, F: 0.01, Trials: 800})
+	if r.Source < 0.9 || r.Destination < 0.85 {
+		t.Fatalf("low f should give high anonymity: %+v", r)
+	}
+}
+
+// Fig. 7 claim: destination anonymity drops faster than source anonymity,
+// because any fully compromised upstream stage exposes the destination while
+// only stage 1 exposes the source.
+func TestDestinationDropsFasterThanSource(t *testing.T) {
+	r := run(t, Params{N: 10000, L: 8, D: 3, F: 0.4, Trials: 1500})
+	if r.Destination >= r.Source {
+		t.Fatalf("dst %v should be below src %v at f=0.4", r.Destination, r.Source)
+	}
+	if r.DestCase1 <= r.SourceCase1 {
+		t.Fatalf("dest case1 %v should exceed source case1 %v", r.DestCase1, r.SourceCase1)
+	}
+}
+
+// Fig. 9 shape: anonymity increases with path length L.
+func TestAnonymityIncreasesWithL(t *testing.T) {
+	short := run(t, Params{N: 10000, L: 2, D: 3, F: 0.1, Trials: 1500})
+	long := run(t, Params{N: 10000, L: 16, D: 3, F: 0.1, Trials: 1500})
+	if long.Source <= short.Source {
+		t.Fatalf("src: L=16 (%v) should beat L=2 (%v)", long.Source, short.Source)
+	}
+	if long.Destination <= short.Destination {
+		t.Fatalf("dst: L=16 (%v) should beat L=2 (%v)", long.Destination, short.Destination)
+	}
+}
+
+// Fig. 10 shape: added redundancy costs destination anonymity (an upstream
+// stage is compromised once d of d' > d nodes are malicious), while source
+// anonymity moves much less.
+func TestRedundancyCostsDestinationAnonymity(t *testing.T) {
+	base := run(t, Params{N: 10000, L: 8, D: 3, DPrime: 3, F: 0.1, Trials: 2000})
+	red := run(t, Params{N: 10000, L: 8, D: 3, DPrime: 9, F: 0.1, Trials: 2000})
+	if red.DestCase1 <= base.DestCase1 {
+		t.Fatalf("redundancy should raise dest exposure: %v vs %v", red.DestCase1, base.DestCase1)
+	}
+	if red.Destination >= base.Destination {
+		t.Fatalf("redundancy should cost dest anonymity: %v vs %v", red.Destination, base.Destination)
+	}
+	srcDrop := base.Source - red.Source
+	dstDrop := base.Destination - red.Destination
+	if srcDrop > dstDrop {
+		t.Fatalf("source (%v) should be less affected than destination (%v)", srcDrop, dstDrop)
+	}
+}
+
+// Fig. 8 shape at high f: increasing d increases anonymity (whole-stage
+// compromise dominates and wider stages are harder to own).
+func TestWiderStagesHelpAtHighF(t *testing.T) {
+	narrow := run(t, Params{N: 10000, L: 8, D: 2, F: 0.4, Trials: 2000})
+	wide := run(t, Params{N: 10000, L: 8, D: 8, F: 0.4, Trials: 2000})
+	if wide.DestCase1 >= narrow.DestCase1 {
+		t.Fatalf("wider stages should reduce full exposure: %v vs %v",
+			wide.DestCase1, narrow.DestCase1)
+	}
+}
+
+func TestChaumComparable(t *testing.T) {
+	p := Params{N: 10000, L: 8, D: 3, F: 0.1, Trials: 1500}
+	slicing := run(t, p)
+	chaum, err := SimulateChaum(Params{N: 10000, L: 8, D: 3, F: 0.1, Trials: 1500,
+		Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 7: "anonymity obtained via information slicing is close to what
+	// Chaum mixes provide" — within a modest gap at low f.
+	if math.Abs(slicing.Source-chaum.Source) > 0.15 {
+		t.Fatalf("slicing %v vs chaum %v: too far apart", slicing.Source, chaum.Source)
+	}
+}
+
+func TestSourceCase1MatchesAnalytic(t *testing.T) {
+	p := Params{N: 10000, L: 8, D: 2, F: 0.3, Trials: 20000,
+		Rng: rand.New(rand.NewSource(11))}
+	r, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f^d = 0.09, scaled by (L-1)/L because the destination — forced honest
+	// — lands in stage 1 in 1/L of the trials and blocks full compromise
+	// there (d' = d leaves no slack).
+	want := SourceCase1Prob(2, 2, 0.3) * float64(7) / 8
+	if math.Abs(r.SourceCase1-want) > 0.01 {
+		t.Fatalf("simulated case1 %v vs analytic %v", r.SourceCase1, want)
+	}
+}
+
+func TestBinomHelpers(t *testing.T) {
+	if binom(5, 2) != 10 {
+		t.Fatal("C(5,2)")
+	}
+	if binom(5, 0) != 1 || binom(5, 5) != 1 || binom(5, 6) != 0 || binom(5, -1) != 0 {
+		t.Fatal("binom edge cases")
+	}
+	if got := binomTail(3, 0, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tail from 0 should be 1, got %v", got)
+	}
+	if got := binomTail(2, 2, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("P[X=2]=0.25, got %v", got)
+	}
+}
+
+func TestAnalyticMonotonicity(t *testing.T) {
+	// Case-1 probabilities grow with f and with the number of stages.
+	if SourceCase1Prob(3, 3, 0.1) >= SourceCase1Prob(3, 3, 0.5) {
+		t.Fatal("source case1 should grow with f")
+	}
+	// Eq. 9 as printed multiplies by g(d,d-1,f)^(j-i), which conditions on
+	// every stage containing at least one attacker; it is therefore NOT
+	// monotone in L (it vanishes for long paths). We implement it verbatim
+	// and only assert monotonicity in f, which does hold.
+	if DestPfail(5, 3, 0.1) >= DestPfail(5, 3, 0.4) {
+		t.Fatal("dest Pfail should grow with f")
+	}
+	// Redundancy makes stage compromise easier.
+	if StageCompromiseProb(3, 3, 0.2) >= StageCompromiseProb(3, 9, 0.2) {
+		t.Fatal("redundancy should ease stage compromise")
+	}
+	// Eq. 12 reduces to Eq. 9 at d' = d.
+	if math.Abs(DestPfailRedundant(5, 3, 3, 0.2)-DestPfail(5, 3, 0.2)) > 1e-12 {
+		t.Fatal("Eq.12 should reduce to Eq.9 at d'=d")
+	}
+}
+
+func TestExposedChains(t *testing.T) {
+	// Stages: 1..8, attackers at 3 and 4 and at 7.
+	hasMal := []bool{false, false, false, true, true, false, false, true, false}
+	chains := exposedChains(hasMal, 8)
+	if len(chains) != 2 {
+		t.Fatalf("chains=%d", len(chains))
+	}
+	if chains[0].first != 2 || chains[0].last != 5 {
+		t.Fatalf("chain 0 = %+v", chains[0])
+	}
+	if chains[1].first != 6 || chains[1].last != 8 {
+		t.Fatalf("chain 1 = %+v", chains[1])
+	}
+	if longestChain(chains) != chains[0] {
+		t.Fatal("longest chain wrong")
+	}
+	// Attackers at stage 1 expose the source stage (index 0).
+	hasMal2 := []bool{false, true, false}
+	c2 := exposedChains(hasMal2, 2)
+	if c2[0].first != 0 || c2[0].last != 2 {
+		t.Fatalf("boundary chain = %+v", c2[0])
+	}
+}
+
+func TestEntropyTwoClasses(t *testing.T) {
+	// All mass on one node: zero entropy.
+	if h := entropyTwoClasses(1, 1, 100); h != 0 {
+		t.Fatalf("h=%v", h)
+	}
+	// Uniform over 100 nodes: log(100).
+	if h := entropyTwoClasses(0.5, 50, 50); math.Abs(h-math.Log(100)) > 1e-9 {
+		t.Fatalf("uniform entropy %v want %v", h, math.Log(100))
+	}
+}
+
+func BenchmarkSimulateTrial(b *testing.B) {
+	p := Params{N: 10000, L: 8, D: 3, F: 0.1, Trials: 1,
+		Rng: rand.New(rand.NewSource(1))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

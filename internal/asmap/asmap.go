@@ -1,0 +1,178 @@
+// Package asmap models the inter-domain routing knowledge the paper uses to
+// harden relay selection (§9.1).
+//
+// An adversary who controls a large address block can flood a naive
+// uniform-random relay-selection with colluding nodes. The paper's defense
+// reads public BGP tables (route-views) and picks relays spread across
+// autonomous systems. Real tables are a proprietary-scale download, so this
+// package generates a synthetic prefix→AS table with realistically skewed
+// prefix ownership (a few ASes own many prefixes) and implements the same
+// selection algorithm a sender would run against the real data.
+package asmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+)
+
+// ASN is an autonomous-system number.
+type ASN uint32
+
+// Prefix is one routing-table entry.
+type Prefix struct {
+	CIDR netip.Prefix
+	AS   ASN
+}
+
+// Table is a longest-prefix-match routing table.
+type Table struct {
+	prefixes []Prefix // sorted by address, then by length for deterministic LPM
+}
+
+// ErrNoMatch is returned when an address matches no table entry.
+var ErrNoMatch = errors.New("asmap: address not in table")
+
+// Synthetic builds a table of nASes autonomous systems covering the 10.0.0.0/8
+// space with /16 prefixes. Ownership is skewed: AS ranks follow a Zipf-like
+// distribution, mirroring the real Internet where a handful of carriers
+// announce a large share of prefixes.
+func Synthetic(nASes int, rng *rand.Rand) (*Table, error) {
+	if nASes < 1 || nASes > 65536 {
+		return nil, fmt.Errorf("asmap: bad AS count %d", nASes)
+	}
+	t := &Table{}
+	// Zipf weights over ASes.
+	weights := make([]float64, nASes)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	cum := make([]float64, nASes)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	pick := func() ASN {
+		x := rng.Float64()
+		i := sort.SearchFloat64s(cum, x)
+		if i >= nASes {
+			i = nASes - 1
+		}
+		return ASN(i + 1)
+	}
+	for b := 0; b < 256; b++ {
+		addr := netip.AddrFrom4([4]byte{10, byte(b), 0, 0})
+		t.prefixes = append(t.prefixes, Prefix{
+			CIDR: netip.PrefixFrom(addr, 16),
+			AS:   pick(),
+		})
+	}
+	return t, nil
+}
+
+// Len returns the number of table entries.
+func (t *Table) Len() int { return len(t.prefixes) }
+
+// ASCount returns the number of distinct ASes appearing in the table.
+func (t *Table) ASCount() int {
+	seen := map[ASN]bool{}
+	for _, p := range t.prefixes {
+		seen[p.AS] = true
+	}
+	return len(seen)
+}
+
+// Lookup maps an address to its announcing AS (longest prefix match).
+func (t *Table) Lookup(a netip.Addr) (ASN, error) {
+	best := -1
+	bestLen := -1
+	for i, p := range t.prefixes {
+		if p.CIDR.Contains(a) && p.CIDR.Bits() > bestLen {
+			best, bestLen = i, p.CIDR.Bits()
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("%w: %s", ErrNoMatch, a)
+	}
+	return t.prefixes[best].AS, nil
+}
+
+// RandomAddr draws an address inside the synthetic 10/8 space.
+func RandomAddr(rng *rand.Rand) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], rng.Uint32())
+	b[0] = 10
+	return netip.AddrFrom4(b)
+}
+
+// DiverseSelect picks k node addresses maximizing AS diversity: it never
+// reuses an AS until every represented AS has been used once, then cycles.
+// Candidates that fail lookup are skipped. This is the paper's mitigation
+// against an adversary who owns a few large address blocks.
+func DiverseSelect(t *Table, candidates []netip.Addr, k int, rng *rand.Rand) ([]netip.Addr, error) {
+	if k < 1 || k > len(candidates) {
+		return nil, fmt.Errorf("asmap: cannot pick %d of %d", k, len(candidates))
+	}
+	byAS := map[ASN][]netip.Addr{}
+	var asns []ASN
+	for _, c := range candidates {
+		as, err := t.Lookup(c)
+		if err != nil {
+			continue
+		}
+		if _, ok := byAS[as]; !ok {
+			asns = append(asns, as)
+		}
+		byAS[as] = append(byAS[as], c)
+	}
+	if len(byAS) == 0 {
+		return nil, ErrNoMatch
+	}
+	// Shuffle AS order and each AS's candidate list.
+	rng.Shuffle(len(asns), func(i, j int) { asns[i], asns[j] = asns[j], asns[i] })
+	for _, as := range asns {
+		l := byAS[as]
+		rng.Shuffle(len(l), func(i, j int) { l[i], l[j] = l[j], l[i] })
+	}
+	// Round-robin over ASes.
+	var out []netip.Addr
+	for round := 0; len(out) < k; round++ {
+		progressed := false
+		for _, as := range asns {
+			if len(out) == k {
+				break
+			}
+			l := byAS[as]
+			if round < len(l) {
+				out = append(out, l[round])
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("asmap: only %d routable candidates for k=%d", len(out), k)
+		}
+	}
+	return out, nil
+}
+
+// CompromisedFraction evaluates a selection against an adversary who
+// controls every address in the given ASes: the fraction of selected relays
+// that are adversarial.
+func CompromisedFraction(t *Table, selected []netip.Addr, evil map[ASN]bool) float64 {
+	if len(selected) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, a := range selected {
+		if as, err := t.Lookup(a); err == nil && evil[as] {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(selected))
+}

@@ -1,0 +1,153 @@
+package asmap
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func TestSyntheticTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab, err := Synthetic(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 256 {
+		t.Fatalf("len=%d", tab.Len())
+	}
+	if c := tab.ASCount(); c < 10 || c > 50 {
+		t.Fatalf("AS count %d", c)
+	}
+	if _, err := Synthetic(0, rng); err == nil {
+		t.Fatal("0 ASes accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab, _ := Synthetic(20, rng)
+	a := netip.AddrFrom4([4]byte{10, 42, 1, 2})
+	as1, err := tab.Lookup(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same /16 maps to the same AS.
+	b := netip.AddrFrom4([4]byte{10, 42, 200, 9})
+	as2, _ := tab.Lookup(b)
+	if as1 != as2 {
+		t.Fatal("same prefix, different AS")
+	}
+	// Outside 10/8: no match.
+	if _, err := tab.Lookup(netip.AddrFrom4([4]byte{192, 168, 0, 1})); err == nil {
+		t.Fatal("match outside table")
+	}
+}
+
+func TestRandomAddrInSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab, _ := Synthetic(20, rng)
+	for i := 0; i < 100; i++ {
+		if _, err := tab.Lookup(RandomAddr(rng)); err != nil {
+			t.Fatal("random addr outside table")
+		}
+	}
+}
+
+func TestDiverseSelectSpreadsASes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tab, _ := Synthetic(64, rng)
+	var cands []netip.Addr
+	for i := 0; i < 400; i++ {
+		cands = append(cands, RandomAddr(rng))
+	}
+	sel, err := DiverseSelect(tab, cands, 24, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 24 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	// Count distinct ASes among selected vs a uniform selection.
+	distinct := func(addrs []netip.Addr) int {
+		seen := map[ASN]bool{}
+		for _, a := range addrs {
+			as, _ := tab.Lookup(a)
+			seen[as] = true
+		}
+		return len(seen)
+	}
+	dSel := distinct(sel)
+	dUni := distinct(cands[:24])
+	if dSel < dUni {
+		t.Fatalf("diverse selection (%d ASes) no better than uniform (%d)", dSel, dUni)
+	}
+}
+
+func TestDiverseSelectValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab, _ := Synthetic(10, rng)
+	if _, err := DiverseSelect(tab, nil, 1, rng); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	cands := []netip.Addr{netip.AddrFrom4([4]byte{192, 168, 0, 1})}
+	if _, err := DiverseSelect(tab, cands, 1, rng); err == nil {
+		t.Fatal("unroutable candidates accepted")
+	}
+}
+
+// An adversary owning a /8-scale block: diverse selection caps its share of
+// the graph; uniform selection from a poisoned candidate list does not.
+func TestDiverseSelectResistsBlockOwner(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tab, _ := Synthetic(64, rng)
+	// Find the AS owning the most prefixes: the adversary.
+	counts := map[ASN]int{}
+	for b := 0; b < 256; b++ {
+		as, _ := tab.Lookup(netip.AddrFrom4([4]byte{10, byte(b), 0, 1}))
+		counts[as]++
+	}
+	var evil ASN
+	for as, c := range counts {
+		if c > counts[evil] {
+			evil = as
+		}
+	}
+	// Candidate pool: 70% adversary addresses (Sybils), 30% honest.
+	var cands []netip.Addr
+	for len(cands) < 700 {
+		a := RandomAddr(rng)
+		if as, _ := tab.Lookup(a); as == evil {
+			cands = append(cands, a)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		a := RandomAddr(rng)
+		if as, _ := tab.Lookup(a); as != evil {
+			cands = append(cands, a)
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	k := 30
+	sel, err := DiverseSelect(tab, cands, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evilSet := map[ASN]bool{evil: true}
+	diverse := CompromisedFraction(tab, sel, evilSet)
+	uniform := CompromisedFraction(tab, cands[:k], evilSet)
+	if diverse >= uniform {
+		t.Fatalf("diverse %.2f should beat uniform %.2f", diverse, uniform)
+	}
+	if diverse > 0.2 {
+		t.Fatalf("diverse selection still %d%% compromised", int(diverse*100))
+	}
+}
+
+func TestCompromisedFractionEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab, _ := Synthetic(10, rng)
+	if CompromisedFraction(tab, nil, nil) != 0 {
+		t.Fatal("empty selection should be 0")
+	}
+}

@@ -1,0 +1,147 @@
+// Package audit mounts the paper's colluding-relay attack against a
+// *concrete* forwarding graph, rather than the abstract stage model used by
+// internal/anonymity. It exists to cross-validate the anonymity analysis
+// (§6, Appendix A) against the real artifact built by internal/core.
+//
+// The attacker controls a subset of relays. Its knowledge grows by a
+// fixpoint induction that mirrors exactly what colluding relays can do:
+//
+//  1. A malicious relay knows its own decoded routing block Ix: previous
+//     hops, next hops, flow-ids, its slice-map with the per-hop unscramble
+//     transforms (§9.4a).
+//  2. A relay holds, in the packets it forwards, one slice of every
+//     downstream node. The slice it places into slot 0 for a child is fully
+//     unscrambled; slices for deeper nodes still wear the scrambling layers
+//     of the relays between here and their owner.
+//  3. A slice can be laundered clean if every relay that would strip a
+//     remaining layer has itself been decoded (its slice-map — and hence
+//     its transforms — are known to the attacker).
+//  4. Any node with d linearly independent clean slices in attacker hands
+//     is decoded, exposing its receiver flag and its forwarding state,
+//     which enables further stripping — the induction the paper invokes
+//     when it says a fully compromised stage "can decode the entire graph
+//     downstream" (§A.1, §A.2).
+//
+// The package computes which nodes end up decoded, whether the destination
+// is identified, and whether the source stage is exposed; tests compare
+// these rates against Appendix A's closed forms and the Monte-Carlo
+// simulator.
+package audit
+
+import (
+	"infoslicing/internal/core"
+	"infoslicing/internal/wire"
+)
+
+// Result is the attacker's final knowledge over one graph.
+type Result struct {
+	// Decoded lists every node whose routing block the attacker obtained
+	// (malicious nodes trivially, honest nodes via pooled slices).
+	Decoded map[wire.NodeID]bool
+	// DestIdentified reports whether some decoded block carried the
+	// receiver flag — destination anonymity is gone (Case 1 of §A.2).
+	DestIdentified bool
+	// SourceExposed reports whether the attacker can name the source stage:
+	// it holds ≥ d of the d' stage-1 relays, decodes everything downstream,
+	// learns the graph depth, and concludes that its observed previous hops
+	// are the source endpoints (Case 1 of §A.1).
+	SourceExposed bool
+	// Iterations is how many induction rounds the fixpoint needed.
+	Iterations int
+}
+
+// Attack runs the induction. The malicious set may contain any node ids;
+// entries that are not relays on the graph are ignored.
+func Attack(g *core.Graph, malicious map[wire.NodeID]bool) Result {
+	res := Result{Decoded: make(map[wire.NodeID]bool)}
+
+	onGraph := make(map[wire.NodeID]int) // node -> 1-indexed stage
+	for l := 1; l <= g.L; l++ {
+		for _, id := range g.Stages[l-1] {
+			onGraph[id] = l
+		}
+	}
+	for id := range malicious {
+		if _, ok := onGraph[id]; ok {
+			res.Decoded[id] = true
+		}
+	}
+
+	// cleanSlices[x] counts how many of x's d' slices the attacker can
+	// launder clean. Slices are identified by (owner, k); holders come from
+	// the graph's placement, which is exactly what the forwarded packets
+	// realize. Every k yields an independent coefficient row (the rows come
+	// from an MDS matrix), so count >= d means decodable.
+	progress := true
+	for progress {
+		progress = false
+		res.Iterations++
+		for l := 1; l <= g.L; l++ {
+			for _, x := range g.Stages[l-1] {
+				if res.Decoded[x] {
+					continue
+				}
+				clean := 0
+				for k := 0; k < g.DPrime; k++ {
+					if sliceObtainable(g, malicious, res.Decoded, x, k) {
+						clean++
+					}
+				}
+				if clean >= g.D {
+					res.Decoded[x] = true
+					progress = true
+				}
+			}
+		}
+	}
+
+	for id := range res.Decoded {
+		if g.Infos[id] != nil && g.Infos[id].Receiver {
+			res.DestIdentified = true
+		}
+	}
+	// Source exposure: >= d malicious among the stage-1 relays. (The
+	// induction above then decodes every deeper stage, so the attacker can
+	// measure its depth and identify its parents as the source endpoints.)
+	mal1 := 0
+	for _, id := range g.Stages[0] {
+		if malicious[id] {
+			mal1++
+		}
+	}
+	if mal1 >= g.D {
+		res.SourceExposed = true
+	}
+	return res
+}
+
+// sliceObtainable reports whether slice k of owner x can be laundered
+// clean: some holder along its path is malicious, and every holder *after*
+// that point (each of which strips one scrambling layer) is decoded.
+//
+// Holder positions: stage 0 is a source endpoint (never malicious — the
+// sender trusts her pseudo-sources, §3c), stages 1..stage(x)-1 are relays,
+// and the slice arrives clean at x itself.
+func sliceObtainable(g *core.Graph, malicious, decoded map[wire.NodeID]bool, x wire.NodeID, k int) bool {
+	path := g.HolderPath(x, k) // relays at stages 1..stage(x)-1
+	for m := 0; m < len(path); m++ {
+		h := path[m]
+		if !malicious[h] {
+			continue
+		}
+		// The blob at h still wears the layers of path[m+1:]. The malicious
+		// holder h knows its own layer (it is decoded by definition); each
+		// subsequent holder's layer is known iff that holder is decoded.
+		ok := true
+		for _, later := range path[m+1:] {
+			if !decoded[later] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package audit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"infoslicing/internal/anonymity"
+	"infoslicing/internal/core"
+	"infoslicing/internal/wire"
+)
+
+func buildGraph(t *testing.T, l, d, dp int, seed int64) *core.Graph {
+	t.Helper()
+	relays := make([]wire.NodeID, l*dp)
+	for i := range relays {
+		relays[i] = wire.NodeID(i + 1)
+	}
+	sources := make([]wire.NodeID, dp)
+	for i := range sources {
+		sources[i] = wire.NodeID(1000 + i)
+	}
+	g, err := core.Build(core.Spec{
+		L: l, D: d, DPrime: dp,
+		Relays: relays, Dest: relays[0], Sources: sources,
+		Recode: true, Scramble: true,
+		Rng: rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNoAttackersNoKnowledge(t *testing.T) {
+	g := buildGraph(t, 4, 2, 3, 1)
+	res := Attack(g, nil)
+	if len(res.Decoded) != 0 || res.DestIdentified || res.SourceExposed {
+		t.Fatalf("empty attacker learned something: %+v", res)
+	}
+}
+
+func TestSingleMaliciousRelayLearnsOnlyItself(t *testing.T) {
+	g := buildGraph(t, 5, 2, 2, 2)
+	// One malicious relay NOT adjacent to enough peers: it alone can never
+	// pool d=2 clean slices of any honest node (it holds only one slice per
+	// downstream owner).
+	victim := g.Stages[2][0]
+	res := Attack(g, map[wire.NodeID]bool{victim: true})
+	if len(res.Decoded) != 1 || !res.Decoded[victim] {
+		t.Fatalf("single relay decoded others: %+v", res.Decoded)
+	}
+	if res.SourceExposed {
+		t.Fatal("single relay exposed the source")
+	}
+}
+
+// The paper's Case-1 induction: a fully compromised stage decodes the
+// entire downstream graph, scrambling notwithstanding (§A.1-§A.2).
+func TestFullStageDecodesEverythingDownstream(t *testing.T) {
+	g := buildGraph(t, 5, 2, 2, 3)
+	mal := map[wire.NodeID]bool{}
+	const stage = 2 // 1-indexed
+	for _, id := range g.Stages[stage-1] {
+		mal[id] = true
+	}
+	res := Attack(g, mal)
+	for l := stage + 1; l <= g.L; l++ {
+		for _, id := range g.Stages[l-1] {
+			if !res.Decoded[id] {
+				t.Fatalf("stage-%d node %d not decoded by full stage-%d compromise", l, id, stage)
+			}
+		}
+	}
+	// Upstream of the compromised stage stays private.
+	for _, id := range g.Stages[0] {
+		if !mal[id] && res.Decoded[id] {
+			t.Fatalf("upstream node %d decoded", id)
+		}
+	}
+	// The destination sits somewhere; it is identified iff its stage is
+	// downstream of (or inside) the malicious stage.
+	wantDest := g.DestStage > stage
+	if g.DestStage == stage {
+		wantDest = true // the dest itself would be malicious here
+	}
+	if res.DestIdentified != wantDest {
+		t.Fatalf("dest identified=%v, dest stage %d, malicious stage %d",
+			res.DestIdentified, g.DestStage, stage)
+	}
+}
+
+// Partial stage compromise with redundancy: >= d of the d' relays suffice,
+// d-1 do not (the coding threshold is sharp).
+func TestStageCompromiseThreshold(t *testing.T) {
+	g := buildGraph(t, 4, 2, 4, 4)
+	// d-1 = 1 malicious in stage 1: nothing downstream decodes.
+	malWeak := map[wire.NodeID]bool{g.Stages[0][0]: true}
+	weak := Attack(g, malWeak)
+	if len(weak.Decoded) != 1 {
+		t.Fatalf("d-1 attackers decoded extra nodes: %+v", weak.Decoded)
+	}
+	if weak.SourceExposed {
+		t.Fatal("d-1 attackers exposed the source")
+	}
+	// d = 2 of 4 malicious in stage 1: full downstream decode + source.
+	malStrong := map[wire.NodeID]bool{g.Stages[0][0]: true, g.Stages[0][1]: true}
+	strong := Attack(g, malStrong)
+	for l := 2; l <= g.L; l++ {
+		for _, id := range g.Stages[l-1] {
+			if !strong.Decoded[id] {
+				t.Fatalf("node %d (stage %d) not decoded", id, l)
+			}
+		}
+	}
+	if !strong.SourceExposed {
+		t.Fatal("d attackers in stage 1 should expose the source")
+	}
+}
+
+func TestMaliciousOffGraphIgnored(t *testing.T) {
+	g := buildGraph(t, 3, 2, 2, 5)
+	res := Attack(g, map[wire.NodeID]bool{9999: true})
+	if len(res.Decoded) != 0 {
+		t.Fatal("off-graph attacker decoded something")
+	}
+}
+
+// Consecutive-stage collusion beats scattered attackers of the same size:
+// adjacency is what lets slices be laundered (decoded holders strip layers).
+func TestAdjacencyMattersForLaundering(t *testing.T) {
+	g := buildGraph(t, 6, 2, 2, 7)
+	// Both nodes of stage 3 malicious: stage 4+ decoded (adjacent power).
+	adjacent := map[wire.NodeID]bool{
+		g.Stages[2][0]: true, g.Stages[2][1]: true,
+	}
+	resAdj := Attack(g, adjacent)
+	decAdj := len(resAdj.Decoded)
+	// Two scattered singletons (stages 2 and 5, one node each).
+	scattered := map[wire.NodeID]bool{
+		g.Stages[1][0]: true, g.Stages[4][0]: true,
+	}
+	resScat := Attack(g, scattered)
+	if len(resScat.Decoded) != 2 {
+		t.Fatalf("scattered attackers decoded honest nodes: %+v", resScat.Decoded)
+	}
+	if decAdj <= len(resScat.Decoded) {
+		t.Fatalf("adjacent collusion (%d) should beat scattered (%d)", decAdj, len(resScat.Decoded))
+	}
+}
+
+// Cross-validation: the concrete attack's destination-identification rate
+// must match the abstract analysis (Appendix A, via the Monte-Carlo
+// simulator and the closed form) under the same Bernoulli attacker.
+func TestConcreteMatchesAbstractDestCase1(t *testing.T) {
+	const (
+		L, d   = 5, 2
+		f      = 0.35
+		trials = 1500
+	)
+	rng := rand.New(rand.NewSource(11))
+	hits := 0
+	for i := 0; i < trials; i++ {
+		g := buildGraph(t, L, d, d, int64(i)*13+1)
+		mal := map[wire.NodeID]bool{}
+		for l := 1; l <= L; l++ {
+			for _, id := range g.Stages[l-1] {
+				if id != g.Dest && rng.Float64() < f {
+					mal[id] = true
+				}
+			}
+		}
+		if Attack(g, mal).DestIdentified {
+			hits++
+		}
+	}
+	concrete := float64(hits) / trials
+
+	sim, err := anonymity.Simulate(anonymity.Params{
+		N: 10000, L: L, D: d, F: f, Trials: 20000,
+		Rng: rand.New(rand.NewSource(12)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(concrete - sim.DestCase1); diff > 0.05 {
+		t.Fatalf("concrete attack rate %.3f vs abstract simulator %.3f (diff %.3f)",
+			concrete, sim.DestCase1, diff)
+	}
+}
+
+// Iterations stay bounded: the fixpoint converges in at most L rounds.
+func TestFixpointConverges(t *testing.T) {
+	g := buildGraph(t, 8, 2, 2, 13)
+	mal := map[wire.NodeID]bool{}
+	for _, id := range g.Stages[0] {
+		mal[id] = true
+	}
+	res := Attack(g, mal)
+	if res.Iterations > g.L+1 {
+		t.Fatalf("fixpoint took %d iterations", res.Iterations)
+	}
+}

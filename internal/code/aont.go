@@ -1,0 +1,81 @@
+package code
+
+import (
+	"fmt"
+	"math/rand"
+
+	"infoslicing/internal/gf"
+)
+
+// This file implements the information-theoretic variant sketched in §5:
+// "Instead of chopping the data into d parts and then coding them, we can
+// combine each of the d parts with d−1 random parts. This will increase the
+// space required d-fold, but provides extremely strong information-theoretic
+// security."
+//
+// Each real block m_i is embedded as the first element of a vector
+// (m_i, r_1, ..., r_{d-1}) of d blocks where the r_j are uniformly random,
+// and that vector is sliced with a random invertible d×d matrix. Unless the
+// adversary holds *all d* slices of group i, its view is statistically
+// independent of m_i — not merely computationally or pi-secure.
+
+// ITGroup is the set of d slices protecting one real block.
+type ITGroup struct {
+	Slices []Slice
+}
+
+// ITEncode encodes msg with information-theoretic security at split factor
+// d, returning d groups of d slices each (d^2 slices total, a d-fold space
+// blow-up as the paper notes). Group i hides block i of the chopped message.
+func ITEncode(msg []byte, d int, rng *rand.Rand) ([]ITGroup, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("%w: information-theoretic mode needs d>=2", ErrBadParameters)
+	}
+	blocks := Chop(msg, d)
+	blockLen := len(blocks[0])
+	groups := make([]ITGroup, d)
+	for i, m := range blocks {
+		vec := make([][]byte, d)
+		vec[0] = m
+		for j := 1; j < d; j++ {
+			r := make([]byte, blockLen)
+			fillRandom(r, rng)
+			vec[j] = r
+		}
+		a := gf.RandomInvertible(d, rng)
+		payloads := a.MulBlocks(vec)
+		g := ITGroup{Slices: make([]Slice, d)}
+		for k := range g.Slices {
+			g.Slices[k] = Slice{
+				Coeff:   append([]byte(nil), a.Row(k)...),
+				Payload: payloads[k],
+			}
+		}
+		groups[i] = g
+	}
+	return groups, nil
+}
+
+// ITDecode reconstructs the message from the full set of groups produced by
+// ITEncode. Every group must be complete (all d slices); the random filler
+// blocks are discarded.
+func ITDecode(groups []ITGroup, d int) ([]byte, error) {
+	if len(groups) != d {
+		return nil, fmt.Errorf("%w: have %d groups want %d", ErrNotEnoughSlices, len(groups), d)
+	}
+	blocks := make([][]byte, d)
+	for i, g := range groups {
+		vec, err := DecodeBlocks(d, g.Slices)
+		if err != nil {
+			return nil, fmt.Errorf("group %d: %w", i, err)
+		}
+		blocks[i] = vec[0]
+	}
+	return Unchop(blocks)
+}
+
+func fillRandom(b []byte, rng *rand.Rand) {
+	for i := range b {
+		b[i] = byte(rng.Intn(gf.Order))
+	}
+}

@@ -1,0 +1,264 @@
+// Package code implements the coding scheme at the heart of information
+// slicing (paper §4.1, §4.4).
+//
+// A message is chopped into d equal blocks, viewed as a vector over GF(2^8),
+// and multiplied by a d'×d transform matrix A' whose every d rows are
+// linearly independent (d' == d gives the non-redundant case of Eq. 3,
+// d' > d the churn-resilient case of Eq. 4). Each output block, concatenated
+// with the matrix row that produced it, is an "information slice". Any d
+// slices reconstruct the message; fewer than d reveal nothing (pi-security,
+// Lemma 5.1).
+//
+// Relays may re-randomize slices without decoding (network coding, §4.4.1):
+// a random linear combination of received slices — combining both payloads
+// and coefficient rows with the same scalars — is a fresh, equally useful
+// slice. This is what lets the overlay regenerate redundancy lost to node
+// failures in the middle of the network.
+package code
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"infoslicing/internal/gf"
+)
+
+// Slice is one information slice: the row of the transform matrix that
+// produced the payload, followed by the encoded payload itself. A slice in
+// isolation is indistinguishable from random bytes.
+type Slice struct {
+	Coeff   []byte // length d, the row A'_i
+	Payload []byte
+}
+
+// Clone deep-copies a slice.
+func (s Slice) Clone() Slice {
+	return Slice{
+		Coeff:   append([]byte(nil), s.Coeff...),
+		Payload: append([]byte(nil), s.Payload...),
+	}
+}
+
+// Common errors.
+var (
+	ErrNotEnoughSlices = errors.New("code: fewer than d linearly independent slices")
+	ErrInconsistent    = errors.New("code: slices have inconsistent dimensions")
+	ErrBadParameters   = errors.New("code: invalid coding parameters")
+)
+
+// lenPrefix is the number of bytes used to record the original message
+// length before padding.
+const lenPrefix = 4
+
+// Encoder slices messages into DPrime coded slices such that any D decode.
+// The zero value is not usable; construct with NewEncoder.
+type Encoder struct {
+	D      int // number of independent blocks (split factor d, Table 1)
+	DPrime int // number of slices emitted (d' ≥ d, §4.4)
+	rng    *rand.Rand
+}
+
+// NewEncoder returns an encoder with split factor d emitting dprime slices.
+// dprime == d reproduces Eq. 3 (all slices required); dprime > d adds
+// (dprime-d)/d redundancy per Eq. 4.
+func NewEncoder(d, dprime int, rng *rand.Rand) (*Encoder, error) {
+	if d < 1 || dprime < d || dprime >= gf.Order-d {
+		return nil, fmt.Errorf("%w: d=%d d'=%d", ErrBadParameters, d, dprime)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadParameters)
+	}
+	return &Encoder{D: d, DPrime: dprime, rng: rng}, nil
+}
+
+// Redundancy returns the added redundancy R = (d'-d)/d (§4.4, §8.1).
+func (e *Encoder) Redundancy() float64 {
+	return float64(e.DPrime-e.D) / float64(e.D)
+}
+
+// Encode slices msg into e.DPrime slices. The message is length-prefixed and
+// zero-padded to a multiple of e.D, so arbitrary lengths round-trip.
+func (e *Encoder) Encode(msg []byte) ([]Slice, error) {
+	blocks := Chop(msg, e.D)
+	a := gf.RandomMDS(e.DPrime, e.D, e.rng)
+	payloads := a.MulBlocks(blocks)
+	out := make([]Slice, e.DPrime)
+	for i := range out {
+		out[i] = Slice{
+			Coeff:   append([]byte(nil), a.Row(i)...),
+			Payload: payloads[i],
+		}
+	}
+	return out, nil
+}
+
+// Chop length-prefixes and zero-pads msg, then splits it into d equal blocks
+// (the ~m vector of Eq. 3). Exposed for callers that apply their own
+// transform matrix.
+func Chop(msg []byte, d int) [][]byte {
+	padded := make([]byte, lenPrefix+len(msg))
+	binary.BigEndian.PutUint32(padded, uint32(len(msg)))
+	copy(padded[lenPrefix:], msg)
+	blockLen := (len(padded) + d - 1) / d
+	if blockLen == 0 {
+		blockLen = 1
+	}
+	padded = append(padded, make([]byte, blockLen*d-len(padded))...)
+	blocks := make([][]byte, d)
+	for i := range blocks {
+		blocks[i] = padded[i*blockLen : (i+1)*blockLen]
+	}
+	return blocks
+}
+
+// Unchop reverses Chop: concatenates blocks and strips the length prefix.
+func Unchop(blocks [][]byte) ([]byte, error) {
+	var joined []byte
+	for _, b := range blocks {
+		joined = append(joined, b...)
+	}
+	if len(joined) < lenPrefix {
+		return nil, ErrInconsistent
+	}
+	n := binary.BigEndian.Uint32(joined)
+	if int(n) > len(joined)-lenPrefix {
+		return nil, fmt.Errorf("code: corrupt length prefix %d > %d", n, len(joined)-lenPrefix)
+	}
+	return joined[lenPrefix : lenPrefix+int(n)], nil
+}
+
+// Decode reconstructs the original message from any d linearly independent
+// slices (paper: ~m = A^-1 ~I*). Extra or linearly dependent slices are
+// tolerated and skipped.
+func Decode(d int, slices []Slice) ([]byte, error) {
+	blocks, err := DecodeBlocks(d, slices)
+	if err != nil {
+		return nil, err
+	}
+	return Unchop(blocks)
+}
+
+// DecodeBlocks recovers the d raw blocks without interpreting padding. Used
+// by the data plane, where the source applies Chop once per message.
+func DecodeBlocks(d int, slices []Slice) ([][]byte, error) {
+	sel, err := SelectIndependent(d, slices)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]byte, d)
+	payloads := make([][]byte, d)
+	for i, s := range sel {
+		rows[i] = s.Coeff
+		payloads[i] = s.Payload
+	}
+	a := gf.MatrixFromRows(rows)
+	inv, err := a.Inverse()
+	if err != nil {
+		// SelectIndependent guarantees full rank; reaching here means the
+		// caller mutated slices concurrently.
+		return nil, fmt.Errorf("code: %w", err)
+	}
+	return inv.MulBlocks(payloads), nil
+}
+
+// SelectIndependent returns d slices whose coefficient rows are linearly
+// independent, greedily scanning the input. It validates dimensions as it
+// goes.
+func SelectIndependent(d int, slices []Slice) ([]Slice, error) {
+	if d < 1 {
+		return nil, ErrBadParameters
+	}
+	var sel []Slice
+	var payloadLen = -1
+	for _, s := range slices {
+		if len(s.Coeff) != d {
+			return nil, fmt.Errorf("%w: coeff len %d want %d", ErrInconsistent, len(s.Coeff), d)
+		}
+		if payloadLen == -1 {
+			payloadLen = len(s.Payload)
+		} else if len(s.Payload) != payloadLen {
+			return nil, fmt.Errorf("%w: payload len %d want %d", ErrInconsistent, len(s.Payload), payloadLen)
+		}
+		cand := append(sel, s)
+		rows := make([][]byte, len(cand))
+		for i, c := range cand {
+			rows[i] = c.Coeff
+		}
+		if gf.MatrixFromRows(rows).Rank() == len(cand) {
+			sel = cand
+		}
+		if len(sel) == d {
+			return sel, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: have %d of %d", ErrNotEnoughSlices, len(sel), d)
+}
+
+// Rank returns the rank of the coefficient matrix spanned by the slices —
+// how many degrees of freedom a holder of these slices has (d means
+// decodable).
+func Rank(d int, slices []Slice) int {
+	if len(slices) == 0 {
+		return 0
+	}
+	rows := make([][]byte, 0, len(slices))
+	for _, s := range slices {
+		if len(s.Coeff) != d {
+			return 0
+		}
+		rows = append(rows, s.Coeff)
+	}
+	return gf.MatrixFromRows(rows).Rank()
+}
+
+// Decodable reports whether the slices suffice to reconstruct the message.
+func Decodable(d int, slices []Slice) bool { return Rank(d, slices) >= d }
+
+// Recombine implements the network-coding regeneration step of §4.4.1:
+// it produces count fresh slices, each a random linear combination
+// m'_new = Σ p_i m'_i with matching coefficient row A'_new = Σ p_i A'_i.
+// The inputs must share coefficient and payload lengths. If the inputs span
+// rank r, each output lies in the same span, so a downstream node that
+// gathers d independent combinations can still decode.
+func Recombine(slices []Slice, count int, rng *rand.Rand) ([]Slice, error) {
+	if len(slices) == 0 {
+		return nil, ErrNotEnoughSlices
+	}
+	d := len(slices[0].Coeff)
+	plen := len(slices[0].Payload)
+	for _, s := range slices {
+		if len(s.Coeff) != d || len(s.Payload) != plen {
+			return nil, ErrInconsistent
+		}
+	}
+	out := make([]Slice, count)
+	for k := 0; k < count; k++ {
+		coeff := make([]byte, d)
+		payload := make([]byte, plen)
+		for {
+			nonzero := false
+			for i := range slices {
+				p := byte(rng.Intn(gf.Order))
+				if p != 0 {
+					nonzero = true
+				}
+				gf.MulSlice(p, slices[i].Coeff, coeff)
+				gf.MulSlice(p, slices[i].Payload, payload)
+			}
+			if nonzero {
+				break
+			}
+			// All-zero combination is useless; resample (vanishingly rare).
+			for i := range coeff {
+				coeff[i] = 0
+			}
+			for i := range payload {
+				payload[i] = 0
+			}
+		}
+		out[k] = Slice{Coeff: coeff, Payload: payload}
+	}
+	return out, nil
+}

@@ -1,0 +1,387 @@
+package code
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"infoslicing/internal/gf"
+)
+
+func newEnc(t *testing.T, d, dp int, seed int64) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(d, dp, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	msgs := [][]byte{
+		[]byte("Let's meet at 5pm"),
+		{},
+		{0},
+		bytes.Repeat([]byte{0xab}, 1500),
+		[]byte("x"),
+	}
+	for d := 1; d <= 6; d++ {
+		e := newEnc(t, d, d, int64(d))
+		for _, msg := range msgs {
+			slices, err := e.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(slices) != d {
+				t.Fatalf("d=%d: got %d slices", d, len(slices))
+			}
+			got, err := Decode(d, slices)
+			if err != nil {
+				t.Fatalf("d=%d len=%d: %v", d, len(msg), err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("d=%d: round trip mismatch", d)
+			}
+		}
+	}
+}
+
+func TestRedundantDecodeFromAnySubset(t *testing.T) {
+	const d, dp = 3, 7
+	e := newEnc(t, d, dp, 99)
+	msg := []byte("redundant slicing survives churn")
+	slices, err := e.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every subset of size d must decode.
+	idx := []int{0, 0, 0}
+	for idx[0] = 0; idx[0] < dp; idx[0]++ {
+		for idx[1] = idx[0] + 1; idx[1] < dp; idx[1]++ {
+			for idx[2] = idx[1] + 1; idx[2] < dp; idx[2]++ {
+				sub := []Slice{slices[idx[0]], slices[idx[1]], slices[idx[2]]}
+				got, err := Decode(d, sub)
+				if err != nil {
+					t.Fatalf("subset %v: %v", idx, err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("subset %v: wrong message", idx)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeFailsWithTooFewSlices(t *testing.T) {
+	e := newEnc(t, 4, 4, 5)
+	slices, _ := e.Encode([]byte("secret"))
+	if _, err := Decode(4, slices[:3]); err == nil {
+		t.Fatal("decoding with d-1 slices should fail")
+	}
+	if Decodable(4, slices[:3]) {
+		t.Fatal("d-1 slices reported decodable")
+	}
+	if !Decodable(4, slices) {
+		t.Fatal("full set not decodable")
+	}
+}
+
+func TestDecodeToleratesDuplicates(t *testing.T) {
+	e := newEnc(t, 3, 3, 6)
+	msg := []byte("dup tolerant")
+	slices, _ := e.Encode(msg)
+	withDup := []Slice{slices[0], slices[0], slices[1], slices[0], slices[2]}
+	got, err := Decode(3, withDup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("mismatch with duplicates present")
+	}
+}
+
+func TestSelectIndependentDimensionChecks(t *testing.T) {
+	s1 := Slice{Coeff: []byte{1, 2}, Payload: []byte{1}}
+	bad := Slice{Coeff: []byte{1}, Payload: []byte{1}}
+	if _, err := SelectIndependent(2, []Slice{s1, bad}); err == nil {
+		t.Fatal("want dimension error")
+	}
+	badPay := Slice{Coeff: []byte{3, 4}, Payload: []byte{1, 2}}
+	if _, err := SelectIndependent(2, []Slice{s1, badPay}); err == nil {
+		t.Fatal("want payload length error")
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ d, dp int }{{0, 1}, {3, 2}, {-1, -1}, {200, 250}}
+	for _, c := range cases {
+		if _, err := NewEncoder(c.d, c.dp, rng); err == nil {
+			t.Fatalf("d=%d dp=%d should be rejected", c.d, c.dp)
+		}
+	}
+	if _, err := NewEncoder(2, 4, nil); err == nil {
+		t.Fatal("nil rng should be rejected")
+	}
+	e, err := NewEncoder(2, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := e.Redundancy(); r != 2.0 {
+		t.Fatalf("redundancy=%v want 2", r)
+	}
+}
+
+func TestChopUnchopProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	err := quick.Check(func(msg []byte, dRaw uint8) bool {
+		d := int(dRaw%8) + 1
+		got, err := Unchop(Chop(msg, d))
+		return err == nil && bytes.Equal(got, msg)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	err := quick.Check(func(msg []byte, dRaw, extraRaw uint8) bool {
+		d := int(dRaw%6) + 1
+		dp := d + int(extraRaw%4)
+		e, err := NewEncoder(d, dp, rng)
+		if err != nil {
+			return false
+		}
+		slices, err := e.Encode(msg)
+		if err != nil {
+			return false
+		}
+		// Shuffle, decode from a random d-subset.
+		rng.Shuffle(len(slices), func(i, j int) { slices[i], slices[j] = slices[j], slices[i] })
+		got, err := Decode(d, slices)
+		return err == nil && bytes.Equal(got, msg)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecombineRegeneratesRedundancy(t *testing.T) {
+	const d, dp = 2, 3
+	rng := rand.New(rand.NewSource(31))
+	e, _ := NewEncoder(d, dp, rng)
+	msg := []byte("network coding regenerates lost redundancy at relays")
+	slices, _ := e.Encode(msg)
+
+	// Lose one slice (a failed parent), keep d=2 — enough to decode but no
+	// spare. A relay recombines the survivors back into dp=3 fresh slices.
+	survivors := slices[:2]
+	fresh, err := Recombine(survivors, dp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != dp {
+		t.Fatalf("got %d fresh slices", len(fresh))
+	}
+	// Now lose ANY one of the fresh slices; decoding must still work with
+	// high probability (random coefficients are independent w.h.p.).
+	for drop := 0; drop < dp; drop++ {
+		var sub []Slice
+		for i, s := range fresh {
+			if i != drop {
+				sub = append(sub, s)
+			}
+		}
+		got, err := Decode(d, sub)
+		if err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("drop %d: wrong message", drop)
+		}
+	}
+}
+
+func TestRecombineStaysInSpan(t *testing.T) {
+	// Combinations of fewer than d independent slices must never become
+	// decodable: rank cannot grow through recombination.
+	const d = 4
+	rng := rand.New(rand.NewSource(37))
+	e, _ := NewEncoder(d, d, rng)
+	slices, _ := e.Encode([]byte("span invariant"))
+	partial := slices[:2] // rank 2
+	fresh, err := Recombine(partial, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Rank(d, fresh); got > 2 {
+		t.Fatalf("recombination increased rank to %d", got)
+	}
+	if Decodable(d, fresh) {
+		t.Fatal("recombined partial slices decodable — pi-security violated")
+	}
+}
+
+func TestRecombineInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Recombine(nil, 3, rng); err == nil {
+		t.Fatal("empty input should error")
+	}
+	s := []Slice{
+		{Coeff: []byte{1, 2}, Payload: []byte{1, 2, 3}},
+		{Coeff: []byte{1}, Payload: []byte{1, 2, 3}},
+	}
+	if _, err := Recombine(s, 1, rng); err == nil {
+		t.Fatal("ragged coeffs should error")
+	}
+}
+
+func TestRankHelper(t *testing.T) {
+	if Rank(3, nil) != 0 {
+		t.Fatal("rank of no slices should be 0")
+	}
+	s := Slice{Coeff: []byte{1, 0, 0}, Payload: []byte{5}}
+	if Rank(3, []Slice{s, s}) != 1 {
+		t.Fatal("duplicate slices should have rank 1")
+	}
+	if Rank(3, []Slice{{Coeff: []byte{1}, Payload: nil}}) != 0 {
+		t.Fatal("wrong-dimension slices should have rank 0")
+	}
+}
+
+// piSecure checks the operational meaning of Lemma 5.1 on a small message
+// space: given d-1 slices, every value of the first message byte remains
+// consistent with the observation (there exists a completion), so the
+// conditional distribution over that byte is unchanged.
+func TestPiSecurityWitness(t *testing.T) {
+	const d = 2
+	rng := rand.New(rand.NewSource(41))
+	a := gf.RandomInvertible(d, rng)
+	// Message vector (m0, m1), observe only slice 0: y = a00*m0 + a01*m1.
+	// For every candidate value v of m0, show some m1 explains y.
+	m := []byte{0x42, 0x99}
+	y := gf.Add(gf.Mul(a.At(0, 0), m[0]), gf.Mul(a.At(0, 1), m[1]))
+	if a.At(0, 1) == 0 {
+		t.Skip("degenerate row; rerun with different seed")
+	}
+	for v := 0; v < 256; v++ {
+		// Solve a01*m1 = y - a00*v.
+		rhs := gf.Add(y, gf.Mul(a.At(0, 0), byte(v)))
+		m1 := gf.Div(rhs, a.At(0, 1))
+		check := gf.Add(gf.Mul(a.At(0, 0), byte(v)), gf.Mul(a.At(0, 1), m1))
+		if check != y {
+			t.Fatalf("no completion for m0=%d — pi-security broken", v)
+		}
+	}
+}
+
+func TestITEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for d := 2; d <= 5; d++ {
+		msg := []byte("information theoretic mode pays d-fold space")
+		groups, err := ITEncode(msg, d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(groups) != d {
+			t.Fatalf("d=%d: %d groups", d, len(groups))
+		}
+		for _, g := range groups {
+			if len(g.Slices) != d {
+				t.Fatalf("group has %d slices", len(g.Slices))
+			}
+		}
+		got, err := ITDecode(groups, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("d=%d: IT round trip mismatch", d)
+		}
+	}
+}
+
+func TestITEncodeRejectsD1(t *testing.T) {
+	if _, err := ITEncode([]byte("x"), 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("d=1 should be rejected in IT mode")
+	}
+}
+
+func TestITDecodeWrongGroupCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	groups, _ := ITEncode([]byte("abc"), 3, rng)
+	if _, err := ITDecode(groups[:2], 3); err == nil {
+		t.Fatal("missing group should fail")
+	}
+}
+
+// Information-theoretic mode: with one slice missing from a group, every
+// candidate first block is consistent — statistical secrecy, not just
+// pi-security of the mixed blocks.
+func TestITPartialGroupRevealsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const d = 2
+	groups, err := ITEncode([]byte{0x7f}, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groups[0]
+	// With only slice 0 of the group, rank is 1 < d: not decodable.
+	if Decodable(d, g.Slices[:1]) {
+		t.Fatal("single IT slice decodable")
+	}
+}
+
+func TestSliceClone(t *testing.T) {
+	s := Slice{Coeff: []byte{1, 2}, Payload: []byte{3, 4}}
+	c := s.Clone()
+	c.Coeff[0] = 99
+	c.Payload[0] = 99
+	if s.Coeff[0] == 99 || s.Payload[0] == 99 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func BenchmarkEncode1500(b *testing.B) {
+	for _, d := range []int{2, 3, 5, 8} {
+		b.Run(benchName("d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			e, _ := NewEncoder(d, d, rng)
+			msg := make([]byte, 1500)
+			rng.Read(msg)
+			b.SetBytes(1500)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Encode(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode1500(b *testing.B) {
+	for _, d := range []int{2, 3, 5, 8} {
+		b.Run(benchName("d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			e, _ := NewEncoder(d, d, rng)
+			msg := make([]byte, 1500)
+			rng.Read(msg)
+			slices, _ := e.Encode(msg)
+			b.SetBytes(1500)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(d, slices); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + string(rune('0'+v))
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"infoslicing/internal/wire"
+)
+
+func TestDOTRendering(t *testing.T) {
+	g, err := Build(makeSpec(3, 2, 2, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "digraph infoslicing {") {
+		t.Fatal("not a digraph")
+	}
+	// Every relay and source appears.
+	for _, st := range g.Stages {
+		for _, id := range st {
+			if !strings.Contains(dot, nodeRef(id)) {
+				t.Fatalf("missing node %d", id)
+			}
+		}
+	}
+	for _, s := range g.Sources {
+		if !strings.Contains(dot, nodeRef(s)) {
+			t.Fatalf("missing source %d", s)
+		}
+	}
+	if !strings.Contains(dot, "fillcolor=gold") {
+		t.Fatal("destination not highlighted")
+	}
+	// Edge count: d'^2 per stage pair including source stage => L * d'^2.
+	if got := strings.Count(dot, "->"); got != 3*4 {
+		t.Fatalf("edges=%d want 12", got)
+	}
+}
+
+func TestSlicePathsDOT(t *testing.T) {
+	g, err := Build(makeSpec(4, 2, 3, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := g.Stages[3][0] // last stage: longest paths
+	dot, err := g.SlicePathsDOT(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d' slice paths, each with stage(owner) hops = 4 edges.
+	if got := strings.Count(dot, "->"); got != 3*4 {
+		t.Fatalf("path edges=%d want 12", got)
+	}
+	if _, err := g.SlicePathsDOT(9999); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+}
+
+func TestKnowledgeReports(t *testing.T) {
+	g, err := Build(makeSpec(4, 2, 3, 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st := 1; st <= g.L; st++ {
+		for _, id := range g.Stages[st-1] {
+			k, err := g.KnowledgeOf(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Parents are exactly the previous stage (or sources).
+			var want []wire.NodeID
+			if st == 1 {
+				want = g.Sources
+			} else {
+				want = g.Stages[st-2]
+			}
+			if len(k.Parents) != len(want) {
+				t.Fatalf("node %d (stage %d): %d parents want %d",
+					id, st, len(k.Parents), len(want))
+			}
+			wantSet := map[wire.NodeID]bool{}
+			for _, w := range want {
+				wantSet[w] = true
+			}
+			for _, p := range k.Parents {
+				if !wantSet[p] {
+					t.Fatalf("node %d: unexpected parent %d", id, p)
+				}
+			}
+			// Children are exactly the next stage (or none).
+			if st == g.L {
+				if len(k.Children) != 0 {
+					t.Fatalf("last-stage node %d has children", id)
+				}
+			} else if len(k.Children) != g.DPrime {
+				t.Fatalf("node %d: %d children", id, len(k.Children))
+			}
+			// Role knowledge is limited to the destination.
+			if (id == g.Dest) != k.IsDest {
+				t.Fatalf("node %d: receiver flag wrong", id)
+			}
+			if !k.UnknownStage || !k.UnknownSource {
+				t.Fatalf("node %d: claims forbidden knowledge", id)
+			}
+			if k.UnknownDest != (id != g.Dest) {
+				t.Fatalf("node %d: dest knowledge inconsistent", id)
+			}
+			// The report renders.
+			s := k.String()
+			if !strings.Contains(s, "previous hops") || !strings.Contains(s, "does NOT know") {
+				t.Fatalf("report malformed: %q", s)
+			}
+		}
+	}
+	if _, err := g.KnowledgeOf(9999); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func nodeRef(id wire.NodeID) string {
+	return "n" + itoa(int(id))
+}

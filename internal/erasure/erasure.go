@@ -1,0 +1,158 @@
+// Package erasure implements a systematic Reed-Solomon-style erasure code
+// over GF(2^8).
+//
+// The paper's strongest baseline, "onion routing with erasure codes" (§8.1),
+// lets a sender split a message into d shards, extend them to d' coded
+// shards, and send one shard down each of d' independent onion circuits; the
+// transfer succeeds if any d circuits survive. This package provides that
+// code. It is systematic (the first d shards are the data itself), built by
+// normalizing an MDS Cauchy matrix so its top d×d block is the identity —
+// a transformation that preserves the any-d-rows-independent property.
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"infoslicing/internal/gf"
+)
+
+// Code is an (n, k) erasure code: k data shards, n total shards, any k of
+// which reconstruct the data.
+type Code struct {
+	K, N   int
+	matrix *gf.Matrix // n×k, top k rows = identity
+}
+
+// Common errors.
+var (
+	ErrBadParameters   = errors.New("erasure: invalid parameters")
+	ErrNotEnoughShards = errors.New("erasure: fewer than k usable shards")
+	ErrShardSize       = errors.New("erasure: inconsistent shard sizes")
+)
+
+// New returns an (n, k) code. Requires 1 <= k <= n and n+k <= 256.
+func New(k, n int) (*Code, error) {
+	if k < 1 || n < k || n+k > gf.Order {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrBadParameters, k, n)
+	}
+	var m *gf.Matrix
+	if n == k {
+		m = gf.Identity(k)
+	} else {
+		c := gf.Cauchy(n, k)
+		top := c.SubmatrixRows(seq(k))
+		inv, err := top.Inverse()
+		if err != nil {
+			// Cauchy submatrices are always invertible; unreachable.
+			return nil, err
+		}
+		m = c.Mul(inv)
+	}
+	return &Code{K: k, N: n, matrix: m}, nil
+}
+
+// Split length-prefixes and pads data, then cuts it into exactly k
+// equal-size data shards.
+func (c *Code) Split(data []byte) [][]byte {
+	padded := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(padded, uint32(len(data)))
+	copy(padded[4:], data)
+	shardLen := (len(padded) + c.K - 1) / c.K
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	padded = append(padded, make([]byte, shardLen*c.K-len(padded))...)
+	shards := make([][]byte, c.K)
+	for i := range shards {
+		shards[i] = padded[i*shardLen : (i+1)*shardLen]
+	}
+	return shards
+}
+
+// Encode expands k data shards into n coded shards; the first k outputs
+// alias the inputs (systematic code).
+func (c *Code) Encode(dataShards [][]byte) ([][]byte, error) {
+	if len(dataShards) != c.K {
+		return nil, fmt.Errorf("%w: have %d data shards want %d", ErrBadParameters, len(dataShards), c.K)
+	}
+	shardLen := len(dataShards[0])
+	for _, s := range dataShards {
+		if len(s) != shardLen {
+			return nil, ErrShardSize
+		}
+	}
+	out := make([][]byte, c.N)
+	copy(out, dataShards)
+	for i := c.K; i < c.N; i++ {
+		row := c.matrix.Row(i)
+		shard := make([]byte, shardLen)
+		for j, coeff := range row {
+			if coeff != 0 {
+				gf.MulSlice(coeff, dataShards[j], shard)
+			}
+		}
+		out[i] = shard
+	}
+	return out, nil
+}
+
+// EncodeMessage is Split followed by Encode.
+func (c *Code) EncodeMessage(data []byte) ([][]byte, error) {
+	return c.Encode(c.Split(data))
+}
+
+// Reconstruct recovers the original message from any k shards, given as a
+// map from shard index (0..n-1) to shard contents.
+func (c *Code) Reconstruct(shards map[int][]byte) ([]byte, error) {
+	if len(shards) < c.K {
+		return nil, fmt.Errorf("%w: have %d", ErrNotEnoughShards, len(shards))
+	}
+	var idx []int
+	shardLen := -1
+	for i, s := range shards {
+		if i < 0 || i >= c.N {
+			return nil, fmt.Errorf("%w: shard index %d", ErrBadParameters, i)
+		}
+		if shardLen == -1 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return nil, ErrShardSize
+		}
+		idx = append(idx, i)
+		if len(idx) == c.K {
+			break
+		}
+	}
+	sub := c.matrix.SubmatrixRows(idx)
+	inv, err := sub.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: %w", err)
+	}
+	payloads := make([][]byte, c.K)
+	for i, id := range idx {
+		payloads[i] = shards[id]
+	}
+	blocks := inv.MulBlocks(payloads)
+	var joined []byte
+	for _, b := range blocks {
+		joined = append(joined, b...)
+	}
+	if len(joined) < 4 {
+		return nil, ErrShardSize
+	}
+	n := binary.BigEndian.Uint32(joined)
+	if int(n) > len(joined)-4 {
+		return nil, fmt.Errorf("erasure: corrupt length prefix")
+	}
+	return joined[4 : 4+int(n)], nil
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllShards(t *testing.T) {
+	c, err := New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("erasure coded onion baseline")
+	shards, err := c.EncodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 5 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	m := map[int][]byte{}
+	for i, s := range shards {
+		m[i] = s
+	}
+	got, err := c.Reconstruct(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestReconstructFromEveryKSubset(t *testing.T) {
+	const k, n = 2, 5
+	c, _ := New(k, n)
+	msg := []byte("any k shards suffice")
+	shards, _ := c.EncodeMessage(msg)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			got, err := c.Reconstruct(map[int][]byte{i: shards[i], j: shards[j]})
+			if err != nil {
+				t.Fatalf("subset {%d,%d}: %v", i, j, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("subset {%d,%d}: wrong data", i, j)
+			}
+		}
+	}
+}
+
+func TestSystematicProperty(t *testing.T) {
+	c, _ := New(4, 7)
+	data := c.Split([]byte("systematic shards equal data shards"))
+	enc, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(enc[i], data[i]) {
+			t.Fatalf("shard %d not systematic", i)
+		}
+	}
+}
+
+func TestTooFewShards(t *testing.T) {
+	c, _ := New(3, 6)
+	shards, _ := c.EncodeMessage([]byte("abc"))
+	if _, err := c.Reconstruct(map[int][]byte{0: shards[0], 1: shards[1]}); err == nil {
+		t.Fatal("k-1 shards should fail")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	for _, c := range []struct{ k, n int }{{0, 1}, {3, 2}, {130, 130}} {
+		if _, err := New(c.k, c.n); err == nil {
+			t.Fatalf("k=%d n=%d should be rejected", c.k, c.n)
+		}
+	}
+	if _, err := New(1, 1); err != nil {
+		t.Fatalf("k=n=1 should be fine: %v", err)
+	}
+}
+
+func TestBadShardIndex(t *testing.T) {
+	c, _ := New(2, 3)
+	shards, _ := c.EncodeMessage([]byte("x"))
+	if _, err := c.Reconstruct(map[int][]byte{0: shards[0], 9: shards[1]}); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+}
+
+func TestRaggedShards(t *testing.T) {
+	c, _ := New(2, 3)
+	shards, _ := c.EncodeMessage([]byte("hello world"))
+	if _, err := c.Reconstruct(map[int][]byte{0: shards[0], 1: shards[1][:1]}); err == nil {
+		t.Fatal("ragged shards should fail")
+	}
+	if _, err := c.Encode([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged data shards should fail")
+	}
+	if _, err := c.Encode([][]byte{{1, 2}}); err == nil {
+		t.Fatal("wrong shard count should fail")
+	}
+}
+
+func TestEmptyAndLargeMessages(t *testing.T) {
+	c, _ := New(3, 5)
+	for _, msg := range [][]byte{{}, bytes.Repeat([]byte{7}, 10000)} {
+		shards, err := c.EncodeMessage(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Reconstruct(map[int][]byte{1: shards[1], 3: shards[3], 4: shards[4]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("len=%d mismatch", len(msg))
+		}
+	}
+}
+
+func TestPropertyRandomSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	err := quick.Check(func(msg []byte, kRaw, extraRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		n := k + int(extraRaw%5)
+		c, err := New(k, n)
+		if err != nil {
+			return false
+		}
+		shards, err := c.EncodeMessage(msg)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)[:k]
+		m := map[int][]byte{}
+		for _, i := range perm {
+			m[i] = shards[i]
+		}
+		got, err := c.Reconstruct(m)
+		return err == nil && bytes.Equal(got, msg)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, _ := New(2, 4)
+	msg := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(msg)
+	data := c.Split(msg)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package gf implements arithmetic over the finite field GF(2^8) and dense
+// matrices over that field.
+//
+// Information slicing performs all of its coding in a small finite field
+// (paper §4.1, footnote 1): message blocks are treated as vectors of field
+// elements and multiplied by random invertible matrices. GF(2^8) is the
+// conventional choice for byte-oriented codes: every byte is a field element,
+// addition is XOR, and multiplication is a table lookup.
+//
+// The field is constructed from the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the same polynomial used by most
+// Reed-Solomon deployments. The generator 2 is primitive for this polynomial,
+// which lets multiplication and division run through log/exp tables.
+package gf
+
+import "fmt"
+
+// Poly is the primitive polynomial used to construct GF(2^8), expressed with
+// the x^8 term included (0x11d = x^8+x^4+x^3+x^2+1).
+const Poly = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	expTable [2 * Order]byte // expTable[i] = g^i, doubled to skip a mod in Mul
+	logTable [Order]byte     // logTable[x] = log_g(x), logTable[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	// Double the exp table so Mul can index logs summed without reducing
+	// mod 255.
+	for i := Order - 1; i < 2*Order; i++ {
+		expTable[i] = expTable[i-(Order-1)]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition and subtraction coincide (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8); identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8). Div panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += Order - 1
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. Inv panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: zero has no inverse")
+	}
+	return expTable[Order-1-int(logTable[a])]
+}
+
+// Exp returns the generator raised to the power n (n may be any
+// non-negative integer).
+func Exp(n int) byte { return expTable[n%(Order-1)] }
+
+// MulSlice computes dst[i] ^= c * src[i] for every i. It is the inner loop of
+// all encode/decode operations: one coefficient applied to one block.
+// dst and src must have equal length.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	default:
+		lc := int(logTable[c])
+		for i, s := range src {
+			if s != 0 {
+				dst[i] ^= expTable[lc+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// MulSliceAssign computes dst[i] = c * src[i] (overwriting dst).
+func MulSliceAssign(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulSliceAssign length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		lc := int(logTable[c])
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = expTable[lc+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// mulSlow multiplies using shift-and-add ("Russian peasant") reduction. It is
+// retained as an ablation/verification reference for the table-driven Mul.
+func mulSlow(a, b byte) byte {
+	var p byte
+	aa, bb := int(a), int(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			p ^= byte(aa)
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= Poly
+		}
+		bb >>= 1
+	}
+	return p
+}
+
+// MulSlow exposes the shift-and-add reference multiplier for benchmarks and
+// cross-checking tests.
+func MulSlow(a, b byte) byte { return mulSlow(a, b) }
+
+// String helpers for diagnostics.
+func fmtElem(b byte) string { return fmt.Sprintf("%02x", b) }

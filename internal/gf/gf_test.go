@@ -1,0 +1,368 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 5 {
+			if Add(byte(a), byte(b)) != byte(a)^byte(b) {
+				t.Fatalf("Add(%d,%d) != xor", a, b)
+			}
+		}
+	}
+}
+
+func TestMulMatchesSlowReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			got, want := Mul(byte(a), byte(b)), MulSlow(byte(a), byte(b))
+			if got != want {
+				t.Fatalf("Mul(%d,%d)=%d want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(func(a, b, c byte) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("Inv(%d) wrong", a)
+		}
+		for b := 1; b < 256; b += 17 {
+			q := Div(byte(a), byte(b))
+			if Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("Div(%d,%d) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpGeneratorCycle(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		e := Exp(i)
+		if seen[e] {
+			t.Fatalf("generator repeats at %d", i)
+		}
+		seen[e] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator does not cover field: %d", len(seen))
+	}
+	if Exp(0) != 1 {
+		t.Fatal("g^0 != 1")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := []byte{9, 9, 9, 9, 9}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = dst[i] ^ Mul(7, src[i])
+	}
+	MulSlice(7, src, dst)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	// c=1 is plain xor; c=0 is a no-op.
+	d2 := []byte{1, 1, 1, 1, 1}
+	MulSlice(0, src, d2)
+	for _, v := range d2 {
+		if v != 1 {
+			t.Fatal("MulSlice(0) modified dst")
+		}
+	}
+	MulSlice(1, src, d2)
+	for i := range d2 {
+		if d2[i] != 1^src[i] {
+			t.Fatal("MulSlice(1) not xor")
+		}
+	}
+}
+
+func TestMulSliceAssign(t *testing.T) {
+	src := []byte{0, 1, 2, 200}
+	dst := make([]byte, 4)
+	MulSliceAssign(5, src, dst)
+	for i := range src {
+		if dst[i] != Mul(5, src[i]) {
+			t.Fatalf("assign mismatch at %d", i)
+		}
+	}
+	MulSliceAssign(0, src, dst)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("assign c=0 should zero dst")
+		}
+	}
+}
+
+func TestMatrixIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandomInvertible(5, rng)
+	if !Identity(5).Mul(m).Equal(m) || !m.Mul(Identity(5)).Equal(m) {
+		t.Fatal("identity multiplication broken")
+	}
+}
+
+func TestMatrixInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 1; n <= 12; n++ {
+		m := RandomInvertible(n, rng)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !m.Mul(inv).Equal(Identity(n)) {
+			t.Fatalf("n=%d: m*inv != I", n)
+		}
+		if !inv.Mul(m).Equal(Identity(n)) {
+			t.Fatalf("n=%d: inv*m != I", n)
+		}
+	}
+}
+
+func TestSingularMatrixInverse(t *testing.T) {
+	m := NewMatrix(3, 3) // all zero
+	if _, err := m.Inverse(); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	// Duplicate rows.
+	m2 := MatrixFromRows([][]byte{{1, 2, 3}, {1, 2, 3}, {4, 5, 6}})
+	if _, err := m2.Inverse(); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	if got := Identity(4).Rank(); got != 4 {
+		t.Fatalf("identity rank=%d", got)
+	}
+	m := MatrixFromRows([][]byte{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}})
+	// Row 2 = 2*row 1 in GF(2^8)? 2*1=2, 2*2=4, 2*3=6 — yes, dependent.
+	if got := m.Rank(); got != 2 {
+		t.Fatalf("rank=%d want 2", got)
+	}
+	if m.IsInvertible() {
+		t.Fatal("singular matrix reported invertible")
+	}
+}
+
+func TestMulVecAgainstMulBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := RandomInvertible(4, rng)
+	v := []byte{10, 20, 30, 40}
+	blocks := make([][]byte, 4)
+	for i := range blocks {
+		blocks[i] = []byte{v[i]}
+	}
+	mv := m.MulVec(v)
+	mb := m.MulBlocks(blocks)
+	for i := range mv {
+		if mb[i][0] != mv[i] {
+			t.Fatalf("MulBlocks disagrees with MulVec at %d", i)
+		}
+	}
+}
+
+func TestMulBlocksRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for n := 2; n <= 8; n++ {
+		m := RandomInvertible(n, rng)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = make([]byte, 64)
+			rng.Read(blocks[i])
+		}
+		enc := m.MulBlocks(blocks)
+		dec := inv.MulBlocks(enc)
+		for i := range blocks {
+			for j := range blocks[i] {
+				if dec[i][j] != blocks[i][j] {
+					t.Fatalf("n=%d round trip failed at block %d byte %d", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCauchyAnySubmatrixInvertible(t *testing.T) {
+	const rows, cols = 7, 3
+	m := Cauchy(rows, cols)
+	// Exhaustively check every cols-row subset is invertible.
+	var rec func(start int, pick []int)
+	rec = func(start int, pick []int) {
+		if len(pick) == cols {
+			sub := m.SubmatrixRows(pick)
+			if !sub.IsInvertible() {
+				t.Fatalf("Cauchy submatrix %v singular", pick)
+			}
+			return
+		}
+		for i := start; i < rows; i++ {
+			rec(i+1, append(pick, i))
+		}
+	}
+	rec(0, nil)
+}
+
+func TestRandomMDSAnySubsetDecodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		rows := 3 + rng.Intn(6)
+		cols := 2 + rng.Intn(rows-1)
+		if cols > rows {
+			cols = rows
+		}
+		m := RandomMDS(rows, cols, rng)
+		// Random subset of cols rows must be invertible.
+		perm := rng.Perm(rows)[:cols]
+		if !m.SubmatrixRows(perm).IsInvertible() {
+			t.Fatalf("trial %d: MDS subset %v singular (rows=%d cols=%d)", trial, perm, rows, cols)
+		}
+	}
+}
+
+func TestRandomMDSSquareIsInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := RandomMDS(4, 4, rng)
+	if !m.IsInvertible() {
+		t.Fatal("square RandomMDS not invertible")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := Identity(2).String()
+	if s != "01 00\n00 01\n" {
+		t.Fatalf("unexpected String: %q", s)
+	}
+}
+
+func TestSubmatrixRows(t *testing.T) {
+	m := MatrixFromRows([][]byte{{1, 2}, {3, 4}, {5, 6}})
+	s := m.SubmatrixRows([]int{2, 0})
+	if s.At(0, 0) != 5 || s.At(1, 1) != 2 {
+		t.Fatal("SubmatrixRows wrong content")
+	}
+}
+
+// Property: inverse of inverse is the original matrix.
+func TestInverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(9)
+		m := RandomInvertible(n, rng)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := inv.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(m) {
+			t.Fatalf("trial %d: (m^-1)^-1 != m", trial)
+		}
+	}
+}
+
+func BenchmarkMulTable(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkMulShiftAdd(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= MulSlow(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkMulSlice1500(b *testing.B) {
+	src := make([]byte, 1500)
+	dst := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice(0xb7, src, dst)
+	}
+}
+
+// Ablation (DESIGN.md): deterministic Cauchy MDS construction vs sampling
+// random matrices until one is invertible. Cauchy is O(d'·d) with no
+// retries; random sampling needs a rank check per candidate.
+func BenchmarkAblationMDSConstruction(b *testing.B) {
+	b.Run("cauchy-7x3", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			RandomMDS(7, 3, rng)
+		}
+	})
+	b.Run("random-retry-3x3", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			RandomInvertible(3, rng)
+		}
+	})
+}
+
+func BenchmarkMatrixInverse8(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := RandomInvertible(8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len == Rows*Cols
+}
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("gf: matrix is singular")
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, copying the data.
+func MatrixFromRows(rows [][]byte) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("gf: MatrixFromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("gf: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if m.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns m * o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("gf: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k, a := range mi {
+			if a != 0 {
+				MulSlice(a, o.Row(k), oi)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v where v is a column vector (len == m.Cols).
+func (m *Matrix) MulVec(v []byte) []byte {
+	if len(v) != m.Cols {
+		panic("gf: MulVec dimension mismatch")
+	}
+	out := make([]byte, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var acc byte
+		for j, a := range m.Row(i) {
+			acc ^= Mul(a, v[j])
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// MulBlocks treats blocks as a column vector of equal-length byte blocks and
+// returns m * blocks: out[i] = XOR_j m[i][j]*blocks[j]. This is the encode
+// primitive of information slicing (paper Eq. 3): each output block is one
+// "information slice" payload.
+func (m *Matrix) MulBlocks(blocks [][]byte) [][]byte {
+	if len(blocks) != m.Cols {
+		panic("gf: MulBlocks dimension mismatch")
+	}
+	bl := len(blocks[0])
+	for _, b := range blocks {
+		if len(b) != bl {
+			panic("gf: MulBlocks ragged blocks")
+		}
+	}
+	out := make([][]byte, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		o := make([]byte, bl)
+		for j, c := range m.Row(i) {
+			if c != 0 {
+				MulSlice(c, blocks[j], o)
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan
+// elimination, or ErrSingular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("gf: cannot invert %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize pivot row.
+		if p := work.At(col, col); p != 1 {
+			ip := Inv(p)
+			scaleRow(work, col, ip)
+			scaleRow(inv, col, ip)
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if c := work.At(r, col); c != 0 {
+				addScaledRow(work, r, col, c)
+				addScaledRow(inv, r, col, c)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Rank returns the rank of the matrix.
+func (m *Matrix) Rank() int {
+	work := m.Clone()
+	rank := 0
+	for col := 0; col < work.Cols && rank < work.Rows; col++ {
+		pivot := -1
+		for r := rank; r < work.Rows; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != rank {
+			swapRows(work, pivot, rank)
+		}
+		ip := Inv(work.At(rank, col))
+		scaleRow(work, rank, ip)
+		for r := 0; r < work.Rows; r++ {
+			if r == rank {
+				continue
+			}
+			if c := work.At(r, col); c != 0 {
+				addScaledRow(work, r, rank, c)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// IsInvertible reports whether the matrix is square with full rank.
+func (m *Matrix) IsInvertible() bool {
+	return m.Rows == m.Cols && m.Rank() == m.Rows
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+func scaleRow(m *Matrix, r int, c byte) {
+	row := m.Row(r)
+	for i := range row {
+		row[i] = Mul(row[i], c)
+	}
+}
+
+// addScaledRow does row[dst] ^= c * row[src].
+func addScaledRow(m *Matrix, dst, src int, c byte) {
+	MulSlice(c, m.Row(src), m.Row(dst))
+}
+
+// RandomInvertible returns a uniformly random invertible n×n matrix, sampling
+// candidates until one has full rank (the paper's "random but invertible
+// d×d matrix A", §4.1). The expected number of retries is tiny: a random
+// matrix over GF(256) is singular with probability ≈ 1/255.
+func RandomInvertible(n int, rng *rand.Rand) *Matrix {
+	for {
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = byte(rng.Intn(Order))
+		}
+		if m.IsInvertible() {
+			return m
+		}
+	}
+}
+
+// Cauchy returns a rows×cols Cauchy matrix: element (i,j) = 1/(x_i + y_j)
+// with all x_i, y_j distinct. Every square submatrix of a Cauchy matrix is
+// invertible, so any `cols` rows of the result are linearly independent —
+// exactly the property the paper requires of the redundant d'×d matrix A'
+// (§4.4b). Requires rows+cols <= 256.
+func Cauchy(rows, cols int) *Matrix {
+	if rows+cols > Order {
+		panic("gf: Cauchy matrix needs rows+cols <= 256")
+	}
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		xi := byte(i)
+		for j := 0; j < cols; j++ {
+			yj := byte(rows + j)
+			m.Set(i, j, Inv(Add(xi, yj)))
+		}
+	}
+	return m
+}
+
+// RandomMDS returns a rows×cols matrix with the any-cols-rows-independent
+// property, randomized so two flows never share coefficients: it multiplies a
+// Cauchy matrix on the right by a random invertible cols×cols matrix, which
+// preserves the MDS property (submatrix ranks are invariant under right
+// multiplication by an invertible matrix).
+func RandomMDS(rows, cols int, rng *rand.Rand) *Matrix {
+	if rows == cols {
+		return RandomInvertible(rows, rng)
+	}
+	return Cauchy(rows, cols).Mul(RandomInvertible(cols, rng))
+}
+
+// SubmatrixRows returns a new matrix made of the given rows, in order.
+func (m *Matrix) SubmatrixRows(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// String renders the matrix in hex for diagnostics.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(fmtElem(m.At(r, c)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package metrics provides the small statistics and table-formatting
+// helpers the experiment harnesses share: means, deviations, confidence
+// intervals, and fixed-width series printers that emit the rows of the
+// paper's tables and figures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval of the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * Stddev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Series is one plotted line: y values indexed by x.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders experiment output with one row per x value and one column
+// per series — the textual equivalent of a paper figure.
+type Table struct {
+	Title  string
+	XLabel string
+	series []*Series
+}
+
+// NewTable creates a table.
+func NewTable(title, xlabel string) *Table {
+	return &Table{Title: title, XLabel: xlabel}
+}
+
+// AddSeries registers a named series; call Series.Add to fill it.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.series = append(t.series, s)
+	return s
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	cols := []string{t.XLabel}
+	for _, s := range t.series {
+		cols = append(cols, s.Name)
+	}
+	fmt.Fprintf(w, "%s\n", strings.Join(pad(cols), "  "))
+	// Collect the union of x values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range t.series {
+			v, ok := lookup(s, x)
+			if ok {
+				row = append(row, fmt.Sprintf("%.4g", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		fmt.Fprintf(w, "%s\n", strings.Join(pad(row), "  "))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func lookup(s *Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func pad(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = fmt.Sprintf("%-14s", c)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev %v", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single sample CI")
+	}
+	xs := []float64{1, 1, 1, 1}
+	if CI95(xs) != 0 {
+		t.Fatal("constant data CI should be 0")
+	}
+	if CI95([]float64{0, 10, 0, 10}) <= 0 {
+		t.Fatal("CI should be positive for varying data")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Fig. X: demo", "x")
+	a := tab.AddSeries("alpha")
+	b := tab.AddSeries("beta")
+	a.Add(1, 0.5)
+	a.Add(2, 0.25)
+	b.Add(1, 0.9)
+	// beta has no point at x=2: rendered as "-".
+	out := tab.String()
+	if !strings.Contains(out, "Fig. X: demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatal("missing series names")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, two x rows
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Fatalf("missing gap marker: %q", lines[3])
+	}
+}

@@ -1,0 +1,208 @@
+package onion
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	mrand "math/rand"
+
+	"infoslicing/internal/erasure"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/slcrypto"
+	"infoslicing/internal/wire"
+)
+
+// Circuit is the sender's view of one onion path.
+type Circuit struct {
+	Path    []wire.NodeID // relays in order; the last is the destination
+	entryID uint64        // circuit id on the first hop
+	keys    []slcrypto.SymmetricKey
+}
+
+// Sender originates onion circuits and streams data down them.
+type Sender struct {
+	id  wire.NodeID
+	tr  overlay.Transport
+	dir *Directory
+	rng *mrand.Rand
+	// CellPayload is the plaintext bytes per data cell (default 1200).
+	CellPayload int
+	keyRand     io.Reader
+}
+
+// NewSender creates a sender rooted at the given overlay node. keyRand
+// feeds key generation and sealing IVs (tests pass a seeded reader).
+func NewSender(id wire.NodeID, tr overlay.Transport, dir *Directory, rng *mrand.Rand, keyRand io.Reader) *Sender {
+	return &Sender{id: id, tr: tr, dir: dir, rng: rng, CellPayload: 1200, keyRand: keyRand}
+}
+
+// BuildCircuit constructs and transmits the layered setup message for the
+// path. The last node of the path becomes the circuit's receiver.
+func (s *Sender) BuildCircuit(path []wire.NodeID) (*Circuit, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("onion: empty path")
+	}
+	c := &Circuit{Path: append([]wire.NodeID(nil), path...)}
+	circIDs := make([]uint64, len(path))
+	c.keys = make([]slcrypto.SymmetricKey, len(path))
+	for i := range path {
+		circIDs[i] = randUint64(s.rng)
+		k, err := slcrypto.NewSymmetricKey(s.keyRand)
+		if err != nil {
+			return nil, err
+		}
+		c.keys[i] = k
+	}
+	c.entryID = circIDs[0]
+
+	// Build the onion inside-out.
+	var inner []byte
+	for i := len(path) - 1; i >= 0; i-- {
+		var next wire.NodeID
+		var nextCirc uint64
+		receiver := byte(0)
+		if i == len(path)-1 {
+			receiver = 1
+		} else {
+			next = path[i+1]
+			nextCirc = circIDs[i+1]
+		}
+		layer := make([]byte, 17+len(inner))
+		binary.BigEndian.PutUint32(layer, uint32(next))
+		binary.BigEndian.PutUint64(layer[4:], nextCirc)
+		layer[12] = receiver
+		binary.BigEndian.PutUint32(layer[13:], uint32(len(inner)))
+		copy(layer[17:], inner)
+
+		ident, ok := s.dir.Identity(path[i])
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoIdentity, path[i])
+		}
+		wrapped, err := slcrypto.WrapKey(s.keyRand, ident.Public(), c.keys[i])
+		if err != nil {
+			return nil, err
+		}
+		sealed, err := c.keys[i].Seal(s.keyRand, layer)
+		if err != nil {
+			return nil, err
+		}
+		env := make([]byte, 2+len(wrapped)+len(sealed))
+		binary.BigEndian.PutUint16(env, uint16(len(wrapped)))
+		copy(env[2:], wrapped)
+		copy(env[2+len(wrapped):], sealed)
+		inner = env
+	}
+	frame := make([]byte, 9+len(inner))
+	frame[0] = msgSetup
+	binary.BigEndian.PutUint64(frame[1:], c.entryID)
+	copy(frame[9:], inner)
+	if err := s.tr.Send(s.id, path[0], frame); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// sendCell pushes one receiver-format cell down the circuit, layering the
+// symmetric encryption outside-in so each relay strips one layer.
+func (s *Sender) sendCell(c *Circuit, cell []byte) error {
+	body := cell
+	for i := len(c.keys) - 1; i >= 0; i-- {
+		sealed, err := c.keys[i].Seal(s.keyRand, body)
+		if err != nil {
+			return err
+		}
+		body = sealed
+	}
+	frame := make([]byte, 9+len(body))
+	frame[0] = msgData
+	binary.BigEndian.PutUint64(frame[1:], c.entryID)
+	copy(frame[9:], body)
+	return s.tr.Send(s.id, c.Path[0], frame)
+}
+
+// Send streams msg down a single circuit (shard 0 of a degenerate (1,1)
+// code), the plain onion-routing data path of §7.
+func (s *Sender) Send(c *Circuit, transferID uint64, msg []byte) error {
+	codec, err := erasure.New(1, 1)
+	if err != nil {
+		return err
+	}
+	shards, err := codec.EncodeMessage(msg)
+	if err != nil {
+		return err
+	}
+	return s.sendShard(c, transferID, 0, 1, 1, shards[0])
+}
+
+func (s *Sender) sendShard(c *Circuit, transferID uint64, shard, d, dp int, data []byte) error {
+	cellPay := s.CellPayload
+	total := (len(data) + cellPay - 1) / cellPay
+	if total == 0 {
+		total = 1
+	}
+	for i := 0; i < total; i++ {
+		lo := i * cellPay
+		hi := lo + cellPay
+		if hi > len(data) {
+			hi = len(data)
+		}
+		cell := make([]byte, 22+hi-lo)
+		binary.BigEndian.PutUint64(cell, transferID)
+		binary.BigEndian.PutUint16(cell[8:], uint16(shard))
+		binary.BigEndian.PutUint16(cell[10:], uint16(d))
+		binary.BigEndian.PutUint16(cell[12:], uint16(dp))
+		binary.BigEndian.PutUint32(cell[14:], uint32(i))
+		binary.BigEndian.PutUint32(cell[18:], uint32(total))
+		copy(cell[22:], data[lo:hi])
+		if err := s.sendCell(c, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiCircuit is the "onion routing with erasure codes" baseline (§8.1):
+// d' circuits, message split into d data shards plus parity.
+type MultiCircuit struct {
+	Circuits []*Circuit
+	D        int
+}
+
+// BuildMultiCircuit builds d' vertex-disjoint circuits. paths[i] must all
+// terminate at the same destination.
+func (s *Sender) BuildMultiCircuit(paths [][]wire.NodeID, d int) (*MultiCircuit, error) {
+	if d < 1 || len(paths) < d {
+		return nil, fmt.Errorf("onion: need at least d=%d paths, have %d", d, len(paths))
+	}
+	mc := &MultiCircuit{D: d}
+	for _, p := range paths {
+		c, err := s.BuildCircuit(p)
+		if err != nil {
+			return nil, err
+		}
+		mc.Circuits = append(mc.Circuits, c)
+	}
+	return mc, nil
+}
+
+// SendErasure Reed-Solomon-codes msg into one shard per circuit; the
+// destination reconstructs from any D complete shards. Redundancy lost to a
+// failed circuit is gone for good — the contrast with slicing's in-network
+// regeneration.
+func (s *Sender) SendErasure(mc *MultiCircuit, transferID uint64, msg []byte) error {
+	codec, err := erasure.New(mc.D, len(mc.Circuits))
+	if err != nil {
+		return err
+	}
+	shards, err := codec.EncodeMessage(msg)
+	if err != nil {
+		return err
+	}
+	for i, c := range mc.Circuits {
+		if err := s.sendShard(c, transferID, i, mc.D, len(mc.Circuits), shards[i]); err != nil {
+			// A dead entry node fails the whole shard; the code absorbs it.
+			continue
+		}
+	}
+	return nil
+}

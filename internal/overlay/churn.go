@@ -1,0 +1,142 @@
+package overlay
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// Failer is the churn-facing side of a transport.
+type Failer interface {
+	Fail(id wire.NodeID)
+	Revive(id wire.NodeID)
+}
+
+// ChurnModel describes node lifetime behaviour. The paper's failure-prone
+// PlanetLab nodes have "perceived lifetimes of less than 20 minutes" (§8.2);
+// an exponential lifetime with that mean reproduces the same per-session
+// failure probability.
+type ChurnModel struct {
+	// MeanLifetime is the mean of the exponential time-to-failure.
+	MeanLifetime time.Duration
+	// Rejoin, if positive, revives a failed node after this mean delay
+	// (churn = departures plus arrivals).
+	Rejoin time.Duration
+}
+
+// FailureProbability returns the probability that a node with this model
+// fails at least once during a session of the given length — the p of the
+// analysis in §8.1.
+func (m ChurnModel) FailureProbability(session time.Duration) float64 {
+	if m.MeanLifetime <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-float64(session)/float64(m.MeanLifetime))
+}
+
+// Churner drives failures on a transport according to a ChurnModel.
+type Churner struct {
+	model ChurnModel
+	f     Failer
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	mu      sync.Mutex
+	stopped bool
+	timers  []*time.Timer
+	failed  map[wire.NodeID]bool
+}
+
+// NewChurner creates a churner over the given transport.
+func NewChurner(model ChurnModel, f Failer, rng *rand.Rand) *Churner {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Churner{model: model, f: f, rng: rng, failed: make(map[wire.NodeID]bool)}
+}
+
+// Watch schedules an exponential time-to-failure for each node. Call once
+// per session; Stop cancels outstanding timers.
+func (c *Churner) Watch(ids ...wire.NodeID) {
+	for _, id := range ids {
+		c.scheduleFail(id)
+	}
+}
+
+func (c *Churner) scheduleFail(id wire.NodeID) {
+	if c.model.MeanLifetime <= 0 {
+		return
+	}
+	d := c.expDuration(c.model.MeanLifetime)
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		c.failed[id] = true
+		c.mu.Unlock()
+		c.f.Fail(id)
+		if c.model.Rejoin > 0 {
+			c.scheduleRevive(id)
+		}
+	})
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+}
+
+func (c *Churner) scheduleRevive(id wire.NodeID) {
+	d := c.expDuration(c.model.Rejoin)
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	t := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		delete(c.failed, id)
+		c.mu.Unlock()
+		c.f.Revive(id)
+		c.scheduleFail(id)
+	})
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+}
+
+func (c *Churner) expDuration(mean time.Duration) time.Duration {
+	c.rngMu.Lock()
+	v := c.rng.ExpFloat64()
+	c.rngMu.Unlock()
+	return time.Duration(v * float64(mean))
+}
+
+// FailedCount reports how many nodes are currently failed.
+func (c *Churner) FailedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.failed)
+}
+
+// Stop cancels all pending churn events.
+func (c *Churner) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	timers := c.timers
+	c.timers = nil
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}

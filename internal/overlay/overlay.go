@@ -1,0 +1,287 @@
+// Package overlay provides the peer-to-peer substrate that information
+// slicing runs over: node identities, transports that deliver packets
+// between nodes, network profiles that emulate LAN and PlanetLab conditions
+// (§7), and a churn controller that fails nodes mid-transfer (§8).
+//
+// Two transports are provided. ChanNetwork is an in-process network with
+// configurable per-node bandwidth, link latency, and loss — the workhorse
+// for experiments, since one machine can host hundreds of relay goroutines.
+// TCPNetwork runs the identical byte protocol over real loopback sockets for
+// end-to-end validation with the OS network stack in the path.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// Handler consumes a raw packet addressed to an attached node.
+type Handler func(from wire.NodeID, data []byte)
+
+// Transport moves opaque datagrams between overlay nodes.
+type Transport interface {
+	// Attach registers a node and its packet handler.
+	Attach(id wire.NodeID, h Handler) error
+	// Detach removes a node; subsequent sends to it are dropped.
+	Detach(id wire.NodeID)
+	// Send delivers data from one node to another, subject to the
+	// transport's failure and shaping model. Errors are best-effort: a nil
+	// return does not guarantee delivery (datagram semantics).
+	Send(from, to wire.NodeID, data []byte) error
+}
+
+// Errors.
+var (
+	ErrDuplicateNode = errors.New("overlay: node already attached")
+	ErrUnknownNode   = errors.New("overlay: unknown node")
+	ErrNodeDown      = errors.New("overlay: node is down")
+)
+
+// Profile shapes traffic to emulate a deployment environment.
+type Profile struct {
+	Name string
+
+	// LatencyMin/Max bound the one-way link delay, drawn uniformly.
+	LatencyMin, LatencyMax time.Duration
+
+	// BandwidthBps caps each node's egress rate; 0 means unlimited.
+	BandwidthBps int64
+
+	// Loss is the independent per-packet drop probability.
+	Loss float64
+
+	// CPUDelayPerKB emulates busy relay hosts (the paper's overloaded
+	// PlanetLab nodes): extra sender-side delay per KB processed.
+	CPUDelayPerKB time.Duration
+}
+
+// LAN models the paper's 1 Gb/s switched local network of 2.8 GHz hosts
+// (§7): negligible latency, high per-node bandwidth, no loss.
+func LAN() Profile {
+	return Profile{
+		Name:         "lan",
+		LatencyMin:   200 * time.Microsecond,
+		LatencyMax:   500 * time.Microsecond,
+		BandwidthBps: 1_000_000_000,
+	}
+}
+
+// PlanetLab models the paper's wide-area testbed (§7): intercontinental
+// RTTs, heavily loaded hosts, modest per-node bandwidth, occasional loss.
+func PlanetLab() Profile {
+	return Profile{
+		Name:          "planetlab",
+		LatencyMin:    30 * time.Millisecond,
+		LatencyMax:    120 * time.Millisecond,
+		BandwidthBps:  8_000_000,
+		Loss:          0.005,
+		CPUDelayPerKB: 40 * time.Microsecond,
+	}
+}
+
+// Unshaped returns a profile with no artificial delays — raw in-memory
+// speed, useful for unit tests and CPU-bound benchmarks.
+func Unshaped() Profile { return Profile{Name: "unshaped"} }
+
+// ChanNetwork is the in-memory transport.
+type ChanNetwork struct {
+	profile Profile
+
+	mu    sync.RWMutex
+	nodes map[wire.NodeID]*chanEndpoint
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	bytesSent atomic.Int64
+	pktsSent  atomic.Int64
+	pktsLost  atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type chanEndpoint struct {
+	handler Handler
+	down    atomic.Bool
+	// egressFree is the virtual time at which the node's uplink is free;
+	// token-bucket-style serialization of sends.
+	mu         sync.Mutex
+	egressFree time.Time
+}
+
+// NewChanNetwork creates an in-memory network with the given profile. The
+// rng drives latency jitter and loss; it is locked internally.
+func NewChanNetwork(p Profile, rng *rand.Rand) *ChanNetwork {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &ChanNetwork{
+		profile: p,
+		nodes:   make(map[wire.NodeID]*chanEndpoint),
+		rng:     rng,
+	}
+}
+
+// Profile returns the network's shaping profile.
+func (n *ChanNetwork) Profile() Profile { return n.profile }
+
+// Attach implements Transport.
+func (n *ChanNetwork) Attach(id wire.NodeID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = &chanEndpoint{handler: h}
+	return nil
+}
+
+// Detach implements Transport.
+func (n *ChanNetwork) Detach(id wire.NodeID) {
+	n.mu.Lock()
+	delete(n.nodes, id)
+	n.mu.Unlock()
+}
+
+// Fail marks a node as crashed: it stops receiving and sending but stays
+// attached (the churn model of §8 — hosts become unreachable, they do not
+// deregister).
+func (n *ChanNetwork) Fail(id wire.NodeID) {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	if ep != nil {
+		ep.down.Store(true)
+	}
+}
+
+// Revive brings a failed node back.
+func (n *ChanNetwork) Revive(id wire.NodeID) {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	if ep != nil {
+		ep.down.Store(false)
+	}
+}
+
+// Down reports whether the node is currently failed.
+func (n *ChanNetwork) Down(id wire.NodeID) bool {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	return ep == nil || ep.down.Load()
+}
+
+// Send implements Transport. Delivery happens on a separate goroutine after
+// the shaped delay; ordering between sends from the same node is preserved
+// by the egress serialization only when bandwidth shaping is on.
+func (n *ChanNetwork) Send(from, to wire.NodeID, data []byte) error {
+	if n.closed.Load() {
+		return nil
+	}
+	n.mu.RLock()
+	src := n.nodes[from]
+	dst := n.nodes[to]
+	n.mu.RUnlock()
+	if src == nil {
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	if src.down.Load() {
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if dst == nil || dst.down.Load() {
+		// Receiver unknown or crashed: silently dropped, like the real
+		// network.
+		n.pktsLost.Add(1)
+		return nil
+	}
+	n.pktsSent.Add(1)
+	n.bytesSent.Add(int64(len(data)))
+
+	delay := n.sendDelay(src, len(data))
+	if n.dropPacket() {
+		n.pktsLost.Add(1)
+		return nil
+	}
+	payload := append([]byte(nil), data...)
+	if delay == 0 {
+		// Fast path: immediate asynchronous delivery.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if !dst.down.Load() && !n.closed.Load() {
+				dst.handler(from, payload)
+			}
+		}()
+		return nil
+	}
+	n.wg.Add(1)
+	timer := time.AfterFunc(delay, func() {
+		defer n.wg.Done()
+		if !dst.down.Load() && !n.closed.Load() {
+			dst.handler(from, payload)
+		}
+	})
+	_ = timer
+	return nil
+}
+
+// sendDelay computes the shaped delay: serialization on the sender's uplink
+// plus propagation latency plus CPU cost.
+func (n *ChanNetwork) sendDelay(src *chanEndpoint, size int) time.Duration {
+	p := n.profile
+	var delay time.Duration
+	if p.BandwidthBps > 0 {
+		tx := time.Duration(float64(size) * 8 / float64(p.BandwidthBps) * float64(time.Second))
+		src.mu.Lock()
+		now := time.Now()
+		start := src.egressFree
+		if start.Before(now) {
+			start = now
+		}
+		src.egressFree = start.Add(tx)
+		delay += src.egressFree.Sub(now)
+		src.mu.Unlock()
+	}
+	if p.LatencyMax > 0 {
+		span := p.LatencyMax - p.LatencyMin
+		var jitter time.Duration
+		if span > 0 {
+			n.rngMu.Lock()
+			jitter = time.Duration(n.rng.Int63n(int64(span)))
+			n.rngMu.Unlock()
+		}
+		delay += p.LatencyMin + jitter
+	}
+	if p.CPUDelayPerKB > 0 {
+		delay += time.Duration(float64(p.CPUDelayPerKB) * float64(size) / 1024)
+	}
+	return delay
+}
+
+func (n *ChanNetwork) dropPacket() bool {
+	if n.profile.Loss <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < n.profile.Loss
+}
+
+// Stats reports cumulative network counters.
+func (n *ChanNetwork) Stats() (pkts, bytes, lost int64) {
+	return n.pktsSent.Load(), n.bytesSent.Load(), n.pktsLost.Load()
+}
+
+// Close stops delivering packets and waits for in-flight deliveries.
+func (n *ChanNetwork) Close() {
+	n.closed.Store(true)
+	n.wg.Wait()
+}

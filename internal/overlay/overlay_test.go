@@ -1,0 +1,395 @@
+package overlay
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+type sink struct {
+	mu   sync.Mutex
+	msgs []struct {
+		from wire.NodeID
+		data []byte
+	}
+	notify chan struct{}
+}
+
+func newSink() *sink { return &sink{notify: make(chan struct{}, 1024)} }
+
+func (s *sink) handler(from wire.NodeID, data []byte) {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, struct {
+		from wire.NodeID
+		data []byte
+	}{from, data})
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+func (s *sink) waitFor(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for s.count() < n {
+		select {
+		case <-s.notify:
+		case <-deadline:
+			t.Fatalf("timeout: have %d of %d messages", s.count(), n)
+		}
+	}
+}
+
+func TestChanNetworkBasicDelivery(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(1)))
+	defer n.Close()
+	s := newSink()
+	if err := n.Attach(1, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(2, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(2, 1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitFor(t, 1, time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.msgs[0].from != 2 || !bytes.Equal(s.msgs[0].data, []byte("hello")) {
+		t.Fatalf("wrong message: %+v", s.msgs[0])
+	}
+}
+
+func TestChanNetworkDuplicateAttach(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(1)))
+	defer n.Close()
+	if err := n.Attach(1, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(1, func(wire.NodeID, []byte) {}); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestChanNetworkUnknownSender(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(1)))
+	defer n.Close()
+	if err := n.Send(5, 6, []byte("x")); err == nil {
+		t.Fatal("unknown sender accepted")
+	}
+}
+
+func TestChanNetworkFailedNodesDropTraffic(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(1)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	n.Fail(1)
+	if !n.Down(1) {
+		t.Fatal("Down(1) should be true")
+	}
+	if err := n.Send(2, 1, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	// Failed sender errors.
+	n.Fail(2)
+	if err := n.Send(2, 1, []byte("x")); err == nil {
+		t.Fatal("failed sender should error")
+	}
+	n.Revive(1)
+	n.Revive(2)
+	if n.Down(1) {
+		t.Fatal("revive failed")
+	}
+	n.Send(2, 1, []byte("back"))
+	s.waitFor(t, 1, time.Second)
+	if s.count() != 1 {
+		t.Fatalf("expected only post-revive message, got %d", s.count())
+	}
+}
+
+func TestChanNetworkLatencyShaping(t *testing.T) {
+	p := Unshaped()
+	p.LatencyMin, p.LatencyMax = 30*time.Millisecond, 31*time.Millisecond
+	n := NewChanNetwork(p, rand.New(rand.NewSource(2)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	start := time.Now()
+	n.Send(2, 1, []byte("timed"))
+	s.waitFor(t, 1, time.Second)
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("latency not applied: %v", el)
+	}
+}
+
+func TestChanNetworkBandwidthSerializes(t *testing.T) {
+	p := Unshaped()
+	p.BandwidthBps = 800_000 // 100 KB/s: 10 KB takes 100 ms
+	n := NewChanNetwork(p, rand.New(rand.NewSource(3)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	start := time.Now()
+	payload := make([]byte, 10_000)
+	for i := 0; i < 3; i++ {
+		n.Send(2, 1, payload)
+	}
+	s.waitFor(t, 3, 5*time.Second)
+	if el := time.Since(start); el < 250*time.Millisecond {
+		t.Fatalf("bandwidth cap not enforced: %v", el)
+	}
+}
+
+func TestChanNetworkLoss(t *testing.T) {
+	p := Unshaped()
+	p.Loss = 1.0
+	n := NewChanNetwork(p, rand.New(rand.NewSource(4)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	for i := 0; i < 50; i++ {
+		n.Send(2, 1, []byte("x"))
+	}
+	time.Sleep(50 * time.Millisecond)
+	if s.count() != 0 {
+		t.Fatalf("loss=1.0 delivered %d packets", s.count())
+	}
+	_, _, lost := n.Stats()
+	if lost != 50 {
+		t.Fatalf("lost counter %d", lost)
+	}
+}
+
+func TestChanNetworkStats(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(5)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	n.Send(2, 1, make([]byte, 100))
+	s.waitFor(t, 1, time.Second)
+	pkts, bytes_, _ := n.Stats()
+	if pkts != 1 || bytes_ != 100 {
+		t.Fatalf("stats: %d pkts %d bytes", pkts, bytes_)
+	}
+}
+
+func TestChanNetworkSenderDataIsolation(t *testing.T) {
+	// Mutating the buffer after Send must not corrupt delivery.
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(6)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	buf := []byte("original")
+	n.Send(2, 1, buf)
+	copy(buf, "CLOBBER!")
+	s.waitFor(t, 1, time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !bytes.Equal(s.msgs[0].data, []byte("original")) {
+		t.Fatal("delivered data aliases sender buffer")
+	}
+}
+
+func TestTCPNetworkDelivery(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	s := newSink()
+	if err := n.Attach(1, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(2, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Addr(1); !ok {
+		t.Fatal("missing addr")
+	}
+	for i := 0; i < 10; i++ {
+		if err := n.Send(2, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.waitFor(t, 10, 2*time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.msgs {
+		if m.from != 2 {
+			t.Fatalf("wrong sender %d", m.from)
+		}
+	}
+}
+
+func TestTCPNetworkLargeFrames(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	big := make([]byte, 1<<20)
+	rand.New(rand.NewSource(7)).Read(big)
+	if err := n.Send(2, 1, big); err != nil {
+		t.Fatal(err)
+	}
+	s.waitFor(t, 1, 5*time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !bytes.Equal(s.msgs[0].data, big) {
+		t.Fatal("large frame corrupted")
+	}
+}
+
+func TestTCPNetworkFailStopsDelivery(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	var got atomic.Int64
+	n.Attach(1, func(wire.NodeID, []byte) { got.Add(1) })
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	n.Fail(1)
+	n.Send(2, 1, []byte("lost"))
+	time.Sleep(50 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("failed node received data")
+	}
+	if err := n.Send(1, 2, []byte("x")); err == nil {
+		t.Fatal("failed sender should error")
+	}
+	n.Revive(1)
+	n.Send(2, 1, []byte("hello"))
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Load() == 0 {
+		t.Fatal("revived node got nothing")
+	}
+}
+
+func TestTCPNetworkDuplicateAttach(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	n.Attach(1, func(wire.NodeID, []byte) {})
+	if err := n.Attach(1, func(wire.NodeID, []byte) {}); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestTCPNetworkDetach(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+	n.Detach(1)
+	if err := n.Send(2, 1, []byte("gone")); err != nil {
+		t.Fatal(err) // datagram semantics: no error, just dropped
+	}
+	time.Sleep(30 * time.Millisecond)
+	if s.count() != 0 {
+		t.Fatal("detached node received data")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	lan, pl := LAN(), PlanetLab()
+	if lan.BandwidthBps <= pl.BandwidthBps {
+		t.Fatal("LAN should be faster than PlanetLab")
+	}
+	if lan.LatencyMax >= pl.LatencyMin {
+		t.Fatal("LAN latency should be below PlanetLab latency")
+	}
+	if Unshaped().BandwidthBps != 0 {
+		t.Fatal("unshaped should be unlimited")
+	}
+}
+
+func TestChurnModelFailureProbability(t *testing.T) {
+	m := ChurnModel{MeanLifetime: 20 * time.Minute}
+	p30 := m.FailureProbability(30 * time.Minute)
+	if p30 < 0.7 || p30 > 0.85 { // 1-e^-1.5 ≈ 0.777
+		t.Fatalf("p(30min)=%v", p30)
+	}
+	if (ChurnModel{}).FailureProbability(time.Hour) != 0 {
+		t.Fatal("zero model should never fail")
+	}
+	if m.FailureProbability(0) != 0 {
+		t.Fatal("zero session should never fail")
+	}
+}
+
+func TestChurnerFailsNodes(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(8)))
+	defer n.Close()
+	ids := make([]wire.NodeID, 20)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+		n.Attach(ids[i], func(wire.NodeID, []byte) {})
+	}
+	ch := NewChurner(ChurnModel{MeanLifetime: 10 * time.Millisecond}, n, rand.New(rand.NewSource(9)))
+	defer ch.Stop()
+	ch.Watch(ids...)
+	deadline := time.Now().Add(2 * time.Second)
+	for ch.FailedCount() < 15 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ch.FailedCount() < 15 {
+		t.Fatalf("only %d nodes failed", ch.FailedCount())
+	}
+}
+
+func TestChurnerRejoin(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(10)))
+	defer n.Close()
+	n.Attach(1, func(wire.NodeID, []byte) {})
+	ch := NewChurner(ChurnModel{
+		MeanLifetime: 5 * time.Millisecond,
+		Rejoin:       5 * time.Millisecond,
+	}, n, rand.New(rand.NewSource(11)))
+	defer ch.Stop()
+	ch.Watch(1)
+	// Node should cycle: observe at least one failure and one revival.
+	sawDown, sawUp := false, false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !(sawDown && sawUp) {
+		if n.Down(1) {
+			sawDown = true
+		} else if sawDown {
+			sawUp = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawDown || !sawUp {
+		t.Fatalf("churn cycle incomplete: down=%v up=%v", sawDown, sawUp)
+	}
+}
+
+func TestChurnerStopCancels(t *testing.T) {
+	n := NewChanNetwork(Unshaped(), rand.New(rand.NewSource(12)))
+	defer n.Close()
+	n.Attach(1, func(wire.NodeID, []byte) {})
+	ch := NewChurner(ChurnModel{MeanLifetime: time.Hour}, n, rand.New(rand.NewSource(13)))
+	ch.Watch(1)
+	ch.Stop()
+	if ch.FailedCount() != 0 {
+		t.Fatal("stop should leave nothing failed")
+	}
+}

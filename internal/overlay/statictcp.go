@@ -1,0 +1,205 @@
+package overlay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"infoslicing/internal/wire"
+)
+
+// StaticTCP is a cross-process TCP transport: every overlay node has a
+// pre-agreed listen address (the "address book"), so independent processes
+// — one relay daemon per process, as in the paper's PlanetLab deployment
+// (§7.1) — can form one overlay. Framing matches TCPNetwork: 4-byte length,
+// 4-byte sender id, payload.
+//
+// Only the nodes attached in this process listen; Send can reach any node
+// in the book, local or remote.
+type StaticTCP struct {
+	mu     sync.RWMutex
+	book   map[wire.NodeID]string
+	local  map[wire.NodeID]*tcpEndpoint
+	conns  map[connKey]net.Conn
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewStaticTCP creates a transport over the given id→address book.
+func NewStaticTCP(book map[wire.NodeID]string) *StaticTCP {
+	b := make(map[wire.NodeID]string, len(book))
+	for id, addr := range book {
+		b[id] = addr
+	}
+	return &StaticTCP{
+		book:  b,
+		local: make(map[wire.NodeID]*tcpEndpoint),
+		conns: make(map[connKey]net.Conn),
+	}
+}
+
+// Attach implements Transport: it binds the node's listener at its book
+// address.
+func (s *StaticTCP) Attach(id wire.NodeID, h Handler) error {
+	s.mu.RLock()
+	addr, ok := s.book[id]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d not in address book", ErrUnknownNode, id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("overlay: %w", err)
+	}
+	ep := &tcpEndpoint{handler: h, listener: ln, addr: ln.Addr().String()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrNodeDown
+	}
+	if _, dup := s.local[id]; dup {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	s.local[id] = ep
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				readFrames(conn, func(from wire.NodeID, buf []byte) bool {
+					s.mu.RLock()
+					cur, ok := s.local[id]
+					s.mu.RUnlock()
+					if !ok || cur != ep {
+						return false
+					}
+					h(from, buf)
+					return true
+				})
+			}()
+		}
+	}()
+	return nil
+}
+
+// readFrames parses the shared frame format until EOF or until deliver
+// returns false.
+func readFrames(conn net.Conn, deliver func(wire.NodeID, []byte) bool) {
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:4])
+		from := wire.NodeID(binary.BigEndian.Uint32(hdr[4:]))
+		if size > 64<<20 {
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		if !deliver(from, buf) {
+			return
+		}
+	}
+}
+
+// Detach implements Transport.
+func (s *StaticTCP) Detach(id wire.NodeID) {
+	s.mu.Lock()
+	ep := s.local[id]
+	delete(s.local, id)
+	for k, c := range s.conns {
+		if k.from == id {
+			c.Close()
+			delete(s.conns, k)
+		}
+	}
+	s.mu.Unlock()
+	if ep != nil {
+		ep.listener.Close()
+	}
+}
+
+// Send implements Transport.
+func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
+	s.mu.RLock()
+	addr, ok := s.book[to]
+	s.mu.RUnlock()
+	if !ok {
+		return nil // unknown receiver: datagram semantics
+	}
+	conn, err := s.dial(from, to, addr)
+	if err != nil {
+		return nil // unreachable: dropped
+	}
+	frame := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	binary.BigEndian.PutUint32(frame[4:], uint32(from))
+	copy(frame[8:], data)
+	if _, err := conn.Write(frame); err != nil {
+		s.mu.Lock()
+		delete(s.conns, connKey{from, to})
+		s.mu.Unlock()
+		conn.Close()
+	}
+	return nil
+}
+
+func (s *StaticTCP) dial(from, to wire.NodeID, addr string) (net.Conn, error) {
+	key := connKey{from, to}
+	s.mu.RLock()
+	conn, ok := s.conns[key]
+	s.mu.RUnlock()
+	if ok {
+		return conn, nil
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if existing, ok := s.conns[key]; ok {
+		s.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	s.conns[key] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Close shuts down listeners and connections owned by this process.
+func (s *StaticTCP) Close() {
+	s.mu.Lock()
+	s.closed = true
+	eps := make([]*tcpEndpoint, 0, len(s.local))
+	for _, ep := range s.local {
+		eps = append(eps, ep)
+	}
+	s.local = map[wire.NodeID]*tcpEndpoint{}
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[connKey]net.Conn{}
+	s.mu.Unlock()
+	for _, ep := range eps {
+		ep.listener.Close()
+	}
+	s.wg.Wait()
+}

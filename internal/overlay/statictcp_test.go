@@ -1,0 +1,184 @@
+package overlay
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// freeBook reserves n loopback ports and returns an address book.
+func freeBook(t *testing.T, ids ...wire.NodeID) map[wire.NodeID]string {
+	t.Helper()
+	book := make(map[wire.NodeID]string, len(ids))
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		book[id] = ln.Addr().String()
+		ln.Close()
+	}
+	return book
+}
+
+type tcpSink struct {
+	mu   sync.Mutex
+	msgs [][]byte
+	from []wire.NodeID
+}
+
+func (s *tcpSink) handler(from wire.NodeID, data []byte) {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, data)
+	s.from = append(s.from, from)
+	s.mu.Unlock()
+}
+
+func (s *tcpSink) wait(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		cnt := len(s.msgs)
+		s.mu.Unlock()
+		if cnt >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %d of %d messages", cnt, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStaticTCPDelivery(t *testing.T) {
+	book := freeBook(t, 1, 2)
+	tr := NewStaticTCP(book)
+	defer tr.Close()
+	sink := &tcpSink{}
+	if err := tr.Attach(1, sink.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(2, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tr.Send(2, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink.wait(t, 5, 5*time.Second)
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for i, f := range sink.from {
+		if f != 2 {
+			t.Fatalf("msg %d from %d", i, f)
+		}
+	}
+}
+
+// Two *separate transports* sharing one book — the cross-process scenario
+// collapsed into one test binary.
+func TestStaticTCPCrossProcess(t *testing.T) {
+	book := freeBook(t, 10, 20)
+	procA := NewStaticTCP(book)
+	procB := NewStaticTCP(book)
+	defer procA.Close()
+	defer procB.Close()
+	sink := &tcpSink{}
+	if err := procA.Attach(10, sink.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := procB.Attach(20, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x42}, 4096)
+	if err := procB.Send(20, 10, payload); err != nil {
+		t.Fatal(err)
+	}
+	sink.wait(t, 1, 5*time.Second)
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if !bytes.Equal(sink.msgs[0], payload) {
+		t.Fatal("payload corrupted across transports")
+	}
+}
+
+func TestStaticTCPUnknownNodes(t *testing.T) {
+	book := freeBook(t, 1)
+	tr := NewStaticTCP(book)
+	defer tr.Close()
+	if err := tr.Attach(99, func(wire.NodeID, []byte) {}); err == nil {
+		t.Fatal("attach outside book accepted")
+	}
+	if err := tr.Attach(1, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Sending to an unknown node is a silent drop (datagram semantics).
+	if err := tr.Send(1, 99, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticTCPDuplicateAttach(t *testing.T) {
+	book := freeBook(t, 1)
+	tr := NewStaticTCP(book)
+	defer tr.Close()
+	if err := tr.Attach(1, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(1, func(wire.NodeID, []byte) {}); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestStaticTCPDetachStopsDelivery(t *testing.T) {
+	book := freeBook(t, 1, 2)
+	tr := NewStaticTCP(book)
+	defer tr.Close()
+	sink := &tcpSink{}
+	tr.Attach(1, sink.handler)
+	tr.Attach(2, func(wire.NodeID, []byte) {})
+	tr.Detach(1)
+	tr.Send(2, 1, []byte("gone"))
+	time.Sleep(50 * time.Millisecond)
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.msgs) != 0 {
+		t.Fatal("detached node received data")
+	}
+}
+
+func TestStaticTCPManySenders(t *testing.T) {
+	ids := []wire.NodeID{1, 2, 3, 4, 5}
+	book := freeBook(t, ids...)
+	tr := NewStaticTCP(book)
+	defer tr.Close()
+	sink := &tcpSink{}
+	if err := tr.Attach(1, sink.handler); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		if err := tr.Attach(id, func(wire.NodeID, []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const per = 20
+	var wg sync.WaitGroup
+	for _, id := range ids[1:] {
+		wg.Add(1)
+		go func(id wire.NodeID) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Send(id, 1, []byte(fmt.Sprintf("%d-%d", id, i)))
+			}
+		}(id)
+	}
+	wg.Wait()
+	sink.wait(t, per*4, 5*time.Second)
+}

@@ -1,0 +1,56 @@
+package relay
+
+import (
+	"testing"
+	"time"
+
+	"infoslicing/internal/code"
+	"infoslicing/internal/wire"
+)
+
+func TestPruneRoundsBoundsMemory(t *testing.T) {
+	fs := &flowState{rounds: make(map[uint32]*round)}
+	// Fill far beyond the cap with a mix of handled and stuck rounds.
+	for s := uint32(0); s < maxLiveRounds*2; s++ {
+		fs.rounds[s] = &round{
+			slices:    map[wire.NodeID]code.Slice{},
+			forwarded: s%2 == 0,
+		}
+	}
+	cur := uint32(maxLiveRounds * 2)
+	fs.pruneRounds(cur)
+	// Everything older than a full window is gone; recent unforwarded
+	// rounds survive.
+	if len(fs.rounds) > maxLiveRounds {
+		t.Fatalf("prune left %d rounds", len(fs.rounds))
+	}
+	if _, ok := fs.rounds[0]; ok {
+		t.Fatal("ancient round survived")
+	}
+	// A recent stuck round (within half a window) must survive: its slices
+	// may still arrive.
+	recent := cur - 10
+	fs.rounds[recent] = &round{slices: map[wire.NodeID]code.Slice{}}
+	fs.pruneRounds(cur)
+	if _, ok := fs.rounds[recent]; !ok {
+		t.Fatal("recent round pruned")
+	}
+}
+
+func TestPruneStopsTimers(t *testing.T) {
+	fs := &flowState{rounds: make(map[uint32]*round)}
+	fired := make(chan struct{}, 1)
+	fs.rounds[0] = &round{
+		slices:    map[wire.NodeID]code.Slice{},
+		forwarded: true,
+		timer: time.AfterFunc(50*time.Millisecond, func() {
+			fired <- struct{}{}
+		}),
+	}
+	fs.pruneRounds(maxLiveRounds * 3)
+	select {
+	case <-fired:
+		t.Fatal("pruned round's timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -1,0 +1,685 @@
+// Package relay implements the overlay daemon that every participating node
+// runs (§7.1): a flow table keyed on the clear-text flow-id, slice
+// collection and decoding of the node's own routing block, forwarding along
+// the slice-map and data-map, network-coding regeneration of lost redundancy
+// (§4.4.1), and garbage collection of stale flows.
+//
+// A relay learns nothing about a flow beyond its own PerNodeInfo and the
+// addresses of the previous hops it hears from — the paper's anonymity
+// invariant. In particular it never learns its stage, the source, or
+// (unless it is the destination) the fact that some node is the
+// destination.
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"infoslicing/internal/code"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/wire"
+)
+
+// Config tunes relay timers. The zero value is usable: missing fields take
+// the defaults below.
+type Config struct {
+	// SetupWait bounds how long a relay waits for missing setup packets
+	// after it first hears of a flow before forwarding with what it has.
+	SetupWait time.Duration
+	// RoundWait bounds how long a relay waits for a data round to complete
+	// before forwarding (and, if possible, regenerating) what it has.
+	RoundWait time.Duration
+	// FlowTTL evicts flows with no traffic for this long.
+	FlowTTL time.Duration
+	// GCInterval is how often the flow table is swept.
+	GCInterval time.Duration
+	// MaxFlows bounds the flow table (denial-of-service guard, §9.2).
+	MaxFlows int
+	// Rng seeds padding and recombination; defaults to a time-seeded one.
+	Rng *rand.Rand
+}
+
+func (c *Config) fillDefaults() {
+	if c.SetupWait == 0 {
+		c.SetupWait = 500 * time.Millisecond
+	}
+	if c.RoundWait == 0 {
+		c.RoundWait = 300 * time.Millisecond
+	}
+	if c.FlowTTL == 0 {
+		c.FlowTTL = 2 * time.Minute
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = 10 * time.Second
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = 4096
+	}
+	if c.Rng == nil {
+		c.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+}
+
+// Message is a decrypted application message delivered to the destination.
+type Message struct {
+	Flow wire.FlowID
+	Data []byte
+}
+
+// Stats counts node activity.
+type Stats struct {
+	SetupPacketsIn    int64
+	DataPacketsIn     int64
+	PacketsOut        int64
+	Regenerated       int64 // slices recreated via network coding
+	FlowsEstablished  int64
+	MessagesDelivered int64
+	Dropped           int64 // undeliverable app messages (channel full)
+}
+
+// Node is one overlay relay daemon.
+type Node struct {
+	id  wire.NodeID
+	tr  overlay.Transport
+	cfg Config
+
+	mu    sync.Mutex
+	flows map[wire.FlowID]*flowState
+	stats Stats
+
+	received chan Message
+	done     chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+type flowState struct {
+	// Setup phase. Candidate own-slices are grouped by the split factor d
+	// claimed in their packet header: a forged packet cannot poison the
+	// flow because (d, geometry) are adopted only from the group that
+	// actually decodes into a checksummed routing block.
+	setupPkts map[wire.NodeID]*wire.Packet
+	ownByD    map[int][]code.Slice
+	info      *wire.PerNodeInfo
+	parents   map[wire.NodeID]bool
+	// seen records every previous-hop address observed for this flow; a
+	// last-stage node has an empty slice-map/data-map, so observation is
+	// its only parent knowledge (and all the threat model grants it).
+	seen       map[wire.NodeID]bool
+	setupSent  bool
+	setupTimer *time.Timer
+
+	// Packet geometry, adopted when the routing block decodes. geomByD
+	// remembers the setup slot geometry per claimed d until then.
+	d       int
+	slotLen int
+	nSlots  int
+	geomSet bool
+	geomByD map[int][2]int
+
+	// Data phase.
+	rounds      map[uint32]*round
+	pendingData []pendingPacket
+	// deadParents marks parents that missed a full round; later rounds stop
+	// waiting for them (they are unmarked the moment they speak again).
+	deadParents map[wire.NodeID]bool
+
+	// Receiver-side reassembly.
+	nextSeq uint32
+	chunks  map[uint32][]byte
+	stream  []byte
+
+	// ackSent dedupes the establishment acknowledgment that travels hop by
+	// hop back to the source endpoints (§7.4 measures setup latency with
+	// it). Relays recognise reverse traffic by the sender's address — a
+	// previous/next-hop identity they already hold.
+	ackSent bool
+
+	lastActive time.Time
+}
+
+type pendingPacket struct {
+	from wire.NodeID
+	pkt  *wire.Packet
+}
+
+type round struct {
+	slices    map[wire.NodeID]code.Slice
+	forwarded bool
+	decoded   bool
+	timer     *time.Timer
+}
+
+// maxLiveRounds bounds the per-flow round table: a long-lived flow must not
+// grow relay memory without limit (the flip side of the paper's "small
+// state on overlay nodes" claim, §9.2).
+const maxLiveRounds = 8192
+
+// pruneRounds drops rounds far behind the current sequence number; handled
+// rounds go first, but anything older than a full window is reaped even if
+// it never completed (its missing slices are not coming).
+func (fs *flowState) pruneRounds(cur uint32) {
+	for s, r := range fs.rounds {
+		old := s < cur && cur-s > maxLiveRounds/2
+		if old && (r.forwarded || r.decoded || cur-s > maxLiveRounds) {
+			if r.timer != nil {
+				r.timer.Stop()
+			}
+			delete(fs.rounds, s)
+		}
+	}
+}
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("relay: node closed")
+
+// New attaches a relay daemon to the transport.
+func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
+	cfg.fillDefaults()
+	n := &Node{
+		id:       id,
+		tr:       tr,
+		cfg:      cfg,
+		flows:    make(map[wire.FlowID]*flowState),
+		received: make(chan Message, 256),
+		done:     make(chan struct{}),
+	}
+	if err := tr.Attach(id, n.onPacket); err != nil {
+		return nil, err
+	}
+	n.wg.Add(1)
+	go n.gcLoop()
+	return n, nil
+}
+
+// ID returns the node's overlay identity.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Received yields messages decrypted by this node when it is a flow's
+// destination.
+func (n *Node) Received() <-chan Message { return n.received }
+
+// Stats returns a snapshot of activity counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Established reports whether the node has decoded its routing info for the
+// given flow (used by setup-latency experiments).
+func (n *Node) Established(f wire.FlowID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fs := n.flows[f]
+	return fs != nil && fs.info != nil
+}
+
+// EstablishedCount returns how many flows this node has decoded info for.
+func (n *Node) EstablishedCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, fs := range n.flows {
+		if fs.info != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Close detaches the node and stops its timers.
+func (n *Node) Close() {
+	n.closeOne.Do(func() {
+		close(n.done)
+		n.tr.Detach(n.id)
+		n.mu.Lock()
+		for _, fs := range n.flows {
+			fs.stopTimers()
+		}
+		n.flows = map[wire.FlowID]*flowState{}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+func (fs *flowState) stopTimers() {
+	if fs.setupTimer != nil {
+		fs.setupTimer.Stop()
+	}
+	for _, r := range fs.rounds {
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+	}
+}
+
+func (n *Node) gcLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.mu.Lock()
+			now := time.Now()
+			for f, fs := range n.flows {
+				if now.Sub(fs.lastActive) > n.cfg.FlowTTL {
+					fs.stopTimers()
+					delete(n.flows, f)
+				}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// onPacket is the transport handler; it runs on transport goroutines.
+func (n *Node) onPacket(from wire.NodeID, data []byte) {
+	pkt, err := wire.UnmarshalPacket(data)
+	if err != nil {
+		return // garbage: drop
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	fs := n.flows[pkt.Flow]
+	if fs == nil {
+		if len(n.flows) >= n.cfg.MaxFlows {
+			return
+		}
+		fs = &flowState{
+			setupPkts: make(map[wire.NodeID]*wire.Packet),
+			ownByD:    make(map[int][]code.Slice),
+			geomByD:   make(map[int][2]int),
+			rounds:    make(map[uint32]*round),
+			chunks:    make(map[uint32][]byte),
+			seen:      make(map[wire.NodeID]bool),
+		}
+		n.flows[pkt.Flow] = fs
+	}
+	if pkt.Type != wire.MsgAck {
+		fs.seen[from] = true
+	}
+	fs.lastActive = time.Now()
+	switch pkt.Type {
+	case wire.MsgSetup:
+		n.stats.SetupPacketsIn++
+		n.handleSetup(pkt.Flow, fs, from, pkt)
+	case wire.MsgData:
+		n.stats.DataPacketsIn++
+		n.handleData(pkt.Flow, fs, from, pkt)
+	case wire.MsgAck:
+		n.handleAck(from)
+	}
+}
+
+// handleAck propagates an establishment acknowledgment one hop toward the
+// source: the ack arrives stamped with the *child's* flow-id, which this
+// node does not know — but it does know the child's address, so it locates
+// every flow that lists the sender among its children and re-stamps the ack
+// with its own flow before forwarding to its parents. Runs with n.mu held.
+func (n *Node) handleAck(from wire.NodeID) {
+	for flow, fs := range n.flows {
+		if fs.info == nil || fs.ackSent {
+			continue
+		}
+		isChild := false
+		for _, c := range fs.info.Children {
+			if c == from {
+				isChild = true
+				break
+			}
+		}
+		if !isChild {
+			continue
+		}
+		n.sendAckLocked(flow, fs)
+	}
+}
+
+// sendAckLocked emits this flow's ack to all parents — those named in the
+// maps plus every observed previous hop (a last-stage receiver has no maps).
+// Runs with n.mu held.
+func (n *Node) sendAckLocked(flow wire.FlowID, fs *flowState) {
+	fs.ackSent = true
+	pkt := &wire.Packet{Type: wire.MsgAck, Flow: flow}
+	buf := pkt.Marshal()
+	targets := make(map[wire.NodeID]bool, len(fs.parents)+len(fs.seen))
+	for p := range fs.parents {
+		targets[p] = true
+	}
+	for p := range fs.seen {
+		targets[p] = true
+	}
+	for p := range targets {
+		n.stats.PacketsOut++
+		n.tr.Send(n.id, p, buf) //nolint:errcheck
+	}
+}
+
+// handleSetup runs with n.mu held.
+func (n *Node) handleSetup(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *wire.Packet) {
+	if fs.setupSent {
+		return // already forwarded; late packets are useless
+	}
+	if _, dup := fs.setupPkts[from]; dup {
+		return
+	}
+	fs.setupPkts[from] = pkt
+	// Slot 0 carries one of our own slices (if it validates; padding and
+	// slices lost upstream do not). The packet's claimed split factor only
+	// labels the candidate group — it becomes authoritative when the group
+	// decodes into a block that passes magic and checksum.
+	d := int(pkt.CoeffLen)
+	if len(pkt.Slots) > 0 && d >= 1 && d <= 64 {
+		if s, err := wire.DecodeSlot(pkt.Slots[0], d); err == nil {
+			fs.ownByD[d] = append(fs.ownByD[d], s)
+			if _, ok := fs.geomByD[d]; !ok {
+				fs.geomByD[d] = [2]int{int(pkt.SlotLen), len(pkt.Slots)}
+			}
+		}
+	}
+	if fs.info == nil {
+		for cand, slices := range fs.ownByD {
+			if !code.Decodable(cand, slices) {
+				continue
+			}
+			blob, err := code.Decode(cand, slices)
+			if err != nil {
+				continue
+			}
+			pi, err := wire.UnmarshalPerNodeInfo(blob)
+			if err != nil {
+				continue
+			}
+			fs.info = pi
+			fs.parents = parentSet(pi)
+			fs.d = cand
+			geom := fs.geomByD[cand]
+			fs.slotLen, fs.nSlots = geom[0], geom[1]
+			fs.geomSet = true
+			n.stats.FlowsEstablished++
+			if pi.Receiver {
+				// Establishment acknowledgment toward the source endpoints
+				// (§7.4): originated by the destination, re-stamped hop by
+				// hop.
+				n.sendAckLocked(f, fs)
+			}
+			// Process any data that raced ahead of the decode.
+			for _, pd := range fs.pendingData {
+				n.handleData(f, fs, pd.from, pd.pkt)
+			}
+			fs.pendingData = nil
+			break
+		}
+	}
+	if fs.info == nil || len(fs.info.Children) == 0 {
+		// Leaf (last stage) or not yet decodable: nothing to forward. If the
+		// flow never decodes, GC reaps it.
+		return
+	}
+	if len(fs.setupPkts) >= len(fs.parents) && fs.parentsAllPresent() {
+		n.forwardSetupLocked(f, fs)
+		return
+	}
+	if fs.setupTimer == nil {
+		fs.setupTimer = time.AfterFunc(n.cfg.SetupWait, func() {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if cur := n.flows[f]; cur == fs && fs.info != nil && !fs.setupSent {
+				n.forwardSetupLocked(f, fs)
+			}
+		})
+	}
+}
+
+func (fs *flowState) parentsAllPresent() bool {
+	for p := range fs.parents {
+		if _, ok := fs.setupPkts[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parentSet(pi *wire.PerNodeInfo) map[wire.NodeID]bool {
+	s := make(map[wire.NodeID]bool)
+	for _, e := range pi.DataMap {
+		s[e.Parent] = true
+	}
+	for _, e := range pi.SliceMap {
+		s[e.Src.Parent] = true
+	}
+	return s
+}
+
+// forwardSetupLocked builds one packet per child: slot 0 and the downstream
+// slots come from the slice-map (each stripped of one scrambling layer);
+// everything else — including slots whose source packet never arrived — is
+// random padding, keeping packet size constant (§9.4c).
+func (n *Node) forwardSetupLocked(f wire.FlowID, fs *flowState) {
+	fs.setupSent = true
+	if fs.setupTimer != nil {
+		fs.setupTimer.Stop()
+	}
+	pi := fs.info
+	out := make([]*wire.Packet, len(pi.Children))
+	for c := range out {
+		slots := make([][]byte, fs.nSlots)
+		for i := range slots {
+			slots[i] = wire.RandomSlot(fs.slotLen, n.cfg.Rng)
+		}
+		out[c] = &wire.Packet{
+			Type:     wire.MsgSetup,
+			Flow:     pi.ChildFlows[c],
+			CoeffLen: uint8(fs.d),
+			SlotLen:  uint16(fs.slotLen),
+			Slots:    slots,
+		}
+	}
+	for _, e := range pi.SliceMap {
+		src, ok := fs.setupPkts[e.Src.Parent]
+		if !ok || int(e.Src.Slot) >= len(src.Slots) {
+			continue // lost upstream: the padding stays
+		}
+		blob := append([]byte(nil), src.Slots[e.Src.Slot]...)
+		if len(blob) != fs.slotLen {
+			continue // malformed or cross-phase packet; keep the padding
+		}
+		e.Unscramble.Invert(blob)
+		if int(e.Child) < len(out) && int(e.DstSlot) < fs.nSlots {
+			out[e.Child].Slots[e.DstSlot] = blob
+		}
+	}
+	for c, ch := range pi.Children {
+		n.stats.PacketsOut++
+		n.tr.Send(n.id, ch, out[c].Marshal()) //nolint:errcheck // datagram semantics
+	}
+	// Setup packets are no longer needed; free the slabs.
+	fs.setupPkts = map[wire.NodeID]*wire.Packet{}
+}
+
+// handleData runs with n.mu held.
+func (n *Node) handleData(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *wire.Packet) {
+	if fs.info == nil {
+		// Data raced ahead of setup; buffer a bounded amount.
+		if len(fs.pendingData) < 1024 {
+			fs.pendingData = append(fs.pendingData, pendingPacket{from, pkt})
+		}
+		return
+	}
+	if len(pkt.Slots) < 1 {
+		return
+	}
+	s, err := wire.DecodeSlot(pkt.Slots[0], fs.d)
+	if err != nil {
+		return
+	}
+	r := fs.rounds[pkt.Seq]
+	if r == nil {
+		r = &round{slices: make(map[wire.NodeID]code.Slice)}
+		fs.rounds[pkt.Seq] = r
+		if len(fs.rounds) > maxLiveRounds {
+			fs.pruneRounds(pkt.Seq)
+		}
+	}
+	if _, dup := r.slices[from]; dup {
+		return
+	}
+	r.slices[from] = s
+	if fs.deadParents[from] {
+		delete(fs.deadParents, from)
+	}
+
+	if fs.info.Receiver && !r.decoded {
+		n.tryDeliverLocked(f, fs, pkt.Seq, r)
+	}
+	if len(fs.info.Children) == 0 {
+		return
+	}
+	if r.forwarded {
+		return
+	}
+	if len(r.slices) >= len(fs.parents)-len(fs.deadParents) {
+		n.forwardRoundLocked(f, fs, pkt.Seq, r)
+		return
+	}
+	if r.timer == nil {
+		r.timer = time.AfterFunc(n.cfg.RoundWait, func() {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if cur := n.flows[f]; cur == fs && !r.forwarded {
+				n.forwardRoundLocked(f, fs, pkt.Seq, r)
+			}
+		})
+	}
+}
+
+// forwardRoundLocked applies the data-map. Missing parents' slices are
+// regenerated by recombining the round's survivors when the node holds
+// enough degrees of freedom (§4.4.1) — the key advantage over end-to-end
+// erasure coding.
+func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *round) {
+	r.forwarded = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	// Parents silent this whole round are presumed down; stop stalling
+	// future rounds on them.
+	if fs.deadParents == nil {
+		fs.deadParents = make(map[wire.NodeID]bool)
+	}
+	for p := range fs.parents {
+		if _, ok := r.slices[p]; !ok {
+			fs.deadParents[p] = true
+		}
+	}
+	pi := fs.info
+	all := make([]code.Slice, 0, len(r.slices))
+	for _, s := range r.slices {
+		all = append(all, s)
+	}
+	canRegen := pi.Recode && code.Decodable(fs.d, all)
+	for _, e := range pi.DataMap {
+		var out code.Slice
+		if s, ok := r.slices[e.Parent]; ok {
+			out = s
+		} else if canRegen {
+			fresh, err := code.Recombine(all, 1, n.cfg.Rng)
+			if err != nil {
+				continue
+			}
+			out = fresh[0]
+			n.stats.Regenerated++
+		} else {
+			continue // cannot serve this child’s slice
+		}
+		if int(e.Child) >= len(pi.Children) {
+			continue
+		}
+		slot := wire.EncodeSlot(out)
+		pkt := &wire.Packet{
+			Type:     wire.MsgData,
+			Flow:     pi.ChildFlows[e.Child],
+			Seq:      seq,
+			CoeffLen: uint8(fs.d),
+			SlotLen:  uint16(len(slot)),
+			Slots:    [][]byte{slot},
+		}
+		n.stats.PacketsOut++
+		n.tr.Send(n.id, pi.Children[e.Child], pkt.Marshal()) //nolint:errcheck
+	}
+	// If the node is not the receiver the slices are dead weight now.
+	if !pi.Receiver {
+		r.slices = map[wire.NodeID]code.Slice{}
+	}
+}
+
+// tryDeliverLocked decodes a round and advances the receiver's reassembly
+// stream: [4-byte sealed length ‖ sealed bytes ‖ next message ...], each
+// chunk independently length-prefixed by the coding layer.
+func (n *Node) tryDeliverLocked(f wire.FlowID, fs *flowState, seq uint32, r *round) {
+	all := make([]code.Slice, 0, len(r.slices))
+	for _, s := range r.slices {
+		all = append(all, s)
+	}
+	if !code.Decodable(fs.d, all) {
+		return
+	}
+	chunk, err := code.Decode(fs.d, all)
+	if err != nil {
+		return
+	}
+	r.decoded = true
+	fs.chunks[seq] = chunk
+	for {
+		c, ok := fs.chunks[fs.nextSeq]
+		if !ok {
+			break
+		}
+		delete(fs.chunks, fs.nextSeq)
+		fs.nextSeq++
+		fs.stream = append(fs.stream, c...)
+	}
+	n.drainStreamLocked(f, fs)
+}
+
+func (n *Node) drainStreamLocked(f wire.FlowID, fs *flowState) {
+	for {
+		if len(fs.stream) < 4 {
+			return
+		}
+		total := int(uint32(fs.stream[0])<<24 | uint32(fs.stream[1])<<16 |
+			uint32(fs.stream[2])<<8 | uint32(fs.stream[3]))
+		if len(fs.stream) < 4+total {
+			return
+		}
+		sealed := fs.stream[4 : 4+total]
+		plain, err := fs.info.Key.Open(sealed)
+		fs.stream = append([]byte(nil), fs.stream[4+total:]...)
+		if err != nil {
+			continue // corrupted message; skip
+		}
+		n.stats.MessagesDelivered++
+		select {
+		case n.received <- Message{Flow: f, Data: plain}:
+		default:
+			n.stats.Dropped++
+		}
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("relay(%d)", n.id)
+}

@@ -1,0 +1,130 @@
+// Package slcrypto holds the small amount of conventional cryptography the
+// system needs.
+//
+// Information slicing itself uses no public-key cryptography — that is the
+// point of the paper. Symmetric keys appear in two places sanctioned by the
+// design:
+//
+//  1. The source sends each relay (and the destination) a symmetric secret
+//     key inside its sliced per-node information (§4.3.1); data messages are
+//     sealed with the destination's key before slicing (§4.3.7).
+//  2. The source shares keys with its pseudo-sources over secure channels
+//     (§3c).
+//
+// RSA identities exist only for the onion-routing baseline (§2, §7), which
+// needs per-node public keys for route setup.
+package slcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key length in bytes (AES-128 + HMAC truncation).
+const KeySize = 16
+
+// SymmetricKey is the per-node secret delivered in the sliced setup message.
+type SymmetricKey [KeySize]byte
+
+// ErrAuth indicates a failed integrity check or malformed ciphertext.
+var ErrAuth = errors.New("slcrypto: authentication failed")
+
+// NewSymmetricKey draws a key from the given randomness source (pass
+// crypto/rand.Reader in production, a seeded reader in tests).
+func NewSymmetricKey(r io.Reader) (SymmetricKey, error) {
+	var k SymmetricKey
+	if _, err := io.ReadFull(r, k[:]); err != nil {
+		return k, fmt.Errorf("slcrypto: %w", err)
+	}
+	return k, nil
+}
+
+// Seal encrypts plaintext with AES-CTR under a random IV drawn from r, and
+// appends an HMAC-SHA256 tag. Layout: iv ‖ ciphertext ‖ tag[:16].
+func (k SymmetricKey) Seal(r io.Reader, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, aes.BlockSize+len(plaintext)+KeySize)
+	iv := out[:aes.BlockSize]
+	if _, err := io.ReadFull(r, iv); err != nil {
+		return nil, fmt.Errorf("slcrypto: %w", err)
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(out[aes.BlockSize:aes.BlockSize+len(plaintext)], plaintext)
+	tag := k.mac(out[:aes.BlockSize+len(plaintext)])
+	copy(out[aes.BlockSize+len(plaintext):], tag[:KeySize])
+	return out, nil
+}
+
+// Open reverses Seal, verifying the tag first.
+func (k SymmetricKey) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < aes.BlockSize+KeySize {
+		return nil, ErrAuth
+	}
+	body := sealed[:len(sealed)-KeySize]
+	tag := sealed[len(sealed)-KeySize:]
+	want := k.mac(body)
+	if !hmac.Equal(tag, want[:KeySize]) {
+		return nil, ErrAuth
+	}
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(body)-aes.BlockSize)
+	cipher.NewCTR(block, body[:aes.BlockSize]).XORKeyStream(pt, body[aes.BlockSize:])
+	return pt, nil
+}
+
+func (k SymmetricKey) mac(msg []byte) [sha256.Size]byte {
+	h := hmac.New(sha256.New, k[:])
+	h.Write(msg)
+	var tag [sha256.Size]byte
+	copy(tag[:], h.Sum(nil))
+	return tag
+}
+
+// Identity is an RSA keypair for the onion baseline. Information slicing
+// relays never have one.
+type Identity struct {
+	Private *rsa.PrivateKey
+}
+
+// Public returns the public half.
+func (id *Identity) Public() *rsa.PublicKey { return &id.Private.PublicKey }
+
+// NewIdentity generates an RSA key of the given size from r.
+func NewIdentity(r io.Reader, bits int) (*Identity, error) {
+	key, err := rsa.GenerateKey(r, bits)
+	if err != nil {
+		return nil, fmt.Errorf("slcrypto: %w", err)
+	}
+	return &Identity{Private: key}, nil
+}
+
+// WrapKey encrypts a symmetric key to a public key (RSA-OAEP), the hybrid
+// step of onion route setup.
+func WrapKey(r io.Reader, pub *rsa.PublicKey, k SymmetricKey) ([]byte, error) {
+	return rsa.EncryptOAEP(sha256.New(), r, pub, k[:], nil)
+}
+
+// UnwrapKey decrypts a wrapped symmetric key.
+func (id *Identity) UnwrapKey(wrapped []byte) (SymmetricKey, error) {
+	var k SymmetricKey
+	pt, err := rsa.DecryptOAEP(sha256.New(), nil, id.Private, wrapped, nil)
+	if err != nil {
+		return k, fmt.Errorf("slcrypto: %w", err)
+	}
+	if len(pt) != KeySize {
+		return k, ErrAuth
+	}
+	copy(k[:], pt)
+	return k, nil
+}

@@ -1,0 +1,103 @@
+package slcrypto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// testRand adapts math/rand for deterministic key generation in tests.
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	r := testRand(1)
+	k, err := NewSymmetricKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range [][]byte{{}, []byte("a"), bytes.Repeat([]byte{0x5a}, 4096)} {
+		sealed, err := k.Seal(r, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Open(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("len=%d mismatch", len(msg))
+		}
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	r := testRand(2)
+	k, _ := NewSymmetricKey(r)
+	sealed, _ := k.Seal(r, []byte("integrity matters"))
+	for i := 0; i < len(sealed); i += 7 {
+		bad := append([]byte(nil), sealed...)
+		bad[i] ^= 1
+		if _, err := k.Open(bad); err == nil {
+			t.Fatalf("tamper at byte %d accepted", i)
+		}
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	r := testRand(3)
+	k1, _ := NewSymmetricKey(r)
+	k2, _ := NewSymmetricKey(r)
+	sealed, _ := k1.Seal(r, []byte("hello"))
+	if _, err := k2.Open(sealed); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestOpenRejectsShortInput(t *testing.T) {
+	r := testRand(4)
+	k, _ := NewSymmetricKey(r)
+	if _, err := k.Open([]byte("short")); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestSealProducesDistinctCiphertexts(t *testing.T) {
+	r := testRand(5)
+	k, _ := NewSymmetricKey(r)
+	a, _ := k.Seal(r, []byte("same message"))
+	b, _ := k.Seal(r, []byte("same message"))
+	if bytes.Equal(a, b) {
+		t.Fatal("IV reuse: identical ciphertexts")
+	}
+}
+
+func TestIdentityWrapUnwrap(t *testing.T) {
+	r := testRand(6)
+	id, err := NewIdentity(r, 1024) // small key: test speed only
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := NewSymmetricKey(r)
+	wrapped, err := WrapKey(r, id.Public(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := id.UnwrapKey(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatal("unwrapped key differs")
+	}
+}
+
+func TestUnwrapWithWrongIdentityFails(t *testing.T) {
+	r := testRand(7)
+	id1, _ := NewIdentity(r, 1024)
+	id2, _ := NewIdentity(r, 1024)
+	k, _ := NewSymmetricKey(r)
+	wrapped, _ := WrapKey(r, id1.Public(), k)
+	if _, err := id2.UnwrapKey(wrapped); err == nil {
+		t.Fatal("wrong identity unwrapped key")
+	}
+}

@@ -1,0 +1,88 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/wire"
+)
+
+// Endpoints manages the source-side transport attachments: the source and
+// its pseudo-sources (§3c). Besides transmitting setup and data packets,
+// the endpoints listen for the establishment acknowledgment the destination
+// sends back hop by hop (§7.4) — the only upstream traffic in the protocol.
+type Endpoints struct {
+	tr   overlay.Transport
+	ids  []wire.NodeID
+	acks chan wire.FlowID
+}
+
+// ErrAckTimeout reports that no establishment ack arrived in time.
+var ErrAckTimeout = errors.New("source: establishment ack timed out")
+
+// AttachEndpoints binds the given endpoint ids to the transport. Close
+// detaches them.
+func AttachEndpoints(tr overlay.Transport, ids []wire.NodeID) (*Endpoints, error) {
+	e := &Endpoints{
+		tr:   tr,
+		ids:  append([]wire.NodeID(nil), ids...),
+		acks: make(chan wire.FlowID, 64),
+	}
+	for i, id := range e.ids {
+		if err := tr.Attach(id, e.onPacket); err != nil {
+			for _, prev := range e.ids[:i] {
+				tr.Detach(prev)
+			}
+			return nil, fmt.Errorf("source: attach endpoint %d: %w", id, err)
+		}
+	}
+	return e, nil
+}
+
+// IDs returns the endpoint ids, in order.
+func (e *Endpoints) IDs() []wire.NodeID { return append([]wire.NodeID(nil), e.ids...) }
+
+// Acks yields the flow-ids stamped on arriving establishment acks (these
+// are stage-1 flow-ids: the last re-stamping hop before the source).
+func (e *Endpoints) Acks() <-chan wire.FlowID { return e.acks }
+
+// Close detaches all endpoints.
+func (e *Endpoints) Close() {
+	for _, id := range e.ids {
+		e.tr.Detach(id)
+	}
+}
+
+func (e *Endpoints) onPacket(_ wire.NodeID, data []byte) {
+	pkt, err := wire.UnmarshalPacket(data)
+	if err != nil || pkt.Type != wire.MsgAck {
+		return
+	}
+	select {
+	case e.acks <- pkt.Flow:
+	default:
+	}
+}
+
+// WaitEstablished blocks until an establishment ack for this sender's graph
+// reaches any endpoint, or the timeout expires. The ack is stamped with a
+// stage-1 flow-id, which only this sender can associate with the graph.
+func (s *Sender) WaitEstablished(e *Endpoints, timeout time.Duration) error {
+	valid := make(map[wire.FlowID]bool)
+	for _, v := range s.graph.Stage1() {
+		valid[s.graph.Flows[v]] = true
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case f := <-e.acks:
+			if valid[f] {
+				return nil
+			}
+		case <-deadline:
+			return ErrAckTimeout
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Parsers must never panic on adversarial input — relays feed them raw
+// bytes from the network.
+
+func TestUnmarshalPacketNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	err := quick.Check(func(b []byte) bool {
+		p, err := UnmarshalPacket(b)
+		if err != nil {
+			return true
+		}
+		// A successful parse must round-trip to the same header.
+		rt, err2 := UnmarshalPacket(p.Marshal())
+		return err2 == nil && rt.Flow == p.Flow && rt.Type == p.Type &&
+			len(rt.Slots) == len(p.Slots)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalPerNodeInfoNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	err := quick.Check(func(b []byte) bool {
+		// Any outcome is fine; no panic is the property. The CRC makes a
+		// random accept astronomically unlikely but not a failure.
+		_, _ = UnmarshalPerNodeInfo(b)
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutated valid info blocks must be rejected or parse to *something* without
+// panicking — this exercises deeper branches than pure noise does.
+func TestUnmarshalPerNodeInfoMutated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := samplePerNodeInfo().Marshal()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), base...)
+		// 1-4 random mutations: flips, truncations, extensions.
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+			case 1:
+				if len(b) > 1 {
+					b = b[:1+rng.Intn(len(b)-1)]
+				}
+			case 2:
+				b = append(b, byte(rng.Intn(256)))
+			}
+		}
+		_, _ = UnmarshalPerNodeInfo(b) // must not panic
+	}
+}
+
+func TestDecodeSlotNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(4))}
+	err := quick.Check(func(b []byte, dRaw uint8) bool {
+		d := int(dRaw%10) + 1
+		_, _ = DecodeSlot(b, d)
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"infoslicing/internal/gf"
+)
+
+// Transform is one invertible per-hop scrambling layer (§9.4a). Colluding
+// attackers in non-consecutive stages try to trace a flow by recognizing a
+// bit pattern they inserted; to defeat this, the source wraps each slice in
+// i-1 transforms and confidentially hands each of the i-1 relays on the
+// slice's path the inverse of one layer. The slice therefore never looks
+// the same on any two links.
+//
+// A layer multiplies every byte by a non-zero GF(2^8) scalar and XORs a
+// keystream expanded from a 64-bit seed. The zero Transform (Scalar 0) is
+// the identity and marshals as "no transform".
+type Transform struct {
+	Scalar byte   // non-zero GF multiplier; 0 means identity transform
+	Seed   uint64 // keystream seed
+}
+
+// IsIdentity reports whether the transform is a no-op.
+func (t Transform) IsIdentity() bool { return t.Scalar == 0 }
+
+// RandomTransform draws a non-identity transform.
+func RandomTransform(rng *rand.Rand) Transform {
+	return Transform{
+		Scalar: byte(1 + rng.Intn(gf.Order-1)),
+		Seed:   rng.Uint64(),
+	}
+}
+
+// Apply scrambles b in place: b[i] = Scalar*b[i] XOR ks[i].
+func (t Transform) Apply(b []byte) {
+	if t.IsIdentity() {
+		return
+	}
+	ks := newKeystream(t.Seed)
+	for i := range b {
+		b[i] = gf.Mul(t.Scalar, b[i]) ^ ks.next()
+	}
+}
+
+// Invert undoes Apply in place: b[i] = Scalar^-1 * (b[i] XOR ks[i]).
+func (t Transform) Invert(b []byte) {
+	if t.IsIdentity() {
+		return
+	}
+	inv := gf.Inv(t.Scalar)
+	ks := newKeystream(t.Seed)
+	for i := range b {
+		b[i] = gf.Mul(inv, b[i]^ks.next())
+	}
+}
+
+const transformWire = 1 + 8
+
+func (t Transform) marshal(out []byte) {
+	out[0] = t.Scalar
+	binary.BigEndian.PutUint64(out[1:], t.Seed)
+}
+
+func unmarshalTransform(b []byte) Transform {
+	return Transform{Scalar: b[0], Seed: binary.BigEndian.Uint64(b[1:])}
+}
+
+// keystream is a small xorshift64* generator. It hides patterns from
+// observers between hops; confidentiality of slice contents comes from the
+// coding scheme, not from this stream.
+type keystream struct {
+	state uint64
+	buf   [8]byte
+	idx   int
+}
+
+func newKeystream(seed uint64) *keystream {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	k := &keystream{state: seed, idx: 8}
+	return k
+}
+
+func (k *keystream) next() byte {
+	if k.idx == 8 {
+		x := k.state
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		k.state = x
+		binary.BigEndian.PutUint64(k.buf[:], x*0x2545f4914f6cdd1d)
+		k.idx = 0
+	}
+	b := k.buf[k.idx]
+	k.idx++
+	return b
+}
+
+// Compose returns the bytes b would carry after applying transforms
+// outer(...inner(b)) in the order relays will strip them: transforms[0] is
+// removed first (by the stage-1 relay). The source uses this to pre-apply
+// the whole chain.
+func Compose(b []byte, transforms []Transform) {
+	for i := len(transforms) - 1; i >= 0; i-- {
+		transforms[i].Apply(b)
+	}
+}

@@ -1,0 +1,161 @@
+// Package wire defines the on-the-wire representation of information
+// slicing: packets (Fig. 3 of the paper), information-slice slots, the
+// per-node routing information block Ix (§4.3.1), and the per-hop
+// scrambling transforms that defeat pattern-insertion attacks (§9.4a).
+//
+// Every packet carries a flow-id in the clear (so a relay can group packets
+// of the same anonymous flow) and a fixed number of constant-size slice
+// slots. The first slot of a setup packet is always the slice belonging to
+// the node that receives the packet; remaining slots belong to downstream
+// nodes and are opaque. Consumed slots are replaced by random padding so the
+// packet size never changes as it moves through the graph (§9.4c).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+
+	"infoslicing/internal/code"
+)
+
+// NodeID identifies an overlay node. The paper uses IP addresses; the
+// overlay substrate maps NodeIDs to transport endpoints.
+type NodeID uint32
+
+// FlowID is the 64-bit per-hop flow identifier carried in the clear
+// (§4.3.1). It changes at every relay so colluding non-adjacent attackers
+// cannot match packets of the same flow.
+type FlowID uint64
+
+// MsgType discriminates packet roles.
+type MsgType uint8
+
+// Packet types.
+const (
+	MsgSetup MsgType = 1 // graph-establishment slices
+	MsgData  MsgType = 2 // data-phase slices
+	MsgAck   MsgType = 3 // receiver acknowledgment (measurement only)
+)
+
+// Errors.
+var (
+	ErrTruncated = errors.New("wire: truncated packet")
+	ErrBadSlice  = errors.New("wire: slice checksum mismatch")
+	ErrBadInfo   = errors.New("wire: malformed per-node info")
+)
+
+const packetHeader = 1 + 8 + 4 + 1 + 2 + 1 // type, flow, seq, coefflen, slotlen, numslots
+
+// Packet is the unit of transmission between overlay nodes.
+type Packet struct {
+	Type     MsgType
+	Flow     FlowID
+	Seq      uint32 // data-phase sequence number; 0 during setup
+	CoeffLen uint8  // d: length of each slice's coefficient vector
+	SlotLen  uint16 // bytes per slot, identical for all slots
+	Slots    [][]byte
+}
+
+// Marshal serializes the packet.
+func (p *Packet) Marshal() []byte {
+	out := make([]byte, packetHeader+len(p.Slots)*int(p.SlotLen))
+	out[0] = byte(p.Type)
+	binary.BigEndian.PutUint64(out[1:], uint64(p.Flow))
+	binary.BigEndian.PutUint32(out[9:], p.Seq)
+	out[13] = p.CoeffLen
+	binary.BigEndian.PutUint16(out[14:], p.SlotLen)
+	out[16] = uint8(len(p.Slots))
+	off := packetHeader
+	for _, s := range p.Slots {
+		if len(s) != int(p.SlotLen) {
+			panic(fmt.Sprintf("wire: slot size %d != declared %d", len(s), p.SlotLen))
+		}
+		copy(out[off:], s)
+		off += int(p.SlotLen)
+	}
+	return out
+}
+
+// Size returns the marshaled length without serializing.
+func (p *Packet) Size() int { return packetHeader + len(p.Slots)*int(p.SlotLen) }
+
+// UnmarshalPacket parses a packet.
+func UnmarshalPacket(b []byte) (*Packet, error) {
+	if len(b) < packetHeader {
+		return nil, ErrTruncated
+	}
+	p := &Packet{
+		Type:     MsgType(b[0]),
+		Flow:     FlowID(binary.BigEndian.Uint64(b[1:])),
+		Seq:      binary.BigEndian.Uint32(b[9:]),
+		CoeffLen: b[13],
+		SlotLen:  binary.BigEndian.Uint16(b[14:]),
+	}
+	n := int(b[16])
+	want := packetHeader + n*int(p.SlotLen)
+	if len(b) < want {
+		return nil, ErrTruncated
+	}
+	p.Slots = make([][]byte, n)
+	off := packetHeader
+	for i := range p.Slots {
+		p.Slots[i] = append([]byte(nil), b[off:off+int(p.SlotLen)]...)
+		off += int(p.SlotLen)
+	}
+	return p, nil
+}
+
+// --- Slice slots -----------------------------------------------------------
+
+// A slot holds: coeff (d bytes) ‖ payload ‖ crc32 (4 bytes). The CRC lets a
+// node distinguish a genuine slice addressed to it from the random padding
+// that relays insert for lost or consumed slices; padding fails the check
+// with probability 1-2^-32. In transit the whole slot is scrambled per-hop,
+// so outside observers cannot run the same check (§9.4a).
+
+const slotCRC = 4
+
+// SlotLenFor returns the slot size for split factor d and payload length.
+func SlotLenFor(d, payloadLen int) int { return d + payloadLen + slotCRC }
+
+// EncodeSlot packs a slice into a freshly allocated slot.
+func EncodeSlot(s code.Slice) []byte {
+	out := make([]byte, len(s.Coeff)+len(s.Payload)+slotCRC)
+	copy(out, s.Coeff)
+	copy(out[len(s.Coeff):], s.Payload)
+	sum := crc32.ChecksumIEEE(out[:len(out)-slotCRC])
+	binary.BigEndian.PutUint32(out[len(out)-slotCRC:], sum)
+	return out
+}
+
+// DecodeSlot unpacks a slot into a slice, verifying the checksum.
+func DecodeSlot(slot []byte, d int) (code.Slice, error) {
+	if len(slot) < d+slotCRC {
+		return code.Slice{}, ErrTruncated
+	}
+	sum := crc32.ChecksumIEEE(slot[:len(slot)-slotCRC])
+	if sum != binary.BigEndian.Uint32(slot[len(slot)-slotCRC:]) {
+		return code.Slice{}, ErrBadSlice
+	}
+	return code.Slice{
+		Coeff:   append([]byte(nil), slot[:d]...),
+		Payload: append([]byte(nil), slot[d:len(slot)-slotCRC]...),
+	}, nil
+}
+
+// RandomSlot returns padding indistinguishable on the wire from a scrambled
+// slice slot.
+func RandomSlot(slotLen int, rng *rand.Rand) []byte {
+	b := make([]byte, slotLen)
+	fillRand(b, rng)
+	return b
+}
+
+func fillRand(b []byte, rng *rand.Rand) {
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+}
