@@ -17,6 +17,7 @@ import (
 	"infoslicing/internal/code"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/perf"
+	"infoslicing/internal/wire"
 )
 
 // --- Fig. 7: anonymity vs fraction of malicious nodes -----------------------
@@ -136,6 +137,7 @@ func BenchmarkCodingPerPacket(b *testing.B) {
 			}
 			pkt := make([]byte, 1500)
 			rng.Read(pkt)
+			b.ReportAllocs()
 			b.SetBytes(1500)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -417,4 +419,74 @@ func BenchmarkAblationRecoding(b *testing.B) {
 	}
 	b.Run("recode=on", func(b *testing.B) { run(b, true) })
 	b.Run("recode=off", func(b *testing.B) { run(b, false) })
+}
+
+// --- Allocation regression: the batched data path ----------------------------
+
+// BenchmarkDataPathSteadyState drives one data round through every layer of
+// the zero-copy pipeline exactly as source and relays compose it: encode
+// into reused slices, frame into a reused buffer, parse the "received"
+// packet into views, verify and regenerate at a simulated relay, re-frame,
+// and decode with a held Decoder. ReportAllocs makes per-round garbage a
+// visible regression; the matching per-layer benchmarks live in
+// internal/code and internal/relay.
+func BenchmarkDataPathSteadyState(b *testing.B) {
+	const d, dp = 2, 3
+	rng := rand.New(rand.NewSource(1))
+	enc, err := code.NewEncoder(d, dp, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := code.NewDecoder(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 1200*d)
+	rng.Read(msg)
+
+	var slices []code.Slice
+	var frame []byte
+	var regen []code.Slice
+	received := make([]code.Slice, 0, dp)
+
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Source: encode the round and frame each slice.
+		slices, err = enc.EncodeInto(msg, slices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		received = received[:0]
+		for e := 0; e < dp; e++ {
+			slotLen := len(slices[e].Coeff) + len(slices[e].Payload) + 4
+			frame = wire.AppendPacketHeader(frame[:0], wire.MsgData, 9, uint32(i), d, uint16(slotLen), 1)
+			frame = wire.AppendSlot(frame, slices[e])
+			// Relay: parse into views, verify the slot.
+			pkt, err := wire.UnmarshalPacket(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := wire.DecodeSlot(pkt.Slots[0], d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if e == dp-1 {
+				// One slice "lost": regenerate it from the survivors
+				// (network coding, §4.4.1) instead of delivering it.
+				regen, err = code.RecombineInto(regen, received, 1, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				received = append(received, regen[0])
+			} else {
+				received = append(received, s.Clone())
+			}
+		}
+		// Destination: decode the round.
+		if _, err := dec.DecodeBlocks(received); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

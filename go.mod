@@ -1,0 +1,3 @@
+module infoslicing
+
+go 1.24

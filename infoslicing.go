@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sync"
 	"time"
 
@@ -282,7 +283,7 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		return nil, fmt.Errorf("%w: need %d, have %d", ErrTooSmall, need, len(ids))
 	}
 	// Deterministic order before shuffling (map iteration is random).
-	sortIDs(ids)
+	slices.Sort(ids)
 	nw.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	if spec.ASDiverse {
 		// Reorder candidates so AS diversity is maximised among the first
@@ -353,13 +354,19 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		recv: make(chan []byte, 64),
 		done: make(chan struct{}),
 	}
-	// Wait for the destination to decode its routing block.
+	// Wait for the destination to decode its routing block, backing off
+	// exponentially (bounded) instead of busy-polling every millisecond.
 	deadline := time.Now().Add(spec.EstablishTimeout)
+	wait := 200 * time.Microsecond
+	const maxWait = 20 * time.Millisecond
 	for !destNode.Established(g.Flows[spec.Dest]) {
 		if time.Now().After(deadline) {
 			return nil, errors.New("infoslicing: establish timeout")
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(wait)
+		if wait < maxWait {
+			wait *= 2
+		}
 	}
 	c.setupTime = time.Since(start)
 
@@ -413,12 +420,4 @@ func (c *Conn) stop() {
 			c.nw.chn.Detach(s)
 		}
 	})
-}
-
-func sortIDs(ids []NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }

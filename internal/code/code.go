@@ -14,6 +14,12 @@
 // and coefficient rows with the same scalars — is a fresh, equally useful
 // slice. This is what lets the overlay regenerate redundancy lost to node
 // failures in the middle of the network.
+//
+// Buffer ownership (see DESIGN.md): Encoder and Decoder carry reusable
+// scratch and are not safe for concurrent use; the Into-variants write into
+// caller-provided storage, while the plain variants return freshly allocated
+// results the caller owns. Package-level Decode/Rank/Decodable draw pooled
+// workspaces internally and are safe to call from any goroutine.
 package code
 
 import (
@@ -21,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"infoslicing/internal/gf"
 )
@@ -53,11 +60,23 @@ var (
 const lenPrefix = 4
 
 // Encoder slices messages into DPrime coded slices such that any D decode.
-// The zero value is not usable; construct with NewEncoder.
+// The zero value is not usable; construct with NewEncoder. An Encoder keeps
+// reusable scratch (transform matrices, the chop buffer) between calls and
+// is therefore NOT safe for concurrent use.
 type Encoder struct {
 	D      int // number of independent blocks (split factor d, Table 1)
 	DPrime int // number of slices emitted (d' ≥ d, §4.4)
 	rng    *rand.Rand
+
+	// Reusable scratch. cauchy is the fixed d'×d MDS base (only when
+	// d' > d); a receives the per-message transform; mix and work serve the
+	// random-invertible sampling.
+	cauchy    *gf.Matrix
+	a         *gf.Matrix
+	mix, work *gf.Matrix
+	padded    []byte
+	blocks    [][]byte
+	payloads  [][]byte
 }
 
 // NewEncoder returns an encoder with split factor d emitting dprime slices.
@@ -70,7 +89,18 @@ func NewEncoder(d, dprime int, rng *rand.Rand) (*Encoder, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil rng", ErrBadParameters)
 	}
-	return &Encoder{D: d, DPrime: dprime, rng: rng}, nil
+	e := &Encoder{
+		D: d, DPrime: dprime, rng: rng,
+		a:        gf.NewMatrix(dprime, d),
+		mix:      gf.NewMatrix(d, d),
+		work:     gf.NewMatrix(d, d),
+		blocks:   make([][]byte, d),
+		payloads: make([][]byte, dprime),
+	}
+	if dprime > d {
+		e.cauchy = gf.Cauchy(dprime, d)
+	}
+	return e, nil
 }
 
 // Redundancy returns the added redundancy R = (d'-d)/d (§4.4, §8.1).
@@ -78,20 +108,86 @@ func (e *Encoder) Redundancy() float64 {
 	return float64(e.DPrime-e.D) / float64(e.D)
 }
 
-// Encode slices msg into e.DPrime slices. The message is length-prefixed and
-// zero-padded to a multiple of e.D, so arbitrary lengths round-trip.
+// Encode slices msg into e.DPrime freshly allocated slices. The message is
+// length-prefixed and zero-padded to a multiple of e.D, so arbitrary lengths
+// round-trip.
 func (e *Encoder) Encode(msg []byte) ([]Slice, error) {
-	blocks := Chop(msg, e.D)
-	a := gf.RandomMDS(e.DPrime, e.D, e.rng)
-	payloads := a.MulBlocks(blocks)
-	out := make([]Slice, e.DPrime)
-	for i := range out {
-		out[i] = Slice{
-			Coeff:   append([]byte(nil), a.Row(i)...),
-			Payload: payloads[i],
+	return e.EncodeInto(msg, nil)
+}
+
+// EncodeInto is Encode writing into dst: each dst slice's Coeff and Payload
+// backing arrays are reused when they have capacity, so a caller cycling the
+// same dst through consecutive rounds encodes without per-round garbage.
+// Passing nil dst allocates fresh slices (one coefficient slab, one payload
+// slab). The returned slices are valid until the next EncodeInto with the
+// same dst; the Encoder keeps no references to them.
+func (e *Encoder) EncodeInto(msg []byte, dst []Slice) ([]Slice, error) {
+	blockLen := e.chop(msg)
+	e.fillTransform()
+
+	if cap(dst) >= e.DPrime {
+		dst = dst[:e.DPrime]
+	} else {
+		dst = make([]Slice, e.DPrime)
+		coeffs := make([]byte, e.DPrime*e.D)
+		pays := make([]byte, e.DPrime*blockLen)
+		for i := range dst {
+			// Full slice expressions cap each view at its own segment:
+			// without them a later, larger message would grow() a slice into
+			// its neighbor's slab region and the rows would overlap.
+			dst[i].Coeff = coeffs[i*e.D : (i+1)*e.D : (i+1)*e.D]
+			dst[i].Payload = pays[i*blockLen : (i+1)*blockLen : (i+1)*blockLen]
 		}
 	}
-	return out, nil
+	for i := range dst {
+		dst[i].Coeff = grow(dst[i].Coeff, e.D)
+		copy(dst[i].Coeff, e.a.Row(i))
+		dst[i].Payload = grow(dst[i].Payload, blockLen)
+		e.payloads[i] = dst[i].Payload
+	}
+	e.a.MulBlocksInto(e.blocks, e.payloads)
+	return dst, nil
+}
+
+// chop length-prefixes and zero-pads msg into the encoder's scratch buffer
+// and points e.blocks at the d equal segments. Returns the block length.
+func (e *Encoder) chop(msg []byte) int {
+	total := lenPrefix + len(msg)
+	blockLen := (total + e.D - 1) / e.D
+	if blockLen == 0 {
+		blockLen = 1
+	}
+	padded := grow(e.padded, blockLen*e.D)
+	e.padded = padded
+	binary.BigEndian.PutUint32(padded, uint32(len(msg)))
+	copy(padded[lenPrefix:], msg)
+	clear(padded[total:])
+	for i := 0; i < e.D; i++ {
+		e.blocks[i] = padded[i*blockLen : (i+1)*blockLen]
+	}
+	return blockLen
+}
+
+// fillTransform samples the per-message transform matrix into e.a: a random
+// invertible d×d matrix when d' == d, otherwise the cached Cauchy base mixed
+// by a random invertible d×d matrix (preserving the MDS property).
+func (e *Encoder) fillTransform() {
+	if e.DPrime == e.D {
+		e.a.Reshape(e.D, e.D)
+		e.a.FillRandomInvertible(e.work, e.rng)
+		return
+	}
+	e.mix.FillRandomInvertible(e.work, e.rng)
+	e.cauchy.MulInto(e.mix, e.a)
+}
+
+// grow returns b resized to n bytes, reusing its backing array when
+// possible.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
 }
 
 // Chop length-prefixes and zero-pads msg, then splits it into d equal blocks
@@ -129,38 +225,217 @@ func Unchop(blocks [][]byte) ([]byte, error) {
 	return joined[lenPrefix : lenPrefix+int(n)], nil
 }
 
+// Decoder reconstructs messages from slices, keeping every workspace the
+// reconstruction needs — the selection echelon, the coefficient matrix, the
+// Gauss-Jordan scratch, the block assembly buffer — alive between calls.
+// Not safe for concurrent use; the package-level Decode draws Decoders from
+// a pool.
+type Decoder struct {
+	d            int
+	elim         *gf.Matrix // incremental row-echelon workspace for selection
+	sel          []Slice
+	a, inv, work *gf.Matrix
+	joined       []byte
+	blocks       [][]byte
+	pay          [][]byte
+}
+
+// NewDecoder returns a decoder for split factor d.
+func NewDecoder(d int) (*Decoder, error) {
+	if d < 1 {
+		return nil, ErrBadParameters
+	}
+	return &Decoder{
+		d:    d,
+		elim: gf.NewMatrix(d, d),
+		sel:  make([]Slice, 0, d),
+		a:    gf.NewMatrix(d, d),
+		inv:  gf.NewMatrix(d, d),
+		work: gf.NewMatrix(d, d),
+	}, nil
+}
+
+// Reset re-targets the decoder at a (possibly different) split factor.
+func (dec *Decoder) Reset(d int) error {
+	if d < 1 {
+		return ErrBadParameters
+	}
+	dec.d = d
+	dec.elim.Reshape(d, d)
+	dec.a.Reshape(d, d)
+	return nil
+}
+
 // Decode reconstructs the original message from any d linearly independent
-// slices (paper: ~m = A^-1 ~I*). Extra or linearly dependent slices are
-// tolerated and skipped.
-func Decode(d int, slices []Slice) ([]byte, error) {
-	blocks, err := DecodeBlocks(d, slices)
+// slices. The returned bytes are freshly allocated and owned by the caller.
+func (dec *Decoder) Decode(slices []Slice) ([]byte, error) {
+	blockLen, err := dec.decodeBlocks(slices)
 	if err != nil {
 		return nil, err
 	}
-	return Unchop(blocks)
+	joined := dec.joined[:dec.d*blockLen]
+	if len(joined) < lenPrefix {
+		return nil, ErrInconsistent
+	}
+	n := binary.BigEndian.Uint32(joined)
+	if int(n) > len(joined)-lenPrefix {
+		return nil, fmt.Errorf("code: corrupt length prefix %d > %d", n, len(joined)-lenPrefix)
+	}
+	return append([]byte(nil), joined[lenPrefix:lenPrefix+int(n)]...), nil
+}
+
+// DecodeBlocks recovers the d raw blocks without interpreting padding. The
+// returned blocks are views into the decoder's scratch, valid until the next
+// call.
+func (dec *Decoder) DecodeBlocks(slices []Slice) ([][]byte, error) {
+	if _, err := dec.decodeBlocks(slices); err != nil {
+		return nil, err
+	}
+	return dec.blocks, nil
+}
+
+// decodeBlocks selects d independent slices, inverts their coefficient
+// matrix using the decoder's workspaces, and multiplies the payloads into
+// dec.joined / dec.blocks. Returns the block length.
+func (dec *Decoder) decodeBlocks(slices []Slice) (int, error) {
+	sel, err := dec.selectIndependent(slices)
+	if err != nil {
+		return 0, err
+	}
+	d := dec.d
+	for i, s := range sel {
+		copy(dec.a.Row(i), s.Coeff)
+	}
+	if err := dec.a.InverseInto(dec.work, dec.inv); err != nil {
+		// selectIndependent guarantees full rank; reaching here means the
+		// caller mutated slices concurrently.
+		return 0, fmt.Errorf("code: %w", err)
+	}
+	blockLen := len(sel[0].Payload)
+	dec.joined = grow(dec.joined, d*blockLen)
+	if cap(dec.blocks) < d {
+		dec.blocks = make([][]byte, d)
+	}
+	dec.blocks = dec.blocks[:d]
+	dec.pay = dec.pay[:0]
+	for _, s := range sel {
+		dec.pay = append(dec.pay, s.Payload)
+	}
+	for i := 0; i < d; i++ {
+		dec.blocks[i] = dec.joined[i*blockLen : (i+1)*blockLen]
+	}
+	dec.inv.MulBlocksInto(dec.pay, dec.blocks)
+	return blockLen, nil
+}
+
+// selectIndependent greedily picks d slices with linearly independent
+// coefficient rows by incremental Gaussian elimination against dec.elim:
+// each candidate row is reduced by the pivots accepted so far and kept iff a
+// non-zero pivot survives. O(d²) per candidate, no allocation.
+func (dec *Decoder) selectIndependent(slices []Slice) ([]Slice, error) {
+	d := dec.d
+	dec.sel = dec.sel[:0]
+	elim := dec.elim.Reshape(d, d)
+	payloadLen := -1
+	for i := range slices {
+		s := &slices[i]
+		if len(s.Coeff) != d {
+			return nil, fmt.Errorf("%w: coeff len %d want %d", ErrInconsistent, len(s.Coeff), d)
+		}
+		if payloadLen == -1 {
+			payloadLen = len(s.Payload)
+		} else if len(s.Payload) != payloadLen {
+			return nil, fmt.Errorf("%w: payload len %d want %d", ErrInconsistent, len(s.Payload), payloadLen)
+		}
+		r := len(dec.sel)
+		row := elim.Row(r)
+		copy(row, s.Coeff)
+		if reduceRow(elim, row, r) {
+			dec.sel = append(dec.sel, *s)
+			if len(dec.sel) == d {
+				return dec.sel, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: have %d of %d", ErrNotEnoughSlices, len(dec.sel), d)
+}
+
+// reduceRow eliminates row against the first r echelon rows of elim (each of
+// which has its pivot normalized to 1), then normalizes row's own leading
+// coefficient. Reports whether the row is independent of the span.
+func reduceRow(elim *gf.Matrix, row []byte, r int) bool {
+	for k := 0; k < r; k++ {
+		prev := elim.Row(k)
+		lead := leadingCol(prev)
+		if c := row[lead]; c != 0 {
+			gf.MulSlice(c, prev, row)
+		}
+	}
+	lead := leadingCol(row)
+	if lead < 0 {
+		return false
+	}
+	if p := row[lead]; p != 1 {
+		gf.MulSliceAssign(gf.Inv(p), row, row)
+	}
+	return true
+}
+
+func leadingCol(row []byte) int {
+	for j, v := range row {
+		if v != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// decoderPool recycles Decoders for the package-level helpers so hot callers
+// (relays decode every round) get workspace reuse without holding their own
+// Decoder.
+var decoderPool = sync.Pool{
+	New: func() any {
+		dec, _ := NewDecoder(1)
+		return dec
+	},
+}
+
+// Decode reconstructs the original message from any d linearly independent
+// slices (paper: ~m = A^-1 ~I*). Extra or linearly dependent slices are
+// tolerated and skipped. The returned bytes are owned by the caller.
+func Decode(d int, slices []Slice) ([]byte, error) {
+	if d < 1 {
+		return nil, ErrBadParameters
+	}
+	dec := decoderPool.Get().(*Decoder)
+	defer decoderPool.Put(dec)
+	if err := dec.Reset(d); err != nil {
+		return nil, err
+	}
+	return dec.Decode(slices)
 }
 
 // DecodeBlocks recovers the d raw blocks without interpreting padding. Used
-// by the data plane, where the source applies Chop once per message.
+// by the data plane, where the source applies Chop once per message. The
+// returned blocks are freshly allocated.
 func DecodeBlocks(d int, slices []Slice) ([][]byte, error) {
-	sel, err := SelectIndependent(d, slices)
+	if d < 1 {
+		return nil, ErrBadParameters
+	}
+	dec := decoderPool.Get().(*Decoder)
+	defer decoderPool.Put(dec)
+	if err := dec.Reset(d); err != nil {
+		return nil, err
+	}
+	views, err := dec.DecodeBlocks(slices)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([][]byte, d)
-	payloads := make([][]byte, d)
-	for i, s := range sel {
-		rows[i] = s.Coeff
-		payloads[i] = s.Payload
+	out := make([][]byte, len(views))
+	for i, v := range views {
+		out[i] = append([]byte(nil), v...)
 	}
-	a := gf.MatrixFromRows(rows)
-	inv, err := a.Inverse()
-	if err != nil {
-		// SelectIndependent guarantees full rank; reaching here means the
-		// caller mutated slices concurrently.
-		return nil, fmt.Errorf("code: %w", err)
-	}
-	return inv.MulBlocks(payloads), nil
+	return out, nil
 }
 
 // SelectIndependent returns d slices whose coefficient rows are linearly
@@ -170,47 +445,48 @@ func SelectIndependent(d int, slices []Slice) ([]Slice, error) {
 	if d < 1 {
 		return nil, ErrBadParameters
 	}
-	var sel []Slice
-	var payloadLen = -1
-	for _, s := range slices {
-		if len(s.Coeff) != d {
-			return nil, fmt.Errorf("%w: coeff len %d want %d", ErrInconsistent, len(s.Coeff), d)
-		}
-		if payloadLen == -1 {
-			payloadLen = len(s.Payload)
-		} else if len(s.Payload) != payloadLen {
-			return nil, fmt.Errorf("%w: payload len %d want %d", ErrInconsistent, len(s.Payload), payloadLen)
-		}
-		cand := append(sel, s)
-		rows := make([][]byte, len(cand))
-		for i, c := range cand {
-			rows[i] = c.Coeff
-		}
-		if gf.MatrixFromRows(rows).Rank() == len(cand) {
-			sel = cand
-		}
-		if len(sel) == d {
-			return sel, nil
-		}
+	dec := decoderPool.Get().(*Decoder)
+	defer decoderPool.Put(dec)
+	if err := dec.Reset(d); err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("%w: have %d of %d", ErrNotEnoughSlices, len(sel), d)
+	sel, err := dec.selectIndependent(slices)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Slice(nil), sel...), nil
 }
 
 // Rank returns the rank of the coefficient matrix spanned by the slices —
 // how many degrees of freedom a holder of these slices has (d means
 // decodable).
 func Rank(d int, slices []Slice) int {
-	if len(slices) == 0 {
+	if len(slices) == 0 || d < 1 {
 		return 0
 	}
-	rows := make([][]byte, 0, len(slices))
-	for _, s := range slices {
-		if len(s.Coeff) != d {
+	for i := range slices {
+		if len(slices[i].Coeff) != d {
 			return 0
 		}
-		rows = append(rows, s.Coeff)
 	}
-	return gf.MatrixFromRows(rows).Rank()
+	dec := decoderPool.Get().(*Decoder)
+	defer decoderPool.Put(dec)
+	if err := dec.Reset(d); err != nil {
+		return 0
+	}
+	elim := dec.elim
+	rank := 0
+	for i := range slices {
+		if rank == d {
+			break
+		}
+		row := elim.Row(rank)
+		copy(row, slices[i].Coeff)
+		if reduceRow(elim, row, rank) {
+			rank++
+		}
+	}
+	return rank
 }
 
 // Decodable reports whether the slices suffice to reconstruct the message.
@@ -223,6 +499,13 @@ func Decodable(d int, slices []Slice) bool { return Rank(d, slices) >= d }
 // rank r, each output lies in the same span, so a downstream node that
 // gathers d independent combinations can still decode.
 func Recombine(slices []Slice, count int, rng *rand.Rand) ([]Slice, error) {
+	return RecombineInto(nil, slices, count, rng)
+}
+
+// RecombineInto is Recombine writing into dst, reusing each dst slice's
+// backing arrays when they have capacity (relays regenerate per missing
+// child per round; this keeps that path allocation-free).
+func RecombineInto(dst []Slice, slices []Slice, count int, rng *rand.Rand) ([]Slice, error) {
 	if len(slices) == 0 {
 		return nil, ErrNotEnoughSlices
 	}
@@ -233,11 +516,17 @@ func Recombine(slices []Slice, count int, rng *rand.Rand) ([]Slice, error) {
 			return nil, ErrInconsistent
 		}
 	}
-	out := make([]Slice, count)
+	if cap(dst) >= count {
+		dst = dst[:count]
+	} else {
+		dst = make([]Slice, count)
+	}
 	for k := 0; k < count; k++ {
-		coeff := make([]byte, d)
-		payload := make([]byte, plen)
+		coeff := grow(dst[k].Coeff, d)
+		payload := grow(dst[k].Payload, plen)
 		for {
+			clear(coeff)
+			clear(payload)
 			nonzero := false
 			for i := range slices {
 				p := byte(rng.Intn(gf.Order))
@@ -251,14 +540,8 @@ func Recombine(slices []Slice, count int, rng *rand.Rand) ([]Slice, error) {
 				break
 			}
 			// All-zero combination is useless; resample (vanishingly rare).
-			for i := range coeff {
-				coeff[i] = 0
-			}
-			for i := range payload {
-				payload[i] = 0
-			}
 		}
-		out[k] = Slice{Coeff: coeff, Payload: payload}
+		dst[k] = Slice{Coeff: coeff, Payload: payload}
 	}
-	return out, nil
+	return dst, nil
 }

@@ -352,6 +352,7 @@ func BenchmarkEncode1500(b *testing.B) {
 			e, _ := NewEncoder(d, d, rng)
 			msg := make([]byte, 1500)
 			rng.Read(msg)
+			b.ReportAllocs()
 			b.SetBytes(1500)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -371,6 +372,7 @@ func BenchmarkDecode1500(b *testing.B) {
 			msg := make([]byte, 1500)
 			rng.Read(msg)
 			slices, _ := e.Encode(msg)
+			b.ReportAllocs()
 			b.SetBytes(1500)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -384,4 +386,206 @@ func BenchmarkDecode1500(b *testing.B) {
 
 func benchName(k string, v int) string {
 	return k + "=" + string(rune('0'+v))
+}
+
+// --- Zero-copy pipeline APIs -------------------------------------------------
+
+// EncodeInto must reuse the destination's backing arrays across rounds and
+// still produce independently decodable output each time.
+func TestEncodeIntoReusesBuffers(t *testing.T) {
+	e := newEnc(t, 3, 5, 77)
+	msgA := bytes.Repeat([]byte{0xa1}, 900)
+	msgB := bytes.Repeat([]byte{0xb2}, 900)
+
+	dst, err := e.EncodeInto(msgA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := Decode(3, dst)
+	if err != nil || !bytes.Equal(gotA, msgA) {
+		t.Fatalf("first round decode failed: %v", err)
+	}
+	p0 := &dst[0].Payload[0]
+	dst2, err := e.EncodeInto(msgB, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dst2[0].Payload[0] != p0 {
+		t.Fatal("EncodeInto reallocated despite sufficient capacity")
+	}
+	gotB, err := Decode(3, dst2)
+	if err != nil || !bytes.Equal(gotB, msgB) {
+		t.Fatalf("second round decode failed: %v", err)
+	}
+}
+
+// A shared Encoder must produce slices whose coefficients differ between
+// messages (fresh randomness per call, the anonymity invariant).
+func TestEncodeIntoFreshCoefficients(t *testing.T) {
+	e := newEnc(t, 2, 2, 78)
+	a, _ := e.Encode([]byte("one"))
+	b, _ := e.Encode([]byte("two"))
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Coeff, b[i].Coeff) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two encodes drew identical transform matrices")
+	}
+}
+
+func TestDecoderReuse(t *testing.T) {
+	dec, err := NewDecoder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEnc(t, 3, 3, 79)
+	for round := 0; round < 5; round++ {
+		msg := bytes.Repeat([]byte{byte(round)}, 333+round)
+		slices, err := e.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(slices)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: mismatch", round)
+		}
+	}
+	// Re-target at a different d.
+	if err := dec.Reset(4); err != nil {
+		t.Fatal(err)
+	}
+	e4 := newEnc(t, 4, 4, 80)
+	msg := []byte("retargeted decoder")
+	slices, _ := e4.Encode(msg)
+	got, err := dec.Decode(slices)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+// Decode results must be caller-owned: decoding a second message must not
+// mutate the bytes returned for the first.
+func TestDecodeReturnsOwnedBytes(t *testing.T) {
+	e := newEnc(t, 2, 2, 81)
+	msgA := bytes.Repeat([]byte{0x11}, 500)
+	msgB := bytes.Repeat([]byte{0x22}, 500)
+	sa, _ := e.Encode(msgA)
+	sb, _ := e.Encode(msgB)
+	gotA, err := Decode(2, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(2, sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, msgA) {
+		t.Fatal("second Decode clobbered the first result")
+	}
+}
+
+func TestRecombineIntoReusesBuffers(t *testing.T) {
+	const d = 2
+	rng := rand.New(rand.NewSource(83))
+	e, _ := NewEncoder(d, d, rng)
+	msg := []byte("recombine into reuses buffers")
+	slices, _ := e.Encode(msg)
+
+	dst, err := RecombineInto(nil, slices, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(d, dst)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("first recombine decode: %v", err)
+	}
+	p0 := &dst[0].Payload[0]
+	dst2, err := RecombineInto(dst, slices, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dst2[0].Payload[0] != p0 {
+		t.Fatal("RecombineInto reallocated despite capacity")
+	}
+	got2, err := Decode(d, dst2)
+	if err != nil || !bytes.Equal(got2, msg) {
+		t.Fatalf("second recombine decode: %v", err)
+	}
+}
+
+// --- Allocation-regression benchmarks ---------------------------------------
+
+// The steady-state data path — encode a round into reused slices, frame
+// nothing, decode with a held Decoder — must stay allocation-light; these
+// benchmarks report allocs/op so a future PR reintroducing per-round garbage
+// shows up as a regression.
+func BenchmarkEncodeIntoSteadyState(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		b.Run(benchName("d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			e, _ := NewEncoder(d, d, rng)
+			msg := make([]byte, 1500)
+			rng.Read(msg)
+			dst, _ := e.EncodeInto(msg, nil)
+			b.SetBytes(1500)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = e.EncodeInto(msg, dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecoderSteadyState(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		b.Run(benchName("d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(d)))
+			e, _ := NewEncoder(d, d, rng)
+			msg := make([]byte, 1500)
+			rng.Read(msg)
+			slices, _ := e.Encode(msg)
+			dec, _ := NewDecoder(d)
+			b.SetBytes(1500)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodeBlocks(slices); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Regression: reusing a dst across messages of growing size must not let a
+// slice grow() into its slab neighbor's region — overlapping rows corrupt
+// the encoding before the CRC is computed, so nothing downstream catches it.
+func TestEncodeIntoGrowingMessages(t *testing.T) {
+	e := newEnc(t, 3, 3, 91)
+	var dst []Slice
+	for _, n := range []int{100, 300, 50, 2000} {
+		msg := bytes.Repeat([]byte{byte(n)}, n)
+		var err error
+		dst, err = e.EncodeInto(msg, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(3, dst)
+		if err != nil {
+			t.Fatalf("len=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("len=%d: round trip mismatch (overlapping slab views?)", n)
+		}
+	}
 }

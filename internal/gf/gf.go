@@ -13,7 +13,10 @@
 // which lets multiplication and division run through log/exp tables.
 package gf
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Poly is the primitive polynomial used to construct GF(2^8), expressed with
 // the x^8 term included (0x11d = x^8+x^4+x^3+x^2+1).
@@ -25,6 +28,13 @@ const Order = 256
 var (
 	expTable [2 * Order]byte // expTable[i] = g^i, doubled to skip a mod in Mul
 	logTable [Order]byte     // logTable[x] = log_g(x), logTable[0] unused
+
+	// mulTable[c] is the full multiplication table of the coefficient c:
+	// mulTable[c][x] = c*x. 64 KiB total; each row is 256 bytes (four cache
+	// lines), so a slice-kernel applying one coefficient to a block touches
+	// only its own row. This turns MulSlice into a branch-free table walk —
+	// no log/exp indirection, no zero test per byte.
+	mulTable [Order][Order]byte
 )
 
 func init() {
@@ -42,7 +52,19 @@ func init() {
 	for i := Order - 1; i < 2*Order; i++ {
 		expTable[i] = expTable[i-(Order-1)]
 	}
+	for c := 1; c < Order; c++ {
+		lc := int(logTable[c])
+		row := &mulTable[c]
+		for x := 1; x < Order; x++ {
+			row[x] = expTable[lc+int(logTable[x])]
+		}
+	}
 }
+
+// MulTable returns the 256-byte multiplication table of c: MulTable(c)[x] is
+// c*x. Indexing the returned array with a byte needs no bounds check, which
+// is what makes the slice kernels branch-free.
+func MulTable(c byte) *[Order]byte { return &mulTable[c] }
 
 // Add returns a+b in GF(2^8). Addition and subtraction coincide (XOR).
 func Add(a, b byte) byte { return a ^ b }
@@ -85,6 +107,24 @@ func Inv(a byte) byte {
 // non-negative integer).
 func Exp(n int) byte { return expTable[n%(Order-1)] }
 
+// XorSlice computes dst[i] ^= src[i] word-wide: eight bytes per step through
+// the bulk of the block, a byte tail at the end. It is the c==1 fast path of
+// MulSlice and the a+b of every row operation.
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: XorSlice length mismatch")
+	}
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
 // MulSlice computes dst[i] ^= c * src[i] for every i. It is the inner loop of
 // all encode/decode operations: one coefficient applied to one block.
 // dst and src must have equal length.
@@ -96,15 +136,20 @@ func MulSlice(c byte, src, dst []byte) {
 	case 0:
 		return
 	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		XorSlice(src, dst)
 	default:
-		lc := int(logTable[c])
-		for i, s := range src {
-			if s != 0 {
-				dst[i] ^= expTable[lc+int(logTable[s])]
-			}
+		mt := &mulTable[c]
+		// Byte-indexed array lookups are bounds-check free; unroll by four
+		// to keep the loop body ahead of the loads.
+		i := 0
+		for ; i+4 <= len(src); i += 4 {
+			dst[i] ^= mt[src[i]]
+			dst[i+1] ^= mt[src[i+1]]
+			dst[i+2] ^= mt[src[i+2]]
+			dst[i+3] ^= mt[src[i+3]]
+		}
+		for ; i < len(src); i++ {
+			dst[i] ^= mt[src[i]]
 		}
 	}
 }
@@ -116,19 +161,20 @@ func MulSliceAssign(c byte, src, dst []byte) {
 	}
 	switch c {
 	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 	case 1:
 		copy(dst, src)
 	default:
-		lc := int(logTable[c])
-		for i, s := range src {
-			if s == 0 {
-				dst[i] = 0
-			} else {
-				dst[i] = expTable[lc+int(logTable[s])]
-			}
+		mt := &mulTable[c]
+		i := 0
+		for ; i+4 <= len(src); i += 4 {
+			dst[i] = mt[src[i]]
+			dst[i+1] = mt[src[i+1]]
+			dst[i+2] = mt[src[i+2]]
+			dst[i+3] = mt[src[i+3]]
+		}
+		for ; i < len(src); i++ {
+			dst[i] = mt[src[i]]
 		}
 	}
 }

@@ -366,3 +366,231 @@ func BenchmarkMatrixInverse8(b *testing.B) {
 		}
 	}
 }
+
+// --- Table-driven kernel properties ------------------------------------------
+
+// The table kernels (MulSlice, MulSliceAssign, MulVecInto, MulBlocksInto)
+// must match the scalar reference Mul byte-for-byte on arbitrary inputs,
+// including the c==0 and c==1 special paths and lengths that exercise the
+// word-wide and unrolled tails.
+func TestMulTableMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		mt := MulTable(byte(c))
+		for x := 0; x < 256; x++ {
+			if mt[x] != Mul(byte(c), byte(x)) {
+				t.Fatalf("MulTable(%d)[%d] = %d want %d", c, x, mt[x], Mul(byte(c), byte(x)))
+			}
+		}
+	}
+}
+
+func TestMulSlicePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	lengths := []int{0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 63, 100, 1501}
+	coeffs := []byte{0, 1, 2, 0x53, 0xff}
+	for trial := 0; trial < 50; trial++ {
+		n := lengths[rng.Intn(len(lengths))]
+		c := coeffs[rng.Intn(len(coeffs))]
+		if trial >= len(coeffs)*len(lengths)/2 {
+			c = byte(rng.Intn(256))
+		}
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ Mul(c, src[i])
+		}
+		MulSlice(c, src, dst)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("MulSlice(c=%#x, len=%d) wrong at %d", c, n, i)
+			}
+		}
+	}
+}
+
+func TestMulSliceAssignPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		c := byte(rng.Intn(256))
+		if trial < 3 {
+			c = byte(trial) // force 0, 1, 2
+		}
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		MulSliceAssign(c, src, dst)
+		for i := range dst {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulSliceAssign(c=%#x, len=%d) wrong at %d", c, n, i)
+			}
+		}
+	}
+}
+
+func TestXorSliceOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 17, 255} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = src[i] ^ dst[i]
+		}
+		XorSlice(src, dst)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("XorSlice len=%d wrong at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		m := NewMatrix(rows, cols)
+		rng.Read(m.Data)
+		v := make([]byte, cols)
+		rng.Read(v)
+		want := m.MulVec(v)
+		got := make([]byte, rows)
+		m.MulVecInto(v, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MulVecInto disagrees with MulVec at %d", i)
+			}
+		}
+	}
+}
+
+// MulBlocksInto must agree with a scalar-reference computation for matrices
+// containing 0 and 1 coefficients (fused-kernel special rows) and odd block
+// lengths (kernel tails).
+func TestMulBlocksIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(9)
+		cols := 1 + rng.Intn(9)
+		bl := 1 + rng.Intn(130)
+		m := NewMatrix(rows, cols)
+		rng.Read(m.Data)
+		// Sprinkle 0 and 1 coefficients to hit the skip/identity paths.
+		for i := 0; i < rows*cols/3; i++ {
+			m.Data[rng.Intn(len(m.Data))] = byte(rng.Intn(2))
+		}
+		if trial%7 == 0 {
+			clear(m.Row(rng.Intn(rows))) // full zero row
+		}
+		blocks := make([][]byte, cols)
+		for j := range blocks {
+			blocks[j] = make([]byte, bl)
+			rng.Read(blocks[j])
+		}
+		out := make([][]byte, rows)
+		for i := range out {
+			out[i] = make([]byte, bl)
+			rng.Read(out[i]) // must be fully overwritten
+		}
+		m.MulBlocksInto(blocks, out)
+		for i := 0; i < rows; i++ {
+			for k := 0; k < bl; k++ {
+				var want byte
+				for j := 0; j < cols; j++ {
+					want ^= Mul(m.At(i, j), blocks[j][k])
+				}
+				if out[i][k] != want {
+					t.Fatalf("trial %d: MulBlocksInto wrong at row %d byte %d", trial, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseIntoMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	work := NewMatrix(1, 1)
+	inv := NewMatrix(1, 1)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(10)
+		m := RandomInvertible(n, rng)
+		want, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.InverseInto(work, inv); err != nil {
+			t.Fatal(err)
+		}
+		if !inv.Equal(want) {
+			t.Fatalf("trial %d: InverseInto disagrees with Inverse", trial)
+		}
+	}
+	// Singular input must be reported through the workspace path too.
+	if err := NewMatrix(3, 3).InverseInto(work, inv); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestRankIntoMatchesRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	work := NewMatrix(1, 1)
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		rng.Read(m.Data)
+		if m.RankInto(work) != m.Rank() {
+			t.Fatalf("trial %d: RankInto disagrees with Rank", trial)
+		}
+	}
+}
+
+func TestReshapeReusesBacking(t *testing.T) {
+	m := NewMatrix(4, 4)
+	data := &m.Data[0]
+	m.Reshape(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("Reshape wrong shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Fatal("Reshape reallocated despite sufficient capacity")
+	}
+	m.Reshape(8, 8)
+	if len(m.Data) != 64 {
+		t.Fatal("Reshape failed to grow")
+	}
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	dst := NewMatrix(1, 1)
+	for trial := 0; trial < 20; trial++ {
+		a := NewMatrix(1+rng.Intn(6), 1+rng.Intn(6))
+		b := NewMatrix(a.Cols, 1+rng.Intn(6))
+		rng.Read(a.Data)
+		rng.Read(b.Data)
+		want := a.Mul(b)
+		if !a.MulInto(b, dst).Equal(want) {
+			t.Fatalf("trial %d: MulInto disagrees with Mul", trial)
+		}
+	}
+}
+
+func BenchmarkMulSliceXor1500(b *testing.B) {
+	src := make([]byte, 1500)
+	dst := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice(1, src, dst)
+	}
+}

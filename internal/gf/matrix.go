@@ -64,6 +64,28 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reshape resizes m to rows×cols, reusing its backing array when capacity
+// allows. Contents after Reshape are unspecified; callers overwrite. It
+// returns m for chaining.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]byte, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// CopyFrom reshapes m to o's dimensions and copies its contents.
+func (m *Matrix) CopyFrom(o *Matrix) *Matrix {
+	m.Reshape(o.Rows, o.Cols)
+	copy(m.Data, o.Data)
+	return m
+}
+
 // Equal reports whether two matrices have identical shape and contents.
 func (m *Matrix) Equal(o *Matrix) bool {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
@@ -79,36 +101,52 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // Mul returns m * o.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
+	return m.MulInto(o, NewMatrix(m.Rows, o.Cols))
+}
+
+// MulInto computes m * o into dst, reshaping dst as needed (dst must not
+// alias m or o). It allocates only if dst's backing array is too small.
+func (m *Matrix) MulInto(o, dst *Matrix) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("gf: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
-	out := NewMatrix(m.Rows, o.Cols)
+	dst.Reshape(m.Rows, o.Cols)
+	clear(dst.Data)
 	for i := 0; i < m.Rows; i++ {
 		mi := m.Row(i)
-		oi := out.Row(i)
+		oi := dst.Row(i)
 		for k, a := range mi {
 			if a != 0 {
 				MulSlice(a, o.Row(k), oi)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MulVec returns m * v where v is a column vector (len == m.Cols).
 func (m *Matrix) MulVec(v []byte) []byte {
-	if len(v) != m.Cols {
-		panic("gf: MulVec dimension mismatch")
-	}
 	out := make([]byte, m.Rows)
+	m.MulVecInto(v, out)
+	return out
+}
+
+// MulVecInto computes m * v into dst (len(dst) == m.Rows), applying each
+// coefficient row through the multiplication tables. dst must not alias v.
+func (m *Matrix) MulVecInto(v, dst []byte) {
+	if len(v) != m.Cols {
+		panic("gf: MulVecInto dimension mismatch")
+	}
+	if len(dst) != m.Rows {
+		panic("gf: MulVecInto bad destination length")
+	}
 	for i := 0; i < m.Rows; i++ {
 		var acc byte
 		for j, a := range m.Row(i) {
-			acc ^= Mul(a, v[j])
+			acc ^= mulTable[a][v[j]]
 		}
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out
 }
 
 // MulBlocks treats blocks as a column vector of equal-length byte blocks and
@@ -126,27 +164,132 @@ func (m *Matrix) MulBlocks(blocks [][]byte) [][]byte {
 		}
 	}
 	out := make([][]byte, m.Rows)
+	for i := range out {
+		out[i] = make([]byte, bl)
+	}
+	m.MulBlocksInto(blocks, out)
+	return out
+}
+
+// MulBlocksInto is MulBlocks with caller-provided destination blocks: each
+// out[i] must already have the block length. The first non-zero coefficient
+// of a row assigns (no need to pre-zero out), the rest accumulate. out must
+// not alias blocks.
+func (m *Matrix) MulBlocksInto(blocks, out [][]byte) {
+	if len(blocks) != m.Cols {
+		panic("gf: MulBlocksInto dimension mismatch")
+	}
+	if len(out) != m.Rows {
+		panic("gf: MulBlocksInto bad destination count")
+	}
+	bl := len(blocks[0])
+	for _, b := range blocks {
+		if len(b) != bl {
+			panic("gf: MulBlocksInto ragged blocks")
+		}
+	}
 	for i := 0; i < m.Rows; i++ {
-		o := make([]byte, bl)
-		for j, c := range m.Row(i) {
-			if c != 0 {
-				MulSlice(c, blocks[j], o)
+		o := out[i]
+		if len(o) != bl {
+			panic("gf: MulBlocksInto ragged destination")
+		}
+		row := m.Row(i)
+		first := true
+		j := 0
+		// Fused columns: one pass over the destination applies four (or two)
+		// coefficient columns — four table lookups, one store per byte —
+		// instead of four read-modify-write passes.
+		for ; j+4 <= len(row); j += 4 {
+			if row[j]|row[j+1]|row[j+2]|row[j+3] == 0 {
+				continue
+			}
+			mulSliceQuad(row[j], row[j+1], row[j+2], row[j+3],
+				blocks[j], blocks[j+1], blocks[j+2], blocks[j+3], o, first)
+			first = false
+		}
+		for ; j+2 <= len(row); j += 2 {
+			if row[j]|row[j+1] == 0 {
+				continue
+			}
+			mulSlicePair(row[j], row[j+1], blocks[j], blocks[j+1], o, first)
+			first = false
+		}
+		if j < len(row) && row[j] != 0 {
+			if first {
+				MulSliceAssign(row[j], blocks[j], o)
+				first = false
+			} else {
+				MulSlice(row[j], blocks[j], o)
 			}
 		}
-		out[i] = o
+		if first {
+			clear(o)
+		}
 	}
-	return out
+}
+
+// mulSliceQuad computes dst = c1*s1 ^ c2*s2 ^ c3*s3 ^ c4*s4 (assign) or
+// dst ^= ... (not assign) in a single pass.
+func mulSliceQuad(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) {
+	t1, t2, t3, t4 := &mulTable[c1], &mulTable[c2], &mulTable[c3], &mulTable[c4]
+	s1 = s1[:len(dst)]
+	s2 = s2[:len(dst)]
+	s3 = s3[:len(dst)]
+	s4 = s4[:len(dst)]
+	if assign {
+		for i := range dst {
+			dst[i] = t1[s1[i]] ^ t2[s2[i]] ^ t3[s3[i]] ^ t4[s4[i]]
+		}
+	} else {
+		for i := range dst {
+			dst[i] ^= t1[s1[i]] ^ t2[s2[i]] ^ t3[s3[i]] ^ t4[s4[i]]
+		}
+	}
+}
+
+// mulSlicePair computes dst = c1*s1 ^ c2*s2 (assign) or dst ^= ... (not
+// assign) in a single pass. mulTable[0] is all zeros and mulTable[1] the
+// identity, so no per-coefficient special cases are needed.
+func mulSlicePair(c1, c2 byte, s1, s2, dst []byte, assign bool) {
+	t1, t2 := &mulTable[c1], &mulTable[c2]
+	s1 = s1[:len(dst)]
+	s2 = s2[:len(dst)]
+	if assign {
+		for i := range dst {
+			dst[i] = t1[s1[i]] ^ t2[s2[i]]
+		}
+	} else {
+		for i := range dst {
+			dst[i] ^= t1[s1[i]] ^ t2[s2[i]]
+		}
+	}
 }
 
 // Inverse returns the inverse of a square matrix via Gauss-Jordan
 // elimination, or ErrSingular.
 func (m *Matrix) Inverse() (*Matrix, error) {
+	inv := NewMatrix(m.Rows, max(m.Cols, 1))
+	if err := m.InverseInto(NewMatrix(m.Rows, max(m.Cols, 1)), inv); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InverseInto computes m's inverse into inv using work as the elimination
+// workspace, reshaping both; neither may alias m. It allocates nothing when
+// the workspaces have capacity, which is what lets decoders run inversion
+// per round without garbage.
+func (m *Matrix) InverseInto(work, inv *Matrix) error {
 	if m.Rows != m.Cols {
-		return nil, fmt.Errorf("gf: cannot invert %dx%d matrix", m.Rows, m.Cols)
+		return fmt.Errorf("gf: cannot invert %dx%d matrix", m.Rows, m.Cols)
 	}
 	n := m.Rows
-	work := m.Clone()
-	inv := Identity(n)
+	work.CopyFrom(m)
+	inv.Reshape(n, n)
+	clear(inv.Data)
+	for i := 0; i < n; i++ {
+		inv.Data[i*n+i] = 1
+	}
 	for col := 0; col < n; col++ {
 		// Find pivot.
 		pivot := -1
@@ -157,7 +300,7 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 			}
 		}
 		if pivot < 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if pivot != col {
 			swapRows(work, pivot, col)
@@ -180,12 +323,23 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 			}
 		}
 	}
-	return inv, nil
+	return nil
 }
 
 // Rank returns the rank of the matrix.
 func (m *Matrix) Rank() int {
-	work := m.Clone()
+	return m.RankInto(NewMatrix(m.Rows, m.Cols))
+}
+
+// RankInto computes the rank using work (reshaped, contents destroyed) as
+// the elimination copy, allocating nothing when work has capacity.
+func (m *Matrix) RankInto(work *Matrix) int {
+	work.CopyFrom(m)
+	return work.rankInPlace()
+}
+
+// rankInPlace eliminates m destructively and returns its rank.
+func (work *Matrix) rankInPlace() int {
 	rank := 0
 	for col := 0; col < work.Cols && rank < work.Rows; col++ {
 		pivot := -1
@@ -221,6 +375,23 @@ func (m *Matrix) IsInvertible() bool {
 	return m.Rows == m.Cols && m.Rank() == m.Rows
 }
 
+// FillRandomInvertible overwrites dst (already shaped n×n) with a uniformly
+// random invertible matrix, using work as the rank-check scratch. It is
+// RandomInvertible without the per-call allocations.
+func (dst *Matrix) FillRandomInvertible(work *Matrix, rng *rand.Rand) {
+	if dst.Rows != dst.Cols {
+		panic("gf: FillRandomInvertible needs a square matrix")
+	}
+	for {
+		for i := range dst.Data {
+			dst.Data[i] = byte(rng.Intn(Order))
+		}
+		if dst.RankInto(work) == dst.Rows {
+			return
+		}
+	}
+}
+
 func swapRows(m *Matrix, a, b int) {
 	ra, rb := m.Row(a), m.Row(b)
 	for i := range ra {
@@ -245,15 +416,9 @@ func addScaledRow(m *Matrix, dst, src int, c byte) {
 // d×d matrix A", §4.1). The expected number of retries is tiny: a random
 // matrix over GF(256) is singular with probability ≈ 1/255.
 func RandomInvertible(n int, rng *rand.Rand) *Matrix {
-	for {
-		m := NewMatrix(n, n)
-		for i := range m.Data {
-			m.Data[i] = byte(rng.Intn(Order))
-		}
-		if m.IsInvertible() {
-			return m
-		}
-	}
+	m := NewMatrix(n, n)
+	m.FillRandomInvertible(NewMatrix(n, n), rng)
+	return m
 }
 
 // Cauchy returns a rows×cols Cauchy matrix: element (i,j) = 1/(x_i + y_j)

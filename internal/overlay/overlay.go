@@ -21,7 +21,11 @@ import (
 	"infoslicing/internal/wire"
 )
 
-// Handler consumes a raw packet addressed to an attached node.
+// Handler consumes a raw packet addressed to an attached node. The data
+// buffer is private to the handler: the transport must hand each delivery
+// its own allocation (or copy) and never touch it again. Handlers rely on
+// this to retain zero-copy views into data across rounds (see DESIGN.md,
+// buffer-ownership rules).
 type Handler func(from wire.NodeID, data []byte)
 
 // Transport moves opaque datagrams between overlay nodes.
@@ -33,6 +37,10 @@ type Transport interface {
 	// Send delivers data from one node to another, subject to the
 	// transport's failure and shaping model. Errors are best-effort: a nil
 	// return does not guarantee delivery (datagram semantics).
+	//
+	// Send must not retain data after it returns: implementations copy (or
+	// write out) the bytes synchronously. Relays and sources rely on this
+	// to reuse one framing buffer across rounds.
 	Send(from, to wire.NodeID, data []byte) error
 }
 

@@ -19,12 +19,13 @@ import (
 // Only the nodes attached in this process listen; Send can reach any node
 // in the book, local or remote.
 type StaticTCP struct {
-	mu     sync.RWMutex
-	book   map[wire.NodeID]string
-	local  map[wire.NodeID]*tcpEndpoint
-	conns  map[connKey]net.Conn
-	wg     sync.WaitGroup
-	closed bool
+	mu       sync.RWMutex
+	book     map[wire.NodeID]string
+	local    map[wire.NodeID]*tcpEndpoint
+	conns    map[connKey]net.Conn
+	accepted map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
 }
 
 // NewStaticTCP creates a transport over the given id→address book.
@@ -34,9 +35,10 @@ func NewStaticTCP(book map[wire.NodeID]string) *StaticTCP {
 		b[id] = addr
 	}
 	return &StaticTCP{
-		book:  b,
-		local: make(map[wire.NodeID]*tcpEndpoint),
-		conns: make(map[connKey]net.Conn),
+		book:     b,
+		local:    make(map[wire.NodeID]*tcpEndpoint),
+		conns:    make(map[connKey]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
 	}
 }
 
@@ -76,10 +78,25 @@ func (s *StaticTCP) Attach(id wire.NodeID, h Handler) error {
 			if err != nil {
 				return
 			}
+			// Track inbound connections so Close can unblock their read
+			// loops; otherwise teardown waits on peers that never hang up.
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.accepted[conn] = struct{}{}
+			s.mu.Unlock()
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				defer conn.Close()
+				defer func() {
+					conn.Close()
+					s.mu.Lock()
+					delete(s.accepted, conn)
+					s.mu.Unlock()
+				}()
 				readFrames(conn, func(from wire.NodeID, buf []byte) bool {
 					s.mu.RLock()
 					cur, ok := s.local[id]
@@ -197,6 +214,10 @@ func (s *StaticTCP) Close() {
 		c.Close()
 	}
 	s.conns = map[connKey]net.Conn{}
+	for c := range s.accepted {
+		c.Close()
+	}
+	s.accepted = map[net.Conn]struct{}{}
 	s.mu.Unlock()
 	for _, ep := range eps {
 		ep.listener.Close()

@@ -1,0 +1,128 @@
+package relay
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"infoslicing/internal/code"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/wire"
+)
+
+// countingTransport swallows sends so the benchmark measures only the relay
+// data path, not a transport.
+type countingTransport struct {
+	handler overlay.Handler
+	sent    int64
+	bytes   int64
+}
+
+func (t *countingTransport) Attach(id wire.NodeID, h overlay.Handler) error {
+	t.handler = h
+	return nil
+}
+func (t *countingTransport) Detach(wire.NodeID) {}
+func (t *countingTransport) Send(from, to wire.NodeID, data []byte) error {
+	t.sent++
+	t.bytes += int64(len(data))
+	return nil
+}
+
+// BenchmarkForwardDataPacket measures the steady-state relay forward path —
+// unmarshal, slot verify, round bookkeeping, re-frame, send — for one data
+// packet through an established middle-of-graph flow. ReportAllocs guards
+// the zero-copy pipeline: a future change that reintroduces per-packet
+// copies or garbage shows up here as allocs/op.
+func BenchmarkForwardDataPacket(b *testing.B) {
+	for _, regen := range []bool{false, true} {
+		name := "forward"
+		if regen {
+			name = "forward+regen"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := &countingTransport{}
+			n, err := New(1, tr, Config{Rng: rand.New(rand.NewSource(1))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+
+			const d = 2
+			const dp = 3
+			const flow = wire.FlowID(7)
+			parents := []wire.NodeID{100, 101, 102}
+			info := &wire.PerNodeInfo{
+				Children:   []wire.NodeID{2, 3, 4},
+				ChildFlows: []wire.FlowID{55, 56, 57},
+				Recode:     regen,
+				DataMap: []wire.DataForward{
+					{Parent: parents[0], Child: 0},
+					{Parent: parents[1], Child: 1},
+					{Parent: parents[2], Child: 2},
+				},
+			}
+			fs := &flowState{
+				setupPkts:  make(map[wire.NodeID]*wire.Packet),
+				ownByD:     make(map[int][]code.Slice),
+				geomByD:    make(map[int][2]int),
+				rounds:     make(map[uint32]*round),
+				chunks:     make(map[uint32][]byte),
+				seen:       make(map[wire.NodeID]bool),
+				info:       info,
+				parents:    map[wire.NodeID]bool{parents[0]: true, parents[1]: true, parents[2]: true},
+				d:          d,
+				lastActive: time.Now(),
+			}
+			if regen {
+				// One parent is dead: its child's slice is regenerated every
+				// round from the survivors' degrees of freedom (d of them
+				// remain, so the round is decodable).
+				fs.deadParents = map[wire.NodeID]bool{parents[2]: true}
+			}
+			n.mu.Lock()
+			n.flows[flow] = fs
+			n.mu.Unlock()
+
+			rng := rand.New(rand.NewSource(2))
+			enc, err := code.NewEncoder(d, dp, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunk := make([]byte, 1200*d)
+			rng.Read(chunk)
+			slices, err := enc.Encode(chunk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-frame one packet per parent; the benchmark loop patches the
+			// sequence number in place.
+			bufs := make([][]byte, len(parents))
+			for i := range bufs {
+				s := slices[i]
+				slotLen := len(s.Coeff) + len(s.Payload) + 4
+				buf := wire.AppendPacketHeader(nil, wire.MsgData, flow, 0, d, uint16(slotLen), 1)
+				bufs[i] = wire.AppendSlot(buf, s)
+			}
+			active := len(parents)
+			if regen {
+				active = len(parents) - 1
+			}
+			b.SetBytes(int64(active * len(bufs[0])))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq := uint32(i)
+				for p := 0; p < active; p++ {
+					binary.BigEndian.PutUint32(bufs[p][9:], seq)
+					n.onPacket(parents[p], bufs[p])
+				}
+			}
+			b.StopTimer()
+			if want := int64(b.N * len(info.DataMap)); tr.sent < want {
+				b.Fatalf("forwarded %d packets, want >= %d", tr.sent, want)
+			}
+		})
+	}
+}

@@ -90,6 +90,13 @@ type Node struct {
 	flows map[wire.FlowID]*flowState
 	stats Stats
 
+	// Per-node scratch, guarded by mu: the packet framing buffer and the
+	// slice-gather/regeneration workspaces are reused across every round of
+	// every flow, so steady-state forwarding allocates nothing.
+	pktBuf []byte
+	gather []code.Slice
+	regen  []code.Slice
+
 	received chan Message
 	done     chan struct{}
 	closeOne sync.Once
@@ -353,7 +360,8 @@ func (n *Node) handleAck(from wire.NodeID) {
 func (n *Node) sendAckLocked(flow wire.FlowID, fs *flowState) {
 	fs.ackSent = true
 	pkt := &wire.Packet{Type: wire.MsgAck, Flow: flow}
-	buf := pkt.Marshal()
+	n.pktBuf = pkt.AppendTo(n.pktBuf[:0])
+	buf := n.pktBuf
 	targets := make(map[wire.NodeID]bool, len(fs.parents)+len(fs.seen))
 	for p := range fs.parents {
 		targets[p] = true
@@ -502,8 +510,9 @@ func (n *Node) forwardSetupLocked(f wire.FlowID, fs *flowState) {
 		}
 	}
 	for c, ch := range pi.Children {
+		n.pktBuf = out[c].AppendTo(n.pktBuf[:0])
 		n.stats.PacketsOut++
-		n.tr.Send(n.id, ch, out[c].Marshal()) //nolint:errcheck // datagram semantics
+		n.tr.Send(n.id, ch, n.pktBuf) //nolint:errcheck // datagram semantics
 	}
 	// Setup packets are no longer needed; free the slabs.
 	fs.setupPkts = map[wire.NodeID]*wire.Packet{}
@@ -585,20 +594,18 @@ func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *r
 		}
 	}
 	pi := fs.info
-	all := make([]code.Slice, 0, len(r.slices))
-	for _, s := range r.slices {
-		all = append(all, s)
-	}
+	all := n.gatherLocked(r)
 	canRegen := pi.Recode && code.Decodable(fs.d, all)
 	for _, e := range pi.DataMap {
 		var out code.Slice
 		if s, ok := r.slices[e.Parent]; ok {
 			out = s
 		} else if canRegen {
-			fresh, err := code.Recombine(all, 1, n.cfg.Rng)
+			fresh, err := code.RecombineInto(n.regen, all, 1, n.cfg.Rng)
 			if err != nil {
 				continue
 			}
+			n.regen = fresh
 			out = fresh[0]
 			n.stats.Regenerated++
 		} else {
@@ -607,32 +614,38 @@ func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *r
 		if int(e.Child) >= len(pi.Children) {
 			continue
 		}
-		slot := wire.EncodeSlot(out)
-		pkt := &wire.Packet{
-			Type:     wire.MsgData,
-			Flow:     pi.ChildFlows[e.Child],
-			Seq:      seq,
-			CoeffLen: uint8(fs.d),
-			SlotLen:  uint16(len(slot)),
-			Slots:    [][]byte{slot},
-		}
+		// Assemble header ‖ slot directly in the reusable framing buffer:
+		// the slice bytes are copied exactly once, into the buffer the
+		// transport consumes.
+		slotLen := len(out.Coeff) + len(out.Payload) + 4
+		n.pktBuf = wire.AppendPacketHeader(n.pktBuf[:0], wire.MsgData,
+			pi.ChildFlows[e.Child], seq, uint8(fs.d), uint16(slotLen), 1)
+		n.pktBuf = wire.AppendSlot(n.pktBuf, out)
 		n.stats.PacketsOut++
-		n.tr.Send(n.id, pi.Children[e.Child], pkt.Marshal()) //nolint:errcheck
+		n.tr.Send(n.id, pi.Children[e.Child], n.pktBuf) //nolint:errcheck
 	}
-	// If the node is not the receiver the slices are dead weight now.
+	// If the node is not the receiver the slices are dead weight now (they
+	// pin the receive buffers they view into).
 	if !pi.Receiver {
 		r.slices = map[wire.NodeID]code.Slice{}
 	}
+}
+
+// gatherLocked collects a round's slices into the node's reusable gather
+// scratch. The result is valid until the next call; runs with n.mu held.
+func (n *Node) gatherLocked(r *round) []code.Slice {
+	n.gather = n.gather[:0]
+	for _, s := range r.slices {
+		n.gather = append(n.gather, s)
+	}
+	return n.gather
 }
 
 // tryDeliverLocked decodes a round and advances the receiver's reassembly
 // stream: [4-byte sealed length ‖ sealed bytes ‖ next message ...], each
 // chunk independently length-prefixed by the coding layer.
 func (n *Node) tryDeliverLocked(f wire.FlowID, fs *flowState, seq uint32, r *round) {
-	all := make([]code.Slice, 0, len(r.slices))
-	for _, s := range r.slices {
-		all = append(all, s)
-	}
+	all := n.gatherLocked(r)
 	if !code.Decodable(fs.d, all) {
 		return
 	}
@@ -666,7 +679,9 @@ func (n *Node) drainStreamLocked(f wire.FlowID, fs *flowState) {
 		}
 		sealed := fs.stream[4 : 4+total]
 		plain, err := fs.info.Key.Open(sealed)
-		fs.stream = append([]byte(nil), fs.stream[4+total:]...)
+		// Compact in place instead of reallocating per message; the buffer
+		// is reused by the next chunks.
+		fs.stream = fs.stream[:copy(fs.stream, fs.stream[4+total:])]
 		if err != nil {
 			continue // corrupted message; skip
 		}

@@ -48,6 +48,14 @@ type Sender struct {
 	seq         uint32
 	established bool
 	paceFree    time.Time // virtual-time pacer for Config.RateBps
+
+	// Round scratch, guarded by mu: the encoder (which carries its own
+	// matrix and chop workspaces), the coded slices, and the packet framing
+	// buffer are reused across every round of the flow.
+	enc    *code.Encoder
+	encErr error
+	slices []code.Slice
+	pktBuf []byte
 }
 
 // Errors.
@@ -146,34 +154,36 @@ func (s *Sender) pace(bytes int) {
 }
 
 // sendRound codes one chunk into d' slices and multicasts them from the
-// source endpoints to stage 1.
+// source endpoints to stage 1. It holds s.mu throughout so the encoder and
+// framing scratch can be reused round after round; all transports release
+// the buffer before Send returns.
 func (s *Sender) sendRound(chunk []byte) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	seq := s.seq
 	s.seq++
-	enc, err := code.NewEncoder(s.graph.D, s.graph.DPrime, s.rng)
+	if s.enc == nil && s.encErr == nil {
+		s.enc, s.encErr = code.NewEncoder(s.graph.D, s.graph.DPrime, s.rng)
+	}
+	if s.encErr != nil {
+		return s.encErr
+	}
+	slices, err := s.enc.EncodeInto(chunk, s.slices)
 	if err != nil {
-		s.mu.Unlock()
 		return err
 	}
-	slices, err := enc.Encode(chunk)
-	s.mu.Unlock()
-	if err != nil {
-		return err
-	}
+	s.slices = slices
 	g := s.graph
 	for e, src := range g.Sources {
-		slot := wire.EncodeSlot(slices[e])
-		for _, v := range g.Stage1() {
-			pkt := &wire.Packet{
-				Type:     wire.MsgData,
-				Flow:     g.Flows[v],
-				Seq:      seq,
-				CoeffLen: uint8(g.D),
-				SlotLen:  uint16(len(slot)),
-				Slots:    [][]byte{slot},
-			}
-			if err := s.tr.Send(src, v, pkt.Marshal()); err != nil {
+		// Frame the slice once; only the per-child flow-id differs between
+		// stage-1 targets, so patch it in place instead of re-marshaling.
+		slotLen := len(slices[e].Coeff) + len(slices[e].Payload) + 4
+		s.pktBuf = wire.AppendPacketHeader(s.pktBuf[:0], wire.MsgData, 0,
+			seq, uint8(g.D), uint16(slotLen), 1)
+		s.pktBuf = wire.AppendSlot(s.pktBuf, slices[e])
+		for _, v := range g.Stages[0] {
+			wire.PatchFlow(s.pktBuf, g.Flows[v])
+			if err := s.tr.Send(src, v, s.pktBuf); err != nil {
 				// A crashed pseudo-source is survivable when d' > d; report
 				// only if no endpoint can transmit. Keep it simple: ignore
 				// per-send errors, redundancy covers them.

@@ -33,15 +33,15 @@ func RandomTransform(rng *rand.Rand) Transform {
 	}
 }
 
-// Apply scrambles b in place: b[i] = Scalar*b[i] XOR ks[i].
+// Apply scrambles b in place: b[i] = Scalar*b[i] XOR ks[i]. The scalar
+// multiply is one table walk and the keystream is XORed eight bytes at a
+// time — this code runs on every forwarded byte at every relay (§9.4a).
 func (t Transform) Apply(b []byte) {
 	if t.IsIdentity() {
 		return
 	}
-	ks := newKeystream(t.Seed)
-	for i := range b {
-		b[i] = gf.Mul(t.Scalar, b[i]) ^ ks.next()
-	}
+	mulInPlace(gf.MulTable(t.Scalar), b)
+	xorKeystream(t.Seed, b)
 }
 
 // Invert undoes Apply in place: b[i] = Scalar^-1 * (b[i] XOR ks[i]).
@@ -49,10 +49,41 @@ func (t Transform) Invert(b []byte) {
 	if t.IsIdentity() {
 		return
 	}
-	inv := gf.Inv(t.Scalar)
-	ks := newKeystream(t.Seed)
+	xorKeystream(t.Seed, b)
+	mulInPlace(gf.MulTable(gf.Inv(t.Scalar)), b)
+}
+
+func mulInPlace(mt *[gf.Order]byte, b []byte) {
 	for i := range b {
-		b[i] = gf.Mul(inv, b[i]^ks.next())
+		b[i] = mt[b[i]]
+	}
+}
+
+// xorKeystream XORs the xorshift64* stream seeded with seed into b, whole
+// words at a time. Byte-compatible with the original per-byte keystream:
+// the stream is the big-endian encoding of successive generator outputs.
+func xorKeystream(seed uint64, b []byte) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	x := seed
+	n := len(b) &^ 7
+	for i := 0; i < n; i += 8 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		w := binary.BigEndian.Uint64(b[i:])
+		binary.BigEndian.PutUint64(b[i:], w^(x*0x2545f4914f6cdd1d))
+	}
+	if n < len(b) {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		var tail [8]byte
+		binary.BigEndian.PutUint64(tail[:], x*0x2545f4914f6cdd1d)
+		for i := n; i < len(b); i++ {
+			b[i] ^= tail[i-n]
+		}
 	}
 }
 
@@ -69,7 +100,8 @@ func unmarshalTransform(b []byte) Transform {
 
 // keystream is a small xorshift64* generator. It hides patterns from
 // observers between hops; confidentiality of slice contents comes from the
-// coding scheme, not from this stream.
+// coding scheme, not from this stream. Retained as the per-byte reference
+// for xorKeystream's compatibility test.
 type keystream struct {
 	state uint64
 	buf   [8]byte

@@ -59,30 +59,54 @@ type Packet struct {
 	Slots    [][]byte
 }
 
-// Marshal serializes the packet.
+// Marshal serializes the packet into a fresh buffer.
 func (p *Packet) Marshal() []byte {
-	out := make([]byte, packetHeader+len(p.Slots)*int(p.SlotLen))
-	out[0] = byte(p.Type)
-	binary.BigEndian.PutUint64(out[1:], uint64(p.Flow))
-	binary.BigEndian.PutUint32(out[9:], p.Seq)
-	out[13] = p.CoeffLen
-	binary.BigEndian.PutUint16(out[14:], p.SlotLen)
-	out[16] = uint8(len(p.Slots))
-	off := packetHeader
+	return p.AppendTo(make([]byte, 0, p.Size()))
+}
+
+// AppendTo appends the packet's serialization to dst and returns the
+// extended slice. Callers on the hot path keep one framing buffer and pass
+// dst[:0] each round; every transport copies (or writes out) the bytes
+// before Send returns, so the buffer is immediately reusable.
+func (p *Packet) AppendTo(dst []byte) []byte {
+	dst = AppendPacketHeader(dst, p.Type, p.Flow, p.Seq, p.CoeffLen, p.SlotLen, len(p.Slots))
 	for _, s := range p.Slots {
 		if len(s) != int(p.SlotLen) {
 			panic(fmt.Sprintf("wire: slot size %d != declared %d", len(s), p.SlotLen))
 		}
-		copy(out[off:], s)
-		off += int(p.SlotLen)
+		dst = append(dst, s...)
 	}
-	return out
+	return dst
+}
+
+// AppendPacketHeader appends the fixed packet header. Slot payload bytes
+// (numSlots × slotLen of them) must follow for the result to parse.
+func AppendPacketHeader(dst []byte, typ MsgType, flow FlowID, seq uint32, coeffLen uint8, slotLen uint16, numSlots int) []byte {
+	var h [packetHeader]byte
+	h[0] = byte(typ)
+	binary.BigEndian.PutUint64(h[1:], uint64(flow))
+	binary.BigEndian.PutUint32(h[9:], seq)
+	h[13] = coeffLen
+	binary.BigEndian.PutUint16(h[14:], slotLen)
+	h[16] = uint8(numSlots)
+	return append(dst, h[:]...)
+}
+
+// PatchFlow rewrites the flow-id of an already-marshaled packet in place.
+// The source uses it to retarget one framed slice at each stage-1 relay
+// without re-serializing the payload.
+func PatchFlow(b []byte, flow FlowID) {
+	binary.BigEndian.PutUint64(b[1:], uint64(flow))
 }
 
 // Size returns the marshaled length without serializing.
 func (p *Packet) Size() int { return packetHeader + len(p.Slots)*int(p.SlotLen) }
 
-// UnmarshalPacket parses a packet.
+// UnmarshalPacket parses a packet. The returned packet's slots are views
+// into b — no bytes are copied. The caller must own b (both transports hand
+// each handler a private buffer) and must copy any slot it intends to
+// mutate; retaining a slot view pins the whole receive buffer, which is the
+// intended zero-copy behavior on the relay hot path.
 func UnmarshalPacket(b []byte) (*Packet, error) {
 	if len(b) < packetHeader {
 		return nil, ErrTruncated
@@ -102,7 +126,7 @@ func UnmarshalPacket(b []byte) (*Packet, error) {
 	p.Slots = make([][]byte, n)
 	off := packetHeader
 	for i := range p.Slots {
-		p.Slots[i] = append([]byte(nil), b[off:off+int(p.SlotLen)]...)
+		p.Slots[i] = b[off : off+int(p.SlotLen) : off+int(p.SlotLen)]
 		off += int(p.SlotLen)
 	}
 	return p, nil
@@ -123,15 +147,24 @@ func SlotLenFor(d, payloadLen int) int { return d + payloadLen + slotCRC }
 
 // EncodeSlot packs a slice into a freshly allocated slot.
 func EncodeSlot(s code.Slice) []byte {
-	out := make([]byte, len(s.Coeff)+len(s.Payload)+slotCRC)
-	copy(out, s.Coeff)
-	copy(out[len(s.Coeff):], s.Payload)
-	sum := crc32.ChecksumIEEE(out[:len(out)-slotCRC])
-	binary.BigEndian.PutUint32(out[len(out)-slotCRC:], sum)
-	return out
+	return AppendSlot(make([]byte, 0, len(s.Coeff)+len(s.Payload)+slotCRC), s)
 }
 
-// DecodeSlot unpacks a slot into a slice, verifying the checksum.
+// AppendSlot appends the slot encoding of s (coeff ‖ payload ‖ crc32) to
+// dst. Relays use it to assemble outgoing packets directly in their framing
+// buffer, skipping the intermediate slot allocation.
+func AppendSlot(dst []byte, s code.Slice) []byte {
+	start := len(dst)
+	dst = append(dst, s.Coeff...)
+	dst = append(dst, s.Payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, sum)
+}
+
+// DecodeSlot unpacks a slot into a slice, verifying the checksum. The
+// returned slice's Coeff and Payload are views into slot: callers that
+// mutate or outlive the buffer must Clone, callers that only read (decode,
+// forward-by-copy) take the zero-copy path.
 func DecodeSlot(slot []byte, d int) (code.Slice, error) {
 	if len(slot) < d+slotCRC {
 		return code.Slice{}, ErrTruncated
@@ -141,8 +174,8 @@ func DecodeSlot(slot []byte, d int) (code.Slice, error) {
 		return code.Slice{}, ErrBadSlice
 	}
 	return code.Slice{
-		Coeff:   append([]byte(nil), slot[:d]...),
-		Payload: append([]byte(nil), slot[d:len(slot)-slotCRC]...),
+		Coeff:   slot[:d:d],
+		Payload: slot[d : len(slot)-slotCRC : len(slot)-slotCRC],
 	}, nil
 }
 

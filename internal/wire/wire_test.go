@@ -332,3 +332,103 @@ func BenchmarkPacketMarshal(b *testing.B) {
 		p.Marshal()
 	}
 }
+
+// --- Append-style framing ----------------------------------------------------
+
+func TestAppendToMatchesMarshal(t *testing.T) {
+	p := &Packet{
+		Type:     MsgData,
+		Flow:     42,
+		Seq:      9,
+		CoeffLen: 2,
+		SlotLen:  6,
+		Slots:    [][]byte{{1, 2, 3, 4, 5, 6}, {7, 8, 9, 10, 11, 12}},
+	}
+	buf := p.AppendTo(nil)
+	if !bytes.Equal(buf, p.Marshal()) {
+		t.Fatal("AppendTo disagrees with Marshal")
+	}
+	// Appending after a prefix must leave the prefix intact.
+	withPrefix := p.AppendTo([]byte("prefix"))
+	if !bytes.Equal(withPrefix[:6], []byte("prefix")) || !bytes.Equal(withPrefix[6:], buf) {
+		t.Fatal("AppendTo clobbered prefix")
+	}
+}
+
+func TestAppendSlotMatchesEncodeSlot(t *testing.T) {
+	s := code.Slice{Coeff: []byte{9, 8, 7}, Payload: []byte("payload bytes")}
+	if !bytes.Equal(AppendSlot(nil, s), EncodeSlot(s)) {
+		t.Fatal("AppendSlot disagrees with EncodeSlot")
+	}
+}
+
+func TestAppendPacketHeaderParses(t *testing.T) {
+	s := code.Slice{Coeff: []byte{1, 2}, Payload: []byte{3, 4, 5}}
+	slotLen := uint16(len(s.Coeff) + len(s.Payload) + 4)
+	buf := AppendPacketHeader(nil, MsgData, 77, 5, 2, slotLen, 1)
+	buf = AppendSlot(buf, s)
+	p, err := UnmarshalPacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flow != 77 || p.Seq != 5 || len(p.Slots) != 1 {
+		t.Fatalf("parsed header wrong: %+v", p)
+	}
+	got, err := DecodeSlot(p.Slots[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Coeff, s.Coeff) || !bytes.Equal(got.Payload, s.Payload) {
+		t.Fatal("slot did not round trip through append framing")
+	}
+}
+
+func TestPatchFlow(t *testing.T) {
+	p := &Packet{Type: MsgData, Flow: 1, CoeffLen: 1, SlotLen: 5,
+		Slots: [][]byte{{1, 2, 3, 4, 5}}}
+	buf := p.Marshal()
+	PatchFlow(buf, 0xfeedface)
+	got, err := UnmarshalPacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow != 0xfeedface {
+		t.Fatalf("flow not patched: %x", got.Flow)
+	}
+	if got.Seq != p.Seq || len(got.Slots) != 1 || !bytes.Equal(got.Slots[0], p.Slots[0]) {
+		t.Fatal("PatchFlow disturbed other fields")
+	}
+}
+
+// UnmarshalPacket returns views: the slots must alias the input buffer (the
+// zero-copy contract relays rely on).
+func TestUnmarshalPacketReturnsViews(t *testing.T) {
+	p := &Packet{Type: MsgData, Flow: 3, CoeffLen: 1, SlotLen: 4,
+		Slots: [][]byte{{1, 2, 3, 4}}}
+	buf := p.Marshal()
+	got, err := UnmarshalPacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] = 0xEE
+	if got.Slots[0][3] != 0xEE {
+		t.Fatal("slots are copies; expected views into the receive buffer")
+	}
+}
+
+// The word-wide keystream must be byte-compatible with the per-byte
+// reference generator (old wire captures must still unscramble).
+func TestXorKeystreamMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1501} {
+		seed := rng.Uint64()
+		buf := make([]byte, n)
+		xorKeystream(seed, buf) // XOR into zeros == raw stream
+		ks := newKeystream(seed)
+		for i := 0; i < n; i++ {
+			if want := ks.next(); buf[i] != want {
+				t.Fatalf("seed %#x len %d: stream diverges at %d", seed, n, i)
+			}
+		}
+	}
+}
