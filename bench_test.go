@@ -9,6 +9,7 @@ package infoslicing
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -244,6 +245,43 @@ func BenchmarkFig13Scaling(b *testing.B) {
 			}
 			b.ReportMetric(total/1e6, "Mbps-total")
 		})
+	}
+}
+
+// --- Multi-core relay scaling: aggregate throughput vs GOMAXPROCS ------------
+
+// BenchmarkRelayScaling measures how the sharded relay uses cores: N
+// concurrent flows over a shared relay pool on an unshaped in-memory
+// transport (relay CPU work is the bottleneck), swept across GOMAXPROCS.
+// It extends the paper's §7 network-throughput experiment (Fig. 13) down
+// one level: Fig. 13 scales by adding relays, this scales one relay
+// process across cores. Aggregate Mb/s should grow with procs for
+// multi-flow runs while per-message tail latency stays bounded; the
+// flows=1 rows are the no-parallelism control.
+func BenchmarkRelayScaling(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, flows := range []int{1, 8, 32} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("flows=%d/procs=%d", flows, procs), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				var res perf.RelayScalingResult
+				for i := 0; i < b.N; i++ {
+					r, err := perf.RelayScaling(perf.RelayScalingParams{
+						Flows: flows, L: 2, D: 2,
+						Messages: 32, MessageBytes: 2048,
+						Seed: int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res = r
+				}
+				b.ReportMetric(res.AggregateMbps, "Mbps-total")
+				b.ReportMetric(float64(res.LatencyP50.Microseconds()), "p50-µs")
+				b.ReportMetric(float64(res.LatencyP99.Microseconds()), "p99-µs")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+// Command benchguard gates allocation regressions in CI: it parses `go
+// test -bench` output, extracts allocs/op for every benchmark, and fails
+// (exit 1) if any benchmark named in the committed baseline allocates more
+// than the baseline allows — or is missing from the run entirely, so a
+// renamed benchmark cannot silently drop out of the gate.
+//
+//	go test -run '^$' -bench '...' -benchtime 200x ./... | tee bench.out
+//	go run ./cmd/benchguard -baseline bench_baseline.json bench.out
+//
+// Allocation counts are compared, not nanoseconds: allocs/op is
+// deterministic for a fixed -benchtime, so the gate is meaningful on noisy
+// shared CI runners where timing is not. Run with -update to rewrite the
+// baseline from the measured values after an intentional change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed allocation contract, one entry per gated
+// benchmark (sub-benchmark names included, GOMAXPROCS suffix stripped).
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// AllocsPerOp maps benchmark name to the maximum allowed allocs/op.
+	AllocsPerOp map[string]int64 `json:"allocs_per_op"`
+}
+
+// procSuffix strips the -GOMAXPROCS tail go test appends on multi-core
+// machines (BenchmarkX/sub-8 → BenchmarkX/sub).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline JSON path")
+	update := flag.Bool("update", false, "rewrite the baseline from measured values instead of gating")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("open bench output: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fatalf("parse bench output: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("no benchmark lines with allocs/op found (did the bench run crash?)")
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline: %v", err)
+	}
+
+	if *update {
+		for name := range base.AllocsPerOp {
+			got, ok := measured[name]
+			if !ok {
+				fatalf("baseline benchmark %q not in this run; cannot update", name)
+			}
+			base.AllocsPerOp[name] = got
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatalf("marshal baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatalf("write baseline: %v", err)
+		}
+		fmt.Printf("benchguard: baseline %s updated (%d benchmarks)\n", *baselinePath, len(base.AllocsPerOp))
+		return
+	}
+
+	names := make([]string, 0, len(base.AllocsPerOp))
+	for name := range base.AllocsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		allowed := base.AllocsPerOp[name]
+		got, ok := measured[name]
+		switch {
+		case !ok:
+			fmt.Printf("MISSING  %-55s baseline %4d, not measured\n", name, allowed)
+			failed++
+		case got > allowed:
+			fmt.Printf("FAIL     %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got)
+			failed++
+		default:
+			fmt.Printf("ok       %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got)
+		}
+	}
+	if failed > 0 {
+		fatalf("%d of %d gated benchmarks regressed or went missing", failed, len(names))
+	}
+	fmt.Printf("benchguard: all %d gated benchmarks within baseline\n", len(names))
+}
+
+// parseBench extracts allocs/op per benchmark name from go test -bench
+// output. A name measured more than once (e.g. -count > 1) keeps its worst
+// result.
+func parseBench(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseInt(fields[i-1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad allocs/op %q", sc.Text(), fields[i-1])
+			}
+			if prev, ok := out[name]; !ok || v > prev {
+				out[name] = v
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -48,17 +48,31 @@ func CI95(xs []float64) float64 {
 }
 
 // Median returns the median (0 for empty input).
-func Median(xs []float64) float64 {
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) with linear
+// interpolation between adjacent ranks (0 for empty input). The latency
+// tables of the scaling harness report P50/P95/P99 with it.
+func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	c := append([]float64(nil), xs...)
 	sort.Float64s(c)
-	n := len(c)
-	if n%2 == 1 {
-		return c[n/2]
+	if p <= 0 {
+		return c[0]
 	}
-	return (c[n/2-1] + c[n/2]) / 2
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
 }
 
 // Series is one plotted line: y values indexed by x.

@@ -14,18 +14,33 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"infoslicing/internal/metrics"
 	"infoslicing/internal/wire"
 )
+
+// counterStripes sizes the transport's sharded counters: enough stripes
+// that concurrent senders rarely collide, independent of node count.
+var counterStripes = 4 * runtime.GOMAXPROCS(0)
 
 // Handler consumes a raw packet addressed to an attached node. The data
 // buffer is private to the handler: the transport must hand each delivery
 // its own allocation (or copy) and never touch it again. Handlers rely on
 // this to retain zero-copy views into data across rounds (see DESIGN.md,
 // buffer-ownership rules).
+//
+// Concurrency contract: transports MAY invoke one node's handler from many
+// goroutines at once, in any order across packets (datagram semantics; the
+// in-memory transport delivers every packet on its own goroutine). A
+// handler must therefore be safe for concurrent use, and should return
+// quickly — the relay daemon, for example, only classifies the packet and
+// hands the buffer to a per-shard worker queue. Buffer ownership moves with
+// the buffer: whichever goroutine the handler forwards it to becomes the
+// owner.
 type Handler func(from wire.NodeID, data []byte)
 
 // Transport moves opaque datagrams between overlay nodes.
@@ -106,9 +121,12 @@ type ChanNetwork struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	bytesSent atomic.Int64
-	pktsSent  atomic.Int64
-	pktsLost  atomic.Int64
+	// Every Send bumps these from its caller's goroutine; striped counters
+	// keyed by the sending node keep concurrent senders off each other's
+	// cache lines (plain adjacent atomics false-share badly here).
+	bytesSent *metrics.ShardedCounter
+	pktsSent  *metrics.ShardedCounter
+	pktsLost  *metrics.ShardedCounter
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -130,9 +148,12 @@ func NewChanNetwork(p Profile, rng *rand.Rand) *ChanNetwork {
 		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	return &ChanNetwork{
-		profile: p,
-		nodes:   make(map[wire.NodeID]*chanEndpoint),
-		rng:     rng,
+		profile:   p,
+		nodes:     make(map[wire.NodeID]*chanEndpoint),
+		rng:       rng,
+		bytesSent: metrics.NewShardedCounter(counterStripes),
+		pktsSent:  metrics.NewShardedCounter(counterStripes),
+		pktsLost:  metrics.NewShardedCounter(counterStripes),
 	}
 }
 
@@ -207,15 +228,15 @@ func (n *ChanNetwork) Send(from, to wire.NodeID, data []byte) error {
 	if dst == nil || dst.down.Load() {
 		// Receiver unknown or crashed: silently dropped, like the real
 		// network.
-		n.pktsLost.Add(1)
+		n.pktsLost.Add(uint64(from), 1)
 		return nil
 	}
-	n.pktsSent.Add(1)
-	n.bytesSent.Add(int64(len(data)))
+	n.pktsSent.Add(uint64(from), 1)
+	n.bytesSent.Add(uint64(from), int64(len(data)))
 
 	delay := n.sendDelay(src, len(data))
 	if n.dropPacket() {
-		n.pktsLost.Add(1)
+		n.pktsLost.Add(uint64(from), 1)
 		return nil
 	}
 	payload := append([]byte(nil), data...)
@@ -285,7 +306,7 @@ func (n *ChanNetwork) dropPacket() bool {
 
 // Stats reports cumulative network counters.
 func (n *ChanNetwork) Stats() (pkts, bytes, lost int64) {
-	return n.pktsSent.Load(), n.bytesSent.Load(), n.pktsLost.Load()
+	return n.pktsSent.Value(), n.bytesSent.Value(), n.pktsLost.Value()
 }
 
 // Close stops delivering packets and waits for in-flight deliveries.

@@ -81,6 +81,44 @@ func TestSlicingBeatsOnionLAN2007(t *testing.T) {
 	}
 }
 
+func TestRelayScalingValidation(t *testing.T) {
+	if _, err := RelayScaling(RelayScalingParams{L: 3, DPrime: 4, D: 2, PoolSize: 5}); err == nil {
+		t.Fatal("tiny pool accepted")
+	}
+	if _, err := RelayScaling(RelayScalingParams{D: 3, DPrime: 2}); err == nil {
+		t.Fatal("DPrime < D accepted")
+	}
+}
+
+// Smoke-test the multi-flow scaling harness: a handful of concurrent flows
+// over a small shared pool must all deliver, with sane latency ordering.
+func TestRelayScalingSmoke(t *testing.T) {
+	res, err := RelayScaling(RelayScalingParams{
+		Flows: 3, L: 2, D: 2, PoolSize: 12,
+		Messages: 6, MessageBytes: 1024, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3*6 {
+		t.Fatalf("delivered %d messages, want %d", res.Delivered, 3*6)
+	}
+	if res.AggregateMbps <= 0 {
+		t.Fatalf("aggregate %v", res.AggregateMbps)
+	}
+	if len(res.PerFlowMbps) != 3 {
+		t.Fatalf("per-flow series %d", len(res.PerFlowMbps))
+	}
+	for f, mbps := range res.PerFlowMbps {
+		if mbps <= 0 {
+			t.Fatalf("flow %d goodput %v", f, mbps)
+		}
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyP99 {
+		t.Fatalf("latency percentiles disordered: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+}
+
 func TestScalingTwoFlows(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling test is slow")

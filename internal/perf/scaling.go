@@ -1,0 +1,255 @@
+package perf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"infoslicing/internal/core"
+	"infoslicing/internal/metrics"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/relay"
+	"infoslicing/internal/source"
+	"infoslicing/internal/wire"
+)
+
+// RelayScalingParams configures the multi-core relay scaling experiment:
+// many concurrent anonymous flows, driven by one MultiSender, crossing a
+// shared relay pool on an unshaped in-memory transport, so the bottleneck
+// is relay CPU work (parse, verify, recode, re-frame) rather than emulated
+// link speed. Sweeping GOMAXPROCS around it measures how the sharded relay
+// uses cores — the in-process analogue of the paper's §7 claim that
+// slicing relays are cheap enough to run at line rate.
+type RelayScalingParams struct {
+	Flows    int // concurrent anonymous flows (default 8)
+	PoolSize int // relay pool shared by all flows (default 4·L·D', min L·D')
+	L        int // path length (default 2)
+	D        int // split factor (default 2)
+	DPrime   int // slices sent (default D)
+
+	Messages     int // messages sent per flow (default 64)
+	MessageBytes int // plaintext bytes per message (default 2048)
+	ChunkPayload int // per-round plaintext (default 1200·D)
+
+	Seed int64
+}
+
+func (p *RelayScalingParams) normalize() error {
+	if p.Flows == 0 {
+		p.Flows = 8
+	}
+	if p.L == 0 {
+		p.L = 2
+	}
+	if p.D == 0 {
+		p.D = 2
+	}
+	if p.DPrime == 0 {
+		p.DPrime = p.D
+	}
+	if p.Messages == 0 {
+		p.Messages = 64
+	}
+	if p.MessageBytes == 0 {
+		p.MessageBytes = 2048
+	}
+	if p.ChunkPayload == 0 {
+		p.ChunkPayload = 1200 * p.D
+	}
+	need := p.L * p.DPrime
+	if p.PoolSize == 0 {
+		p.PoolSize = 4 * need
+	}
+	if p.Flows < 1 || p.L < 1 || p.D < 1 || p.DPrime < p.D {
+		return fmt.Errorf("perf: invalid scaling params %+v", *p)
+	}
+	if p.PoolSize < need {
+		return fmt.Errorf("perf: pool %d too small for graph %d", p.PoolSize, need)
+	}
+	return nil
+}
+
+// RelayScalingResult reports the aggregate and tail behaviour of one run.
+type RelayScalingResult struct {
+	AggregateMbps float64   // sum of per-flow goodputs over the data phase
+	PerFlowMbps   []float64 // goodput per flow
+	Delivered     int       // messages delivered (Flows·Messages on success)
+	Elapsed       time.Duration
+
+	// Per-message delivery latency (source hand-off to destination decode),
+	// pooled across flows.
+	LatencyP50, LatencyP95, LatencyP99 time.Duration
+}
+
+// RelayScaling runs the experiment: establish Flows graphs over a shared
+// pool, then stream Messages messages per flow concurrently, measuring
+// aggregate goodput and per-message latency percentiles.
+func RelayScaling(p RelayScalingParams) (RelayScalingResult, error) {
+	var res RelayScalingResult
+	if err := p.normalize(); err != nil {
+		return res, err
+	}
+	net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(p.Seed)))
+	defer net.Close()
+
+	pool := make([]wire.NodeID, p.PoolSize)
+	nodes := make([]*relay.Node, p.PoolSize)
+	for i := range pool {
+		pool[i] = wire.NodeID(i + 1)
+		n, err := relay.New(pool[i], net, relayCfg(p.Seed+int64(i)))
+		if err != nil {
+			return res, err
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	// Several flows may terminate at the same pool node; a dispatcher
+	// demultiplexes deliveries by flow-id so flows never steal each other's
+	// messages.
+	var (
+		dmu        sync.Mutex
+		deliveries = make(map[wire.FlowID]chan relay.Message)
+	)
+	done := make(chan struct{})
+	defer close(done)
+	for _, n := range nodes {
+		go func(n *relay.Node) {
+			for {
+				select {
+				case m := <-n.Received():
+					dmu.Lock()
+					ch := deliveries[m.Flow]
+					dmu.Unlock()
+					if ch != nil {
+						select {
+						case ch <- m:
+						default:
+						}
+					}
+				case <-done:
+					return
+				}
+			}
+		}(n)
+	}
+
+	// Phase 1: open and establish every flow before any data moves, so the
+	// measured window is pure data-phase work.
+	ms := source.NewMulti(net, rand.New(rand.NewSource(p.Seed+7)))
+	need := p.L * p.DPrime
+	type flowRun struct {
+		snd   *source.Sender
+		inbox chan relay.Message
+	}
+	runs := make([]flowRun, p.Flows)
+	for f := 0; f < p.Flows; f++ {
+		rng := rand.New(rand.NewSource(p.Seed + int64(f)*101))
+		perm := rng.Perm(p.PoolSize)[:need]
+		relaysF := make([]wire.NodeID, need)
+		for i, pi := range perm {
+			relaysF[i] = pool[pi]
+		}
+		srcs := make([]wire.NodeID, p.DPrime)
+		for i := range srcs {
+			srcs[i] = wire.NodeID(100_000 + f*100 + i)
+			if err := net.Attach(srcs[i], func(wire.NodeID, []byte) {}); err != nil {
+				return res, err
+			}
+		}
+		g, err := core.Build(core.Spec{
+			L: p.L, D: p.D, DPrime: p.DPrime,
+			Relays: relaysF, Dest: relaysF[need-1], Sources: srcs,
+			Recode: true, Scramble: true, Rng: rng,
+		})
+		if err != nil {
+			return res, err
+		}
+		snd := ms.Open(g, source.Config{ChunkPayload: p.ChunkPayload})
+		if err := snd.Establish(); err != nil {
+			return res, err
+		}
+		var dest *relay.Node
+		for _, n := range nodes {
+			if n.ID() == g.Dest {
+				dest = n
+			}
+		}
+		destFlow := g.Flows[g.Dest]
+		inbox := make(chan relay.Message, 4)
+		dmu.Lock()
+		deliveries[destFlow] = inbox
+		dmu.Unlock()
+		if !pollUntil(experimentTimeout, func() bool { return dest.Established(destFlow) }) {
+			return res, fmt.Errorf("%w: flow %d setup", ErrTimeout, f)
+		}
+		runs[f] = flowRun{snd: snd, inbox: inbox}
+	}
+
+	// Phase 2: every flow streams its messages concurrently; one message
+	// in flight per flow, so Flows is the data-path concurrency level.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		latSec   []float64
+		perFlow  = make([]float64, p.Flows)
+		nDeliver int
+		firstErr error
+	)
+	start := time.Now()
+	for f := 0; f < p.Flows; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			run := runs[f]
+			rng := rand.New(rand.NewSource(p.Seed + 900 + int64(f)))
+			msg := make([]byte, p.MessageBytes)
+			local := make([]float64, 0, p.Messages)
+			t0 := time.Now()
+			for m := 0; m < p.Messages; m++ {
+				rng.Read(msg)
+				sent := time.Now()
+				if err := run.snd.Send(msg); err != nil {
+					recordErr(&mu, &firstErr, err)
+					return
+				}
+				select {
+				case got := <-run.inbox:
+					if len(got.Data) != p.MessageBytes {
+						recordErr(&mu, &firstErr, fmt.Errorf("perf: flow %d message %d corrupted", f, m))
+						return
+					}
+					local = append(local, time.Since(sent).Seconds())
+				case <-time.After(experimentTimeout):
+					recordErr(&mu, &firstErr, fmt.Errorf("%w: flow %d message %d", ErrTimeout, f, m))
+					return
+				}
+			}
+			bps := float64(p.Messages*p.MessageBytes) * 8 / time.Since(t0).Seconds()
+			mu.Lock()
+			latSec = append(latSec, local...)
+			perFlow[f] = bps / 1e6
+			nDeliver += len(local)
+			mu.Unlock()
+		}(f)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.PerFlowMbps = perFlow
+	res.Delivered = nDeliver
+	for _, mbps := range perFlow {
+		res.AggregateMbps += mbps
+	}
+	res.LatencyP50 = time.Duration(metrics.Percentile(latSec, 50) * float64(time.Second))
+	res.LatencyP95 = time.Duration(metrics.Percentile(latSec, 95) * float64(time.Second))
+	res.LatencyP99 = time.Duration(metrics.Percentile(latSec, 99) * float64(time.Second))
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

@@ -9,22 +9,42 @@
 // invariant. In particular it never learns its stage, the source, or
 // (unless it is the destination) the fact that some node is the
 // destination.
+//
+// # Sharded multi-core data path
+//
+// A node carrying many flows must not funnel them through one lock. The
+// flow table is striped into 2^k shards by a hash of the clear-text
+// flow-id; every flow lives its whole life on one shard. Each shard owns a
+// bounded inbound queue drained by a dedicated worker goroutine, its own
+// flow map, its own reused framing/gather/regeneration scratch, its own
+// deterministic RNG, and its own activity counters, so packets of
+// unrelated flows touch no shared mutable state. The transport handler
+// only classifies the datagram and enqueues it (acks, which are addressed
+// by sender rather than flow, fan out to every shard); all parsing and
+// forwarding happens on the shard worker. The shard mutex exists solely so
+// the per-flow timers (setup wait, round wait) and the stats/GC sweeps can
+// interleave safely with the worker — the steady-state data path is a
+// single writer per shard and never contends.
 package relay
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infoslicing/internal/code"
+	"infoslicing/internal/metrics"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/wire"
 )
 
-// Config tunes relay timers. The zero value is usable: missing fields take
-// the defaults below.
+// Config tunes relay timers and sharding. The zero value is usable: missing
+// fields take the defaults below.
 type Config struct {
 	// SetupWait bounds how long a relay waits for missing setup packets
 	// after it first hears of a flow before forwarding with what it has.
@@ -36,9 +56,19 @@ type Config struct {
 	FlowTTL time.Duration
 	// GCInterval is how often the flow table is swept.
 	GCInterval time.Duration
-	// MaxFlows bounds the flow table (denial-of-service guard, §9.2).
+	// MaxFlows bounds the flow table across all shards (denial-of-service
+	// guard, §9.2).
 	MaxFlows int
-	// Rng seeds padding and recombination; defaults to a time-seeded one.
+	// Shards is the number of flow-table stripes, each with its own worker
+	// pipeline; it is rounded up to a power of two. Defaults to GOMAXPROCS
+	// (rounded up, capped at 64).
+	Shards int
+	// QueueDepth bounds each shard's inbound packet queue; packets arriving
+	// at a full queue are dropped (datagram semantics) and counted in
+	// Stats.QueueDrops. Default 1024.
+	QueueDepth int
+	// Rng seeds the per-shard RNGs that drive padding and recombination;
+	// defaults to a time-seeded one. It is only drawn from during New.
 	Rng *rand.Rand
 }
 
@@ -58,6 +88,16 @@ func (c *Config) fillDefaults() {
 	if c.MaxFlows == 0 {
 		c.MaxFlows = 4096
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > 64 {
+		c.Shards = 64
+	}
+	c.Shards = metrics.CeilPow2(c.Shards)
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
 	if c.Rng == nil {
 		c.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
@@ -69,7 +109,9 @@ type Message struct {
 	Data []byte
 }
 
-// Stats counts node activity.
+// Stats counts node activity. Counters are maintained per shard (see
+// ShardStats) and summed by Stats, so the hot path never writes a shared
+// cache line.
 type Stats struct {
 	SetupPacketsIn    int64
 	DataPacketsIn     int64
@@ -78,6 +120,18 @@ type Stats struct {
 	FlowsEstablished  int64
 	MessagesDelivered int64
 	Dropped           int64 // undeliverable app messages (channel full)
+	QueueDrops        int64 // packets dropped at a full shard queue
+}
+
+func (s *Stats) add(o Stats) {
+	s.SetupPacketsIn += o.SetupPacketsIn
+	s.DataPacketsIn += o.DataPacketsIn
+	s.PacketsOut += o.PacketsOut
+	s.Regenerated += o.Regenerated
+	s.FlowsEstablished += o.FlowsEstablished
+	s.MessagesDelivered += o.MessagesDelivered
+	s.Dropped += o.Dropped
+	s.QueueDrops += o.QueueDrops
 }
 
 // Node is one overlay relay daemon.
@@ -86,21 +140,44 @@ type Node struct {
 	tr  overlay.Transport
 	cfg Config
 
-	mu    sync.Mutex
-	flows map[wire.FlowID]*flowState
-	stats Stats
-
-	// Per-node scratch, guarded by mu: the packet framing buffer and the
-	// slice-gather/regeneration workspaces are reused across every round of
-	// every flow, so steady-state forwarding allocates nothing.
-	pktBuf []byte
-	gather []code.Slice
-	regen  []code.Slice
+	shards []*shard
+	mask   uint64
+	// flowCount is the table occupancy across all shards; reserveFlow keeps
+	// it at or under MaxFlows without a global lock.
+	flowCount atomic.Int64
 
 	received chan Message
 	done     chan struct{}
 	closeOne sync.Once
 	wg       sync.WaitGroup
+}
+
+// shard is one stripe of the flow table plus everything its worker needs.
+// Each shard struct is allocated separately so neighboring shards' hot
+// fields never share a cache line.
+type shard struct {
+	in         chan inPkt
+	queueDrops atomic.Int64 // written by transport goroutines, not the worker
+
+	// mu serializes the worker with timers, GC sweeps, and stats snapshots.
+	// Everything below it is single-writer in the steady state.
+	mu    sync.Mutex
+	flows map[wire.FlowID]*flowState
+	stats Stats
+	rng   *rand.Rand
+
+	// Per-shard scratch: the packet framing buffer and the
+	// slice-gather/regeneration workspaces are reused across every round of
+	// every flow on this shard, so steady-state forwarding allocates
+	// nothing.
+	pktBuf []byte
+	gather []code.Slice
+	regen  []code.Slice
+}
+
+type inPkt struct {
+	from wire.NodeID
+	data []byte
 }
 
 type flowState struct {
@@ -183,19 +260,32 @@ func (fs *flowState) pruneRounds(cur uint32) {
 // ErrClosed is returned by operations on a closed node.
 var ErrClosed = errors.New("relay: node closed")
 
-// New attaches a relay daemon to the transport.
+// New attaches a relay daemon to the transport and starts its shard
+// workers.
 func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
 	cfg.fillDefaults()
 	n := &Node{
 		id:       id,
 		tr:       tr,
 		cfg:      cfg,
-		flows:    make(map[wire.FlowID]*flowState),
+		shards:   make([]*shard, cfg.Shards),
+		mask:     uint64(cfg.Shards - 1),
 		received: make(chan Message, 256),
 		done:     make(chan struct{}),
 	}
+	for i := range n.shards {
+		n.shards[i] = &shard{
+			in:    make(chan inPkt, cfg.QueueDepth),
+			flows: make(map[wire.FlowID]*flowState),
+			rng:   rand.New(rand.NewSource(cfg.Rng.Int63())),
+		}
+	}
 	if err := tr.Attach(id, n.onPacket); err != nil {
 		return nil, err
+	}
+	for _, sh := range n.shards {
+		n.wg.Add(1)
+		go n.runShard(sh)
 	}
 	n.wg.Add(1)
 	go n.gcLoop()
@@ -209,46 +299,87 @@ func (n *Node) ID() wire.NodeID { return n.id }
 // destination.
 func (n *Node) Received() <-chan Message { return n.received }
 
-// Stats returns a snapshot of activity counters.
+// shardFor maps a flow to its shard. Flow-ids are relay-chosen random
+// 64-bit values, but a finalizing mix keeps the stripes balanced even for
+// adversarially clustered ids.
+func (n *Node) shardFor(f wire.FlowID) *shard {
+	return n.shards[metrics.Mix64(uint64(f))&n.mask]
+}
+
+// Stats returns a snapshot of activity counters summed across shards.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	var tot Stats
+	for _, s := range n.ShardStats() {
+		tot.add(s)
+	}
+	return tot
+}
+
+// ShardStats returns one counter snapshot per shard; Stats is their sum.
+func (n *Node) ShardStats() []Stats {
+	out := make([]Stats, len(n.shards))
+	for i, sh := range n.shards {
+		sh.mu.Lock()
+		out[i] = sh.stats
+		sh.mu.Unlock()
+		out[i].QueueDrops = sh.queueDrops.Load()
+	}
+	return out
 }
 
 // Established reports whether the node has decoded its routing info for the
 // given flow (used by setup-latency experiments).
 func (n *Node) Established(f wire.FlowID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	fs := n.flows[f]
+	sh := n.shardFor(f)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fs := sh.flows[f]
 	return fs != nil && fs.info != nil
 }
 
 // EstablishedCount returns how many flows this node has decoded info for.
 func (n *Node) EstablishedCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	c := 0
-	for _, fs := range n.flows {
-		if fs.info != nil {
-			c++
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		for _, fs := range sh.flows {
+			if fs.info != nil {
+				c++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return c
 }
 
-// Close detaches the node and stops its timers.
+// flowTableSize reports current occupancy across shards (tests, GC).
+func (n *Node) flowTableSize() int { return int(n.flowCount.Load()) }
+
+// reserveFlow claims one slot in the bounded flow table; callers that lose
+// the race get false and must drop the packet.
+func (n *Node) reserveFlow() bool {
+	if n.flowCount.Add(1) > int64(n.cfg.MaxFlows) {
+		n.flowCount.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Close detaches the node, stops its workers, and stops its timers.
 func (n *Node) Close() {
 	n.closeOne.Do(func() {
 		close(n.done)
 		n.tr.Detach(n.id)
-		n.mu.Lock()
-		for _, fs := range n.flows {
-			fs.stopTimers()
+		for _, sh := range n.shards {
+			sh.mu.Lock()
+			for _, fs := range sh.flows {
+				fs.stopTimers()
+			}
+			removed := len(sh.flows)
+			sh.flows = map[wire.FlowID]*flowState{}
+			sh.mu.Unlock()
+			n.flowCount.Add(-int64(removed))
 		}
-		n.flows = map[wire.FlowID]*flowState{}
-		n.mu.Unlock()
 	})
 	n.wg.Wait()
 }
@@ -273,35 +404,99 @@ func (n *Node) gcLoop() {
 		case <-n.done:
 			return
 		case <-t.C:
-			n.mu.Lock()
 			now := time.Now()
-			for f, fs := range n.flows {
-				if now.Sub(fs.lastActive) > n.cfg.FlowTTL {
-					fs.stopTimers()
-					delete(n.flows, f)
+			for _, sh := range n.shards {
+				sh.mu.Lock()
+				removed := 0
+				for f, fs := range sh.flows {
+					if now.Sub(fs.lastActive) > n.cfg.FlowTTL {
+						fs.stopTimers()
+						delete(sh.flows, f)
+						removed++
+					}
 				}
+				sh.mu.Unlock()
+				n.flowCount.Add(-int64(removed))
 			}
-			n.mu.Unlock()
 		}
 	}
 }
 
-// onPacket is the transport handler; it runs on transport goroutines.
+// onPacket is the transport handler; it runs on transport goroutines,
+// possibly many concurrently (see overlay.Handler). It only classifies the
+// datagram and hands its buffer to the owning shard's queue — ownership of
+// data transfers to the shard worker, which is the single goroutine that
+// parses and processes it. Acks carry the *child's* flow-id, which this
+// node cannot map to a shard, so they fan out to every shard (the buffer is
+// shared read-only; ack packets have no slots to view into).
 func (n *Node) onPacket(from wire.NodeID, data []byte) {
-	pkt, err := wire.UnmarshalPacket(data)
-	if err != nil {
+	if len(data) < wire.HeaderLen {
 		return // garbage: drop
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	select {
 	case <-n.done:
 		return
 	default:
 	}
-	fs := n.flows[pkt.Flow]
+	if wire.MsgType(data[0]) == wire.MsgAck {
+		for _, sh := range n.shards {
+			sh.enqueue(from, data)
+		}
+		return
+	}
+	f := wire.FlowID(binary.BigEndian.Uint64(data[1:]))
+	n.shardFor(f).enqueue(from, data)
+}
+
+func (sh *shard) enqueue(from wire.NodeID, data []byte) {
+	select {
+	case sh.in <- inPkt{from: from, data: data}:
+	default:
+		sh.queueDrops.Add(1)
+	}
+}
+
+// runShard is a shard's worker pipeline: it drains the bounded queue and
+// processes each packet against the shard's slice of the flow table.
+func (n *Node) runShard(sh *shard) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case p := <-sh.in:
+			n.process(sh, p.from, p.data)
+		}
+	}
+}
+
+// process parses and dispatches one datagram on its shard. It is the only
+// data-path writer of the shard's state; the shard lock is held for the
+// benefit of timers, GC, and stats snapshots.
+func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
+	pkt, err := wire.UnmarshalPacket(data)
+	if err != nil {
+		return // garbage: drop
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select {
+	case <-n.done:
+		// Close has (or is about to have) cleared this shard under its
+		// lock; processing a queued packet now would resurrect flow state,
+		// leak reservations, and arm timers nobody stops.
+		return
+	default:
+	}
+	if pkt.Type == wire.MsgAck {
+		// Acks are matched by sender address, not flow-id, and never create
+		// flow state.
+		n.handleAck(sh, from)
+		return
+	}
+	fs := sh.flows[pkt.Flow]
 	if fs == nil {
-		if len(n.flows) >= n.cfg.MaxFlows {
+		if !n.reserveFlow() {
 			return
 		}
 		fs = &flowState{
@@ -312,31 +507,28 @@ func (n *Node) onPacket(from wire.NodeID, data []byte) {
 			chunks:    make(map[uint32][]byte),
 			seen:      make(map[wire.NodeID]bool),
 		}
-		n.flows[pkt.Flow] = fs
+		sh.flows[pkt.Flow] = fs
 	}
-	if pkt.Type != wire.MsgAck {
-		fs.seen[from] = true
-	}
+	fs.seen[from] = true
 	fs.lastActive = time.Now()
 	switch pkt.Type {
 	case wire.MsgSetup:
-		n.stats.SetupPacketsIn++
-		n.handleSetup(pkt.Flow, fs, from, pkt)
+		sh.stats.SetupPacketsIn++
+		n.handleSetup(sh, pkt.Flow, fs, from, pkt)
 	case wire.MsgData:
-		n.stats.DataPacketsIn++
-		n.handleData(pkt.Flow, fs, from, pkt)
-	case wire.MsgAck:
-		n.handleAck(from)
+		sh.stats.DataPacketsIn++
+		n.handleData(sh, pkt.Flow, fs, from, pkt)
 	}
 }
 
 // handleAck propagates an establishment acknowledgment one hop toward the
 // source: the ack arrives stamped with the *child's* flow-id, which this
 // node does not know — but it does know the child's address, so it locates
-// every flow that lists the sender among its children and re-stamps the ack
-// with its own flow before forwarding to its parents. Runs with n.mu held.
-func (n *Node) handleAck(from wire.NodeID) {
-	for flow, fs := range n.flows {
+// every flow on this shard that lists the sender among its children and
+// re-stamps the ack with its own flow before forwarding to its parents.
+// Runs with sh.mu held; every shard sees every ack.
+func (n *Node) handleAck(sh *shard, from wire.NodeID) {
+	for flow, fs := range sh.flows {
 		if fs.info == nil || fs.ackSent {
 			continue
 		}
@@ -350,18 +542,18 @@ func (n *Node) handleAck(from wire.NodeID) {
 		if !isChild {
 			continue
 		}
-		n.sendAckLocked(flow, fs)
+		n.sendAckLocked(sh, flow, fs)
 	}
 }
 
 // sendAckLocked emits this flow's ack to all parents — those named in the
 // maps plus every observed previous hop (a last-stage receiver has no maps).
-// Runs with n.mu held.
-func (n *Node) sendAckLocked(flow wire.FlowID, fs *flowState) {
+// Runs with sh.mu held.
+func (n *Node) sendAckLocked(sh *shard, flow wire.FlowID, fs *flowState) {
 	fs.ackSent = true
 	pkt := &wire.Packet{Type: wire.MsgAck, Flow: flow}
-	n.pktBuf = pkt.AppendTo(n.pktBuf[:0])
-	buf := n.pktBuf
+	sh.pktBuf = pkt.AppendTo(sh.pktBuf[:0])
+	buf := sh.pktBuf
 	targets := make(map[wire.NodeID]bool, len(fs.parents)+len(fs.seen))
 	for p := range fs.parents {
 		targets[p] = true
@@ -370,13 +562,13 @@ func (n *Node) sendAckLocked(flow wire.FlowID, fs *flowState) {
 		targets[p] = true
 	}
 	for p := range targets {
-		n.stats.PacketsOut++
+		sh.stats.PacketsOut++
 		n.tr.Send(n.id, p, buf) //nolint:errcheck
 	}
 }
 
-// handleSetup runs with n.mu held.
-func (n *Node) handleSetup(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *wire.Packet) {
+// handleSetup runs on the shard worker with sh.mu held.
+func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.NodeID, pkt *wire.Packet) {
 	if fs.setupSent {
 		return // already forwarded; late packets are useless
 	}
@@ -416,16 +608,16 @@ func (n *Node) handleSetup(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *
 			geom := fs.geomByD[cand]
 			fs.slotLen, fs.nSlots = geom[0], geom[1]
 			fs.geomSet = true
-			n.stats.FlowsEstablished++
+			sh.stats.FlowsEstablished++
 			if pi.Receiver {
 				// Establishment acknowledgment toward the source endpoints
 				// (§7.4): originated by the destination, re-stamped hop by
 				// hop.
-				n.sendAckLocked(f, fs)
+				n.sendAckLocked(sh, f, fs)
 			}
 			// Process any data that raced ahead of the decode.
 			for _, pd := range fs.pendingData {
-				n.handleData(f, fs, pd.from, pd.pkt)
+				n.handleData(sh, f, fs, pd.from, pd.pkt)
 			}
 			fs.pendingData = nil
 			break
@@ -437,15 +629,15 @@ func (n *Node) handleSetup(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *
 		return
 	}
 	if len(fs.setupPkts) >= len(fs.parents) && fs.parentsAllPresent() {
-		n.forwardSetupLocked(f, fs)
+		n.forwardSetupLocked(sh, f, fs)
 		return
 	}
 	if fs.setupTimer == nil {
 		fs.setupTimer = time.AfterFunc(n.cfg.SetupWait, func() {
-			n.mu.Lock()
-			defer n.mu.Unlock()
-			if cur := n.flows[f]; cur == fs && fs.info != nil && !fs.setupSent {
-				n.forwardSetupLocked(f, fs)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if cur := sh.flows[f]; cur == fs && fs.info != nil && !fs.setupSent {
+				n.forwardSetupLocked(sh, f, fs)
 			}
 		})
 	}
@@ -475,7 +667,7 @@ func parentSet(pi *wire.PerNodeInfo) map[wire.NodeID]bool {
 // slots come from the slice-map (each stripped of one scrambling layer);
 // everything else — including slots whose source packet never arrived — is
 // random padding, keeping packet size constant (§9.4c).
-func (n *Node) forwardSetupLocked(f wire.FlowID, fs *flowState) {
+func (n *Node) forwardSetupLocked(sh *shard, f wire.FlowID, fs *flowState) {
 	fs.setupSent = true
 	if fs.setupTimer != nil {
 		fs.setupTimer.Stop()
@@ -485,7 +677,7 @@ func (n *Node) forwardSetupLocked(f wire.FlowID, fs *flowState) {
 	for c := range out {
 		slots := make([][]byte, fs.nSlots)
 		for i := range slots {
-			slots[i] = wire.RandomSlot(fs.slotLen, n.cfg.Rng)
+			slots[i] = wire.RandomSlot(fs.slotLen, sh.rng)
 		}
 		out[c] = &wire.Packet{
 			Type:     wire.MsgSetup,
@@ -510,16 +702,16 @@ func (n *Node) forwardSetupLocked(f wire.FlowID, fs *flowState) {
 		}
 	}
 	for c, ch := range pi.Children {
-		n.pktBuf = out[c].AppendTo(n.pktBuf[:0])
-		n.stats.PacketsOut++
-		n.tr.Send(n.id, ch, n.pktBuf) //nolint:errcheck // datagram semantics
+		sh.pktBuf = out[c].AppendTo(sh.pktBuf[:0])
+		sh.stats.PacketsOut++
+		n.tr.Send(n.id, ch, sh.pktBuf) //nolint:errcheck // datagram semantics
 	}
 	// Setup packets are no longer needed; free the slabs.
 	fs.setupPkts = map[wire.NodeID]*wire.Packet{}
 }
 
-// handleData runs with n.mu held.
-func (n *Node) handleData(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *wire.Packet) {
+// handleData runs on the shard worker with sh.mu held.
+func (n *Node) handleData(sh *shard, f wire.FlowID, fs *flowState, from wire.NodeID, pkt *wire.Packet) {
 	if fs.info == nil {
 		// Data raced ahead of setup; buffer a bounded amount.
 		if len(fs.pendingData) < 1024 {
@@ -551,7 +743,7 @@ func (n *Node) handleData(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *w
 	}
 
 	if fs.info.Receiver && !r.decoded {
-		n.tryDeliverLocked(f, fs, pkt.Seq, r)
+		n.tryDeliverLocked(sh, f, fs, pkt.Seq, r)
 	}
 	if len(fs.info.Children) == 0 {
 		return
@@ -560,15 +752,15 @@ func (n *Node) handleData(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *w
 		return
 	}
 	if len(r.slices) >= len(fs.parents)-len(fs.deadParents) {
-		n.forwardRoundLocked(f, fs, pkt.Seq, r)
+		n.forwardRoundLocked(sh, f, fs, pkt.Seq, r)
 		return
 	}
 	if r.timer == nil {
 		r.timer = time.AfterFunc(n.cfg.RoundWait, func() {
-			n.mu.Lock()
-			defer n.mu.Unlock()
-			if cur := n.flows[f]; cur == fs && !r.forwarded {
-				n.forwardRoundLocked(f, fs, pkt.Seq, r)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if cur := sh.flows[f]; cur == fs && !r.forwarded {
+				n.forwardRoundLocked(sh, f, fs, pkt.Seq, r)
 			}
 		})
 	}
@@ -578,7 +770,7 @@ func (n *Node) handleData(f wire.FlowID, fs *flowState, from wire.NodeID, pkt *w
 // regenerated by recombining the round's survivors when the node holds
 // enough degrees of freedom (§4.4.1) — the key advantage over end-to-end
 // erasure coding.
-func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *round) {
+func (n *Node) forwardRoundLocked(sh *shard, f wire.FlowID, fs *flowState, seq uint32, r *round) {
 	r.forwarded = true
 	if r.timer != nil {
 		r.timer.Stop()
@@ -594,20 +786,20 @@ func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *r
 		}
 	}
 	pi := fs.info
-	all := n.gatherLocked(r)
+	all := sh.gatherLocked(r)
 	canRegen := pi.Recode && code.Decodable(fs.d, all)
 	for _, e := range pi.DataMap {
 		var out code.Slice
 		if s, ok := r.slices[e.Parent]; ok {
 			out = s
 		} else if canRegen {
-			fresh, err := code.RecombineInto(n.regen, all, 1, n.cfg.Rng)
+			fresh, err := code.RecombineInto(sh.regen, all, 1, sh.rng)
 			if err != nil {
 				continue
 			}
-			n.regen = fresh
+			sh.regen = fresh
 			out = fresh[0]
-			n.stats.Regenerated++
+			sh.stats.Regenerated++
 		} else {
 			continue // cannot serve this child’s slice
 		}
@@ -618,11 +810,11 @@ func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *r
 		// the slice bytes are copied exactly once, into the buffer the
 		// transport consumes.
 		slotLen := len(out.Coeff) + len(out.Payload) + 4
-		n.pktBuf = wire.AppendPacketHeader(n.pktBuf[:0], wire.MsgData,
+		sh.pktBuf = wire.AppendPacketHeader(sh.pktBuf[:0], wire.MsgData,
 			pi.ChildFlows[e.Child], seq, uint8(fs.d), uint16(slotLen), 1)
-		n.pktBuf = wire.AppendSlot(n.pktBuf, out)
-		n.stats.PacketsOut++
-		n.tr.Send(n.id, pi.Children[e.Child], n.pktBuf) //nolint:errcheck
+		sh.pktBuf = wire.AppendSlot(sh.pktBuf, out)
+		sh.stats.PacketsOut++
+		n.tr.Send(n.id, pi.Children[e.Child], sh.pktBuf) //nolint:errcheck
 	}
 	// If the node is not the receiver the slices are dead weight now (they
 	// pin the receive buffers they view into).
@@ -631,21 +823,22 @@ func (n *Node) forwardRoundLocked(f wire.FlowID, fs *flowState, seq uint32, r *r
 	}
 }
 
-// gatherLocked collects a round's slices into the node's reusable gather
-// scratch. The result is valid until the next call; runs with n.mu held.
-func (n *Node) gatherLocked(r *round) []code.Slice {
-	n.gather = n.gather[:0]
+// gatherLocked collects a round's slices into the shard's reusable gather
+// scratch. The result is valid until the next call on the same shard; runs
+// with sh.mu held.
+func (sh *shard) gatherLocked(r *round) []code.Slice {
+	sh.gather = sh.gather[:0]
 	for _, s := range r.slices {
-		n.gather = append(n.gather, s)
+		sh.gather = append(sh.gather, s)
 	}
-	return n.gather
+	return sh.gather
 }
 
 // tryDeliverLocked decodes a round and advances the receiver's reassembly
 // stream: [4-byte sealed length ‖ sealed bytes ‖ next message ...], each
 // chunk independently length-prefixed by the coding layer.
-func (n *Node) tryDeliverLocked(f wire.FlowID, fs *flowState, seq uint32, r *round) {
-	all := n.gatherLocked(r)
+func (n *Node) tryDeliverLocked(sh *shard, f wire.FlowID, fs *flowState, seq uint32, r *round) {
+	all := sh.gatherLocked(r)
 	if !code.Decodable(fs.d, all) {
 		return
 	}
@@ -664,10 +857,10 @@ func (n *Node) tryDeliverLocked(f wire.FlowID, fs *flowState, seq uint32, r *rou
 		fs.nextSeq++
 		fs.stream = append(fs.stream, c...)
 	}
-	n.drainStreamLocked(f, fs)
+	n.drainStreamLocked(sh, f, fs)
 }
 
-func (n *Node) drainStreamLocked(f wire.FlowID, fs *flowState) {
+func (n *Node) drainStreamLocked(sh *shard, f wire.FlowID, fs *flowState) {
 	for {
 		if len(fs.stream) < 4 {
 			return
@@ -685,11 +878,11 @@ func (n *Node) drainStreamLocked(f wire.FlowID, fs *flowState) {
 		if err != nil {
 			continue // corrupted message; skip
 		}
-		n.stats.MessagesDelivered++
+		sh.stats.MessagesDelivered++
 		select {
 		case n.received <- Message{Flow: f, Data: plain}:
 		default:
-			n.stats.Dropped++
+			sh.stats.Dropped++
 		}
 	}
 }

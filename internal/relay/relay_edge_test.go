@@ -23,10 +23,11 @@ func TestEstablishmentAckOriginatesAtReceiverOnly(t *testing.T) {
 	// sending a duplicate trigger: deliver a fake ack from a child and check
 	// the dedup flag holds (no crash, no storm).
 	destFlow := h.graph.Flows[h.graph.Dest]
-	h.dest.mu.Lock()
-	fs := h.dest.flows[destFlow]
+	sh := h.dest.shardFor(destFlow)
+	sh.mu.Lock()
+	fs := sh.flows[destFlow]
 	acked := fs != nil && fs.ackSent
-	h.dest.mu.Unlock()
+	sh.mu.Unlock()
 	if !acked {
 		t.Fatal("receiver did not send establishment ack")
 	}

@@ -322,11 +322,13 @@ func TestFlowGarbageCollection(t *testing.T) {
 		SlotLen: 8, Slots: [][]byte{make([]byte, 8)}}
 	net.Send(1, 42, junk.Marshal())
 	deadline := time.Now().Add(2 * time.Second)
+	sawFlow := false
 	for time.Now().Before(deadline) {
-		n.mu.Lock()
-		cnt := len(n.flows)
-		n.mu.Unlock()
-		if cnt == 0 {
+		cnt := n.flowTableSize()
+		if cnt > 0 {
+			sawFlow = true
+		}
+		if sawFlow && cnt == 0 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -352,18 +354,13 @@ func TestMaxFlowsBound(t *testing.T) {
 	}
 	deadline := time.Now().Add(time.Second)
 	for time.Now().Before(deadline) {
-		n.mu.Lock()
-		cnt := len(n.flows)
-		n.mu.Unlock()
-		if cnt == 5 {
+		if n.flowTableSize() == 5 {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.flows) > 5 {
-		t.Fatalf("flow table grew to %d", len(n.flows))
+	if got := n.flowTableSize(); got > 5 {
+		t.Fatalf("flow table grew to %d", got)
 	}
 }
 

@@ -1,0 +1,70 @@
+package source
+
+import (
+	"math/rand"
+	"sync"
+
+	"infoslicing/internal/core"
+	"infoslicing/internal/overlay"
+)
+
+// MultiSender drives many concurrent anonymous flows from one sender
+// process over one shared transport (the "heavy client" of §7: a node that
+// originates traffic for many destinations at once).
+//
+// The sender-side lock is scoped per flow: each Open returns a Sender that
+// owns its sequencing, encoder state, coded-slice and framing scratch,
+// pacer, and mutex. Flows of one MultiSender share only the transport —
+// transports are safe for concurrent use — so a flow that is stalled
+// (pacing, a slow transport peer, a huge message mid-chop) cannot block an
+// unrelated flow's progress. MultiSender's own lock guards only flow
+// bookkeeping and the seed RNG; it is never held across coding or I/O.
+type MultiSender struct {
+	tr overlay.Transport
+
+	mu    sync.Mutex
+	rng   *rand.Rand // seeds per-flow RNGs; never used on a data path
+	flows []*Sender
+}
+
+// NewMulti creates a multi-flow sender on the shared transport. The rng
+// only seeds per-flow RNGs (nil = time-seeded); each flow gets its own
+// derived RNG so concurrent flows never contend on it.
+func NewMulti(tr overlay.Transport, rng *rand.Rand) *MultiSender {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &MultiSender{tr: tr, rng: rng}
+}
+
+// Open creates an independent flow over an established-to-be graph. The
+// returned Sender is the same type single-flow callers use; Establish and
+// Send on it touch no MultiSender state.
+func (m *MultiSender) Open(g *core.Graph, cfg Config) *Sender {
+	m.mu.Lock()
+	seed := m.rng.Int63()
+	m.mu.Unlock()
+	s := New(m.tr, g, cfg, rand.New(rand.NewSource(seed)))
+	m.mu.Lock()
+	m.flows = append(m.flows, s)
+	m.mu.Unlock()
+	return s
+}
+
+// Flows snapshots the open flows in Open order.
+func (m *MultiSender) Flows() []*Sender {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Sender, len(m.flows))
+	copy(out, m.flows)
+	return out
+}
+
+// Rounds sums the data rounds sent across all flows (diagnostics).
+func (m *MultiSender) Rounds() uint64 {
+	var total uint64
+	for _, f := range m.Flows() {
+		total += uint64(f.Rounds())
+	}
+	return total
+}

@@ -8,6 +8,9 @@
 // each round is coded into d' slices; source endpoint e multicasts slice e
 // to every stage-1 relay, so each stage-1 relay starts the round holding all
 // d' slices, and the data-maps walk them down the graph.
+//
+// One Sender drives one flow; MultiSender fans a single process out to many
+// concurrent flows with per-flow encoder state over a shared transport.
 package source
 
 import (
@@ -38,12 +41,20 @@ type Config struct {
 }
 
 // Sender drives one anonymous flow over an established forwarding graph.
+// Every mutable field below — the lock included — is scoped to this one
+// flow: a process driving many flows (see MultiSender) holds one Sender per
+// flow and nothing sender-side is shared between them except the
+// transport, so unrelated flows never serialize on each other.
 type Sender struct {
 	tr    overlay.Transport
 	graph *core.Graph
 	cfg   Config
 	rng   *rand.Rand
 
+	// mu guards this flow's round pipeline only. It is held across
+	// sendRound (so the encoder and framing scratch can be reused round
+	// after round) but never across pacing sleeps, and never by any other
+	// flow.
 	mu          sync.Mutex
 	seq         uint32
 	established bool

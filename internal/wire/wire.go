@@ -49,6 +49,10 @@ var (
 
 const packetHeader = 1 + 8 + 4 + 1 + 2 + 1 // type, flow, seq, coefflen, slotlen, numslots
 
+// HeaderLen is the fixed packet header size. Dispatch layers (the relay's
+// shard router) use it to read the type and flow-id without a full parse.
+const HeaderLen = packetHeader
+
 // Packet is the unit of transmission between overlay nodes.
 type Packet struct {
 	Type     MsgType
