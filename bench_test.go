@@ -382,6 +382,35 @@ func BenchmarkFig17ChurnPlanetLab(b *testing.B) {
 	b.ReportMetric(res.StandardOnion, "onion-success")
 }
 
+// --- Fig. 19 extension: live repair under stage-collapse churn ---------------
+
+// BenchmarkLiveRepair drives the live-repair experiment: every flow loses
+// two same-stage relays — one past the d'-d redundancy budget — with the
+// control plane either repairing (splices) or merely detecting. The
+// delivery-rate gap between the two rows is the control plane's
+// contribution beyond redundancy.
+func BenchmarkLiveRepair(b *testing.B) {
+	run := func(b *testing.B, repair bool) {
+		var res churn.LiveRepairResult
+		for i := 0; i < b.N; i++ {
+			r, err := churn.RunLiveRepair(churn.LiveRepairParams{
+				L: 3, D: 2, DPrime: 3,
+				Flows: 2, Messages: 6, MessageBytes: 256,
+				KillPerFlow: 2, Trials: 1,
+				Seed: int64(i), Repair: repair,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+		b.ReportMetric(res.Delivered, "delivery-rate")
+		b.ReportMetric(float64(res.Splices), "splices")
+	}
+	b.Run("repair=on", func(b *testing.B) { run(b, true) })
+	b.Run("repair=off", func(b *testing.B) { run(b, false) })
+}
+
 // --- Ablation: per-hop scrambling on/off --------------------------------------
 
 // BenchmarkAblationScrambling measures the cost of the §9.4a pattern-hiding

@@ -95,12 +95,14 @@ func main() {
 	}
 	sort.Strings(names)
 	failed := 0
+	var missing []string
 	for _, name := range names {
 		allowed := base.AllocsPerOp[name]
 		got, ok := measured[name]
 		switch {
 		case !ok:
 			fmt.Printf("MISSING  %-55s baseline %4d, not measured\n", name, allowed)
+			missing = append(missing, name)
 			failed++
 		case got > allowed:
 			fmt.Printf("FAIL     %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got)
@@ -108,6 +110,21 @@ func main() {
 		default:
 			fmt.Printf("ok       %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got)
 		}
+	}
+	if len(missing) > 0 {
+		// A benchmark that disappears from the run is a gate silently
+		// switching off — usually a rename, a deleted sub-benchmark, or the
+		// bench invocation no longer matching it. Spell out exactly what is
+		// gone so the fix (update the -bench pattern, or rename/remove the
+		// entry in the baseline) is obvious from the CI log alone.
+		fmt.Fprintf(os.Stderr,
+			"benchguard: %d baseline benchmark(s) missing from this run:\n", len(missing))
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "benchguard:   - %s\n", name)
+		}
+		fmt.Fprintf(os.Stderr,
+			"benchguard: renamed or deleted benchmarks must be updated in %s (and in the -bench pattern that produced this run)\n",
+			*baselinePath)
 	}
 	if failed > 0 {
 		fatalf("%d of %d gated benchmarks regressed or went missing", failed, len(names))

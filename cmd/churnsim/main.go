@@ -6,7 +6,11 @@
 //	churnsim -fig 17   experimental session success over a failure-injected
 //	                   overlay running the real protocol stacks: slicing,
 //	                   onion+erasure-codes, and standard onion routing
-//	churnsim -fig 0    both
+//	churnsim -fig 19   live-repair extension: end-to-end delivery when every
+//	                   flow loses more same-stage relays than the redundancy
+//	                   budget covers, with the control plane in repair vs
+//	                   detection-only mode
+//	churnsim -fig 0    all of the above
 package main
 
 import (
@@ -31,9 +35,12 @@ func main() {
 		fig16()
 	case 17:
 		fig17(*trials, *failProb, *seed)
+	case 19:
+		fig19(*seed)
 	case 0:
 		fig16()
 		fig17(*trials, *failProb, *seed)
+		fig19(*seed)
 	default:
 		log.Fatalf("churnsim: unknown figure %d", *fig)
 	}
@@ -81,6 +88,41 @@ func fig17(trials int, p float64, seed int64) {
 		so.Add(r, res.StandardOnion)
 		fmt.Fprintf(os.Stderr, "churnsim: R=%.1f done (slicing %.2f, onion+EC %.2f, std %.2f)\n",
 			r, res.Slicing, res.OnionEC, res.StandardOnion)
+	}
+	t.Fprint(os.Stdout)
+}
+
+// fig19 sweeps the number of same-stage kills per flow: at kills <= d'-d
+// redundancy alone survives; past that only the repair path does.
+func fig19(seed int64) {
+	const l, d, dp = 3, 2, 3
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig. 19 (extension) — delivery under stage-collapse churn (L=%d, d=%d, d'=%d)", l, d, dp),
+		"kills")
+	rep := t.AddSeries("repair")
+	det := t.AddSeries("detection-only")
+	spl := t.AddSeries("splices")
+	for kills := 1; kills < dp; kills++ {
+		p := churn.LiveRepairParams{
+			L: l, D: d, DPrime: dp,
+			Flows: 2, Messages: 6, MessageBytes: 512,
+			KillPerFlow: kills, Trials: 2, Seed: seed,
+		}
+		p.Repair = true
+		on, err := churn.RunLiveRepair(p)
+		if err != nil {
+			log.Fatalf("churnsim: %v", err)
+		}
+		p.Repair = false
+		off, err := churn.RunLiveRepair(p)
+		if err != nil {
+			log.Fatalf("churnsim: %v", err)
+		}
+		rep.Add(float64(kills), on.Delivered)
+		det.Add(float64(kills), off.Delivered)
+		spl.Add(float64(kills), float64(on.Splices))
+		fmt.Fprintf(os.Stderr, "churnsim: kills=%d done (repair %.2f, detection-only %.2f, %d splices)\n",
+			kills, on.Delivered, off.Delivered, on.Splices)
 	}
 	t.Fprint(os.Stdout)
 }

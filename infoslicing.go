@@ -77,10 +77,11 @@ type Network struct {
 }
 
 type config struct {
-	profile     Profile
-	seed        int64
-	relayCfg    relay.Config
-	hasRelayCfg bool
+	profile       Profile
+	seed          int64
+	relayCfg      relay.Config
+	hasRelayCfg   bool
+	ctrlHeartbeat time.Duration
 }
 
 // Option configures a Network.
@@ -95,6 +96,14 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // WithRelayConfig overrides relay daemon timers.
 func WithRelayConfig(rc relay.Config) Option {
 	return func(c *config) { c.relayCfg = rc; c.hasRelayCfg = true }
+}
+
+// WithControlPlane enables the relays' live-churn control plane: every
+// established flow heartbeats its children at the given interval, and a
+// parent quiet for 4× that interval is reported toward the source.
+// DialSpec.Repair needs this on to hear about failures.
+func WithControlPlane(heartbeat time.Duration) Option {
+	return func(c *config) { c.ctrlHeartbeat = heartbeat }
 }
 
 // New creates an empty overlay network.
@@ -148,6 +157,9 @@ func (nw *Network) Grow(k int) ([]NodeID, error) {
 				RoundWait: 200 * time.Millisecond,
 			}
 		}
+		if rc.Heartbeat == 0 && nw.cfg.ctrlHeartbeat > 0 {
+			rc.Heartbeat = nw.cfg.ctrlHeartbeat
+		}
 		rc.Rng = rand.New(rand.NewSource(nw.cfg.seed + int64(id)*31))
 		n, err := relay.New(id, nw.chn, rc)
 		if err != nil {
@@ -178,6 +190,27 @@ func (nw *Network) Nodes() []NodeID {
 		ids = append(ids, id)
 	}
 	return ids
+}
+
+// pickReplacement chooses a live spare relay for a flow's repair loop: any
+// node of the overlay the exclusion predicate permits (it rules out the
+// flow's current graph members and endpoints) that is not currently failed.
+// Selection is random so repeated repairs spread load across the pool.
+func (nw *Network) pickReplacement(exclude func(wire.NodeID) bool) (wire.NodeID, bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ids := make([]NodeID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	nw.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		if !exclude(id) && !nw.chn.Down(id) {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // Fail crashes a relay (churn injection); Revive restores it.
@@ -232,6 +265,15 @@ type DialSpec struct {
 	// owns large address blocks can place on the graph.
 	ASDiverse bool
 
+	// Repair runs the live-churn control plane for this flow: the source
+	// endpoints stay attached as listeners, consume the ParentDown reports
+	// relays flood toward them, and answer each with a splice that swaps a
+	// spare relay in for the dead one mid-stream. Requires the network's
+	// relays to run with WithControlPlane (or a heartbeat-enabled
+	// WithRelayConfig); without it failures are never detected and Repair
+	// only adds the listener.
+	Repair bool
+
 	// EstablishTimeout bounds the wait for the graph to come up
 	// (default 10s).
 	EstablishTimeout time.Duration
@@ -244,7 +286,8 @@ type Conn struct {
 	sender *source.Sender
 	graph  *core.Graph
 	dest   *relay.Node
-	srcs   []NodeID // transient source-endpoint attachments
+	srcs   []NodeID          // transient source-endpoint attachments
+	eps    *source.Endpoints // non-nil when Repair is on
 
 	recv     chan []byte
 	done     chan struct{}
@@ -252,6 +295,9 @@ type Conn struct {
 
 	setupTime time.Duration
 }
+
+// RepairStats re-exports the per-flow repair counters.
+type RepairStats = source.RepairStats
 
 // Dial selects relays, builds a forwarding graph, establishes it, and waits
 // until the destination can decode.
@@ -319,20 +365,44 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		relays = ids[:need]
 		spec.Dest = relays[nw.rng.Intn(need)]
 	}
-	// Source endpoints: the sender plus pseudo-sources (§3c), transient
-	// transport attachments that only transmit.
+	// Source endpoints: the sender plus pseudo-sources (§3c). Without
+	// repair they are transmit-only attachments; with repair they are real
+	// listeners (source.Endpoints) that hear acks and failure reports.
 	srcs := make([]NodeID, spec.DPrime)
 	for i := range srcs {
 		srcs[i] = nw.nextSrc
 		nw.nextSrc++
-		if err := nw.chn.Attach(srcs[i], func(NodeID, []byte) {}); err != nil {
-			nw.mu.Unlock()
-			return nil, err
-		}
 	}
 	seed := nw.rng.Int63()
 	destNode := nw.nodes[spec.Dest]
 	nw.mu.Unlock()
+
+	var eps *source.Endpoints
+	if spec.Repair {
+		e, err := source.AttachEndpoints(nw.chn, srcs)
+		if err != nil {
+			return nil, err
+		}
+		eps = e
+	} else {
+		for i, s := range srcs {
+			if err := nw.chn.Attach(s, func(NodeID, []byte) {}); err != nil {
+				for _, prev := range srcs[:i] {
+					nw.chn.Detach(prev)
+				}
+				return nil, err
+			}
+		}
+	}
+	detachSrcs := func() {
+		if eps != nil {
+			eps.Close()
+			return
+		}
+		for _, s := range srcs {
+			nw.chn.Detach(s)
+		}
+	}
 
 	g, err := core.Build(core.Spec{
 		L: spec.L, D: spec.D, DPrime: spec.DPrime,
@@ -342,15 +412,17 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		Rng:      rand.New(rand.NewSource(seed)),
 	})
 	if err != nil {
+		detachSrcs()
 		return nil, err
 	}
 	snd := source.New(nw.chn, g, source.Config{}, rand.New(rand.NewSource(seed+1)))
 	start := time.Now()
 	if err := snd.Establish(); err != nil {
+		detachSrcs()
 		return nil, err
 	}
 	c := &Conn{
-		nw: nw, sender: snd, graph: g, dest: destNode, srcs: srcs,
+		nw: nw, sender: snd, graph: g, dest: destNode, srcs: srcs, eps: eps,
 		recv: make(chan []byte, 64),
 		done: make(chan struct{}),
 	}
@@ -361,6 +433,7 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 	const maxWait = 20 * time.Millisecond
 	for !destNode.Established(g.Flows[spec.Dest]) {
 		if time.Now().After(deadline) {
+			detachSrcs()
 			return nil, errors.New("infoslicing: establish timeout")
 		}
 		time.Sleep(wait)
@@ -369,6 +442,26 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		}
 	}
 	c.setupTime = time.Since(start)
+
+	if spec.Repair {
+		// The source must heartbeat at least as often as the relays expect
+		// their parents to: match whichever option enabled the control
+		// plane before falling back to the loop's own default.
+		hb := nw.cfg.ctrlHeartbeat
+		if hb <= 0 && nw.cfg.hasRelayCfg {
+			hb = nw.cfg.relayCfg.Heartbeat
+		}
+		if hb <= 0 {
+			hb = 100 * time.Millisecond
+		}
+		if err := snd.StartRepair(eps, source.RepairConfig{
+			Heartbeat: hb,
+			Pick:      nw.pickReplacement,
+		}); err != nil {
+			detachSrcs()
+			return nil, err
+		}
+	}
 
 	// Demultiplex the destination relay's deliveries for this flow.
 	destFlow := g.Flows[spec.Dest]
@@ -409,6 +502,10 @@ func (c *Conn) DestStage() int { return c.graph.DestStage }
 // SetupTime reports how long graph establishment took.
 func (c *Conn) SetupTime() time.Duration { return c.setupTime }
 
+// RepairStats reports the flow's live-repair counters (all zero unless the
+// flow was dialed with Repair).
+func (c *Conn) RepairStats() RepairStats { return c.sender.RepairStats() }
+
 // Close releases the flow's demultiplexer and detaches the transient
 // source endpoints. Relay-side flow state expires via GC.
 func (c *Conn) Close() { c.stop() }
@@ -416,6 +513,11 @@ func (c *Conn) Close() { c.stop() }
 func (c *Conn) stop() {
 	c.stopOnce.Do(func() {
 		close(c.done)
+		c.sender.StopRepair()
+		if c.eps != nil {
+			c.eps.Close()
+			return
+		}
 		for _, s := range c.srcs {
 			c.nw.chn.Detach(s)
 		}

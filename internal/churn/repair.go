@@ -1,0 +1,250 @@
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoslicing/internal/core"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/relay"
+	"infoslicing/internal/source"
+	"infoslicing/internal/wire"
+)
+
+// --- Live-repair experiment (Fig. 17 extension) ------------------------------
+//
+// Fig. 17 measures how far passive redundancy carries a session under
+// churn: failures are masked while at most d'-d relays per stage are down,
+// and the session dies the moment any stage drops below d. The live-repair
+// experiment asks the next question: with the control plane on — heartbeat
+// detection, ParentDown reports, source-driven splices — does the *same*
+// failure schedule that kills a redundancy-only session leave a repaired
+// one streaming? Each flow loses KillPerFlow relays of one stage,
+// sequentially, which exceeds the redundancy budget by construction when
+// KillPerFlow > DPrime-D.
+
+// LiveRepairParams configures one experimental point.
+type LiveRepairParams struct {
+	L, D, DPrime int
+	Flows        int // concurrent flows, disjoint relay sets
+	Messages     int // messages per flow
+	MessageBytes int
+	KillPerFlow  int // same-stage relays killed per flow over the session
+	Repair       bool
+	Trials       int
+	Seed         int64
+}
+
+func (p *LiveRepairParams) normalize() error {
+	if p.L < 2 || p.D < 1 || p.DPrime < p.D || p.Trials < 1 || p.Flows < 1 {
+		return fmt.Errorf("churn: invalid live-repair params %+v", *p)
+	}
+	if p.Messages == 0 {
+		p.Messages = 6
+	}
+	if p.MessageBytes == 0 {
+		p.MessageBytes = 512
+	}
+	if p.KillPerFlow == 0 {
+		p.KillPerFlow = p.DPrime - p.D + 1 // one past the redundancy budget
+	}
+	if p.KillPerFlow >= p.DPrime {
+		return fmt.Errorf("churn: KillPerFlow %d needs a surviving relay per stage (d'=%d)",
+			p.KillPerFlow, p.DPrime)
+	}
+	return nil
+}
+
+// LiveRepairResult aggregates over flows and trials.
+type LiveRepairResult struct {
+	Delivered float64 // fraction of sent messages decoded end-to-end
+	Splices   int64   // splices injected by the repair loops
+	Reports   int64   // authenticated failure reports consumed
+}
+
+// RunLiveRepair measures end-to-end delivery under a same-stage failure
+// schedule with the control plane in the given mode. Repair=false runs
+// detection-only (reports flow, nothing is spliced), so the two arms differ
+// in exactly one thing: whether the splice path is allowed to act.
+func RunLiveRepair(p LiveRepairParams) (LiveRepairResult, error) {
+	if err := p.normalize(); err != nil {
+		return LiveRepairResult{}, err
+	}
+	var delivered, sent, splices, reports atomic.Int64
+	for trial := 0; trial < p.Trials; trial++ {
+		seed := p.Seed + int64(trial)*104729
+		net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(seed)))
+		var wg sync.WaitGroup
+		var closers []func()
+		var closersMu sync.Mutex
+		for f := 0; f < p.Flows; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				d, s, sp, rp, cleanup := liveRepairFlow(p, net, seed+int64(f)*7919, f)
+				delivered.Add(d)
+				sent.Add(s)
+				splices.Add(sp)
+				reports.Add(rp)
+				closersMu.Lock()
+				closers = append(closers, cleanup)
+				closersMu.Unlock()
+			}(f)
+		}
+		wg.Wait()
+		for _, c := range closers {
+			c()
+		}
+		net.Close()
+	}
+	res := LiveRepairResult{
+		Splices: splices.Load(),
+		Reports: reports.Load(),
+	}
+	if s := sent.Load(); s > 0 {
+		res.Delivered = float64(delivered.Load()) / float64(s)
+	}
+	return res, nil
+}
+
+// liveRepairFlow runs one flow's session and returns (delivered, sent,
+// splices, reports, cleanup).
+func liveRepairFlow(p LiveRepairParams, net *overlay.ChanNetwork, seed int64, f int) (int64, int64, int64, int64, func()) {
+	rng := rand.New(rand.NewSource(seed))
+	base := wire.NodeID(1 + f*1000)
+	relays := make([]wire.NodeID, p.L*p.DPrime)
+	for i := range relays {
+		relays[i] = base + wire.NodeID(i)
+	}
+	spares := make([]wire.NodeID, p.KillPerFlow+1)
+	for i := range spares {
+		spares[i] = base + 500 + wire.NodeID(i)
+	}
+	srcIDs := make([]wire.NodeID, p.DPrime)
+	for i := range srcIDs {
+		srcIDs[i] = wire.NodeID(500_000 + f*100 + i)
+	}
+	var nodes []*relay.Node
+	cleanup := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	for _, id := range append(append([]wire.NodeID(nil), relays...), spares...) {
+		n, err := relay.New(id, net, relay.Config{
+			SetupWait:       40 * time.Millisecond,
+			RoundWait:       40 * time.Millisecond,
+			FlowTTL:         time.Minute,
+			GCInterval:      time.Second,
+			Heartbeat:       10 * time.Millisecond,
+			LivenessTimeout: 40 * time.Millisecond,
+			Rng:             rand.New(rand.NewSource(seed + int64(id))),
+		})
+		if err != nil {
+			return 0, 0, 0, 0, cleanup
+		}
+		nodes = append(nodes, n)
+	}
+	eps, err := source.AttachEndpoints(net, srcIDs)
+	if err != nil {
+		return 0, 0, 0, 0, cleanup
+	}
+	prev := cleanup
+	cleanup = func() { prev(); eps.Close() }
+	g, err := core.Build(core.Spec{
+		L: p.L, D: p.D, DPrime: p.DPrime,
+		Relays: relays, Dest: relays[0], Sources: srcIDs,
+		Recode: true, Scramble: true,
+		Rng: rng,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, cleanup
+	}
+	snd := source.New(net, g, source.Config{ChunkPayload: p.MessageBytes}, rng)
+	if snd.EstablishAndWait(eps, 10*time.Second) != nil {
+		return 0, 0, 0, 0, cleanup
+	}
+	// Failures are injected mid-transfer, not during setup (§8): wait for
+	// the whole graph, not just the destination's ack.
+	waitEstablished(net, nodes[:len(relays)], g, 5*time.Second)
+	var dest *relay.Node
+	for _, n := range nodes {
+		if n.ID() == g.Dest {
+			dest = n
+		}
+	}
+
+	// Same-stage victims, chosen before repair can mutate the graph; a
+	// stage that does not hold the destination always exists (L ≥ 2).
+	var victims []wire.NodeID
+	for l := 1; l <= g.L; l++ {
+		if g.DestStage == l {
+			continue
+		}
+		victims = append([]wire.NodeID(nil), g.Stages[l-1][:p.KillPerFlow]...)
+		break
+	}
+
+	rcfg := source.RepairConfig{Heartbeat: 10 * time.Millisecond}
+	if p.Repair {
+		var pickMu sync.Mutex
+		used := map[wire.NodeID]bool{}
+		rcfg.Pick = func(exclude func(wire.NodeID) bool) (wire.NodeID, bool) {
+			pickMu.Lock()
+			defer pickMu.Unlock()
+			for _, id := range spares {
+				if !used[id] && !exclude(id) {
+					used[id] = true
+					return id, true
+				}
+			}
+			return 0, false
+		}
+	}
+	if snd.StartRepair(eps, rcfg) != nil {
+		return 0, 0, 0, 0, cleanup
+	}
+	prev2 := cleanup
+	cleanup = func() { snd.StopRepair(); prev2() }
+
+	// The session: kills are spread across the message stream, one victim
+	// at each kill point, with a settle window after each so detection (and
+	// repair, when enabled) can run — the paper's "failures during the
+	// transfer, not during setup".
+	killAt := make(map[int]int) // message index -> victim index
+	for k := range victims {
+		killAt[(k+1)*p.Messages/(len(victims)+1)] = k
+	}
+	var delivered, sent int64
+	msg := make([]byte, p.MessageBytes)
+	for i := 0; i < p.Messages; i++ {
+		if k, ok := killAt[i]; ok {
+			net.Fail(victims[k])
+			if p.Repair {
+				deadline := time.Now().Add(5 * time.Second)
+				for snd.RepairStats().Splices < int64(k+1) && time.Now().Before(deadline) {
+					time.Sleep(5 * time.Millisecond)
+				}
+				// Let the freshest replacement establish and neighbors patch.
+				time.Sleep(100 * time.Millisecond)
+			} else {
+				time.Sleep(200 * time.Millisecond)
+			}
+		}
+		rng.Read(msg)
+		if snd.Send(msg) != nil {
+			continue
+		}
+		sent++
+		select {
+		case <-dest.Received():
+			delivered++
+		case <-time.After(1500 * time.Millisecond):
+		}
+	}
+	st := snd.RepairStats()
+	return delivered, sent, st.Splices, st.Reports, cleanup
+}

@@ -99,6 +99,10 @@ type Graph struct {
 	// chains[x,k] is the scrambling chain pre-applied to slice k of owner x;
 	// relays along the path strip one layer each (§9.4a).
 	chains map[chainKey][]wire.Transform
+
+	// spliceSeq counts repairs on this graph; every splice patch carries it
+	// so relays can drop stale or reordered patches (see Splice).
+	spliceSeq uint64
 }
 
 // Validation errors.

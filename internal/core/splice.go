@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"infoslicing/internal/slcrypto"
+	"infoslicing/internal/wire"
+)
+
+// Splice errors.
+var (
+	ErrSplice = errors.New("core: invalid splice")
+)
+
+// SplicePatch is the updated routing block for one surviving neighbor of a
+// spliced-out relay, plus the flow-id to stamp on the MsgSplice packet that
+// delivers it. The info is sealed under the key the neighbor already shares
+// with the source, so a patch can neither be read nor forged in transit.
+type SplicePatch struct {
+	Node wire.NodeID
+	Flow wire.FlowID
+	Key  slcrypto.SymmetricKey
+	Info *wire.PerNodeInfo
+}
+
+// SplicePlan is the minimal re-keyed sub-graph a live repair must deliver:
+// the replacement's full routing block (sent as d'-of-d sliced setup from
+// the source endpoints) and one patch per surviving neighbor. Nothing else
+// in the graph changes — the other d'·L-1 relays keep forwarding the
+// in-flight slices undisturbed.
+type SplicePlan struct {
+	Stage    int // 1-indexed stage of the replaced relay
+	Old, New wire.NodeID
+
+	// Seq is this repair's position in the graph's splice history. It is
+	// sealed into every patch so a relay that receives two repairs'
+	// patches out of order (each packet rides its own emulated link delay)
+	// keeps the newer routing state: patches apply only if their Seq
+	// exceeds the last one applied.
+	Seq uint64
+
+	NewFlow wire.FlowID
+	NewKey  slcrypto.SymmetricKey
+	NewInfo *wire.PerNodeInfo
+
+	Patches []SplicePatch
+}
+
+// SpliceSeq returns the sequence number of the most recent splice (0 if the
+// graph was never repaired); retransmitted patches are stamped with it.
+func (g *Graph) SpliceSeq() uint64 { return g.spliceSeq }
+
+// Splice replaces the relay oldID (at the given 1-indexed stage) with newID,
+// mutating the graph in place and returning the delivery plan. The
+// replacement inherits the dead relay's position, children, data-map, and
+// slice-map — exactly the knowledge the dead node held, no more — under a
+// fresh flow-id and a fresh symmetric key. Parents swap one child address;
+// children swap one parent address. After the mutation every graph
+// invariant, including the exposure invariant (each node references only
+// adjacent-stage addresses, §4), is re-validated; a violation fails the
+// splice before anything is sent.
+//
+// The destination cannot be spliced out: the session is over if it dies, and
+// replacing it would move the receiver flag.
+func (g *Graph) Splice(stage int, oldID, newID wire.NodeID) (*SplicePlan, error) {
+	if stage < 1 || stage > g.L {
+		return nil, fmt.Errorf("%w: stage %d of %d", ErrSplice, stage, g.L)
+	}
+	if oldID == g.Dest {
+		return nil, fmt.Errorf("%w: cannot replace the destination", ErrSplice)
+	}
+	pos := -1
+	for p, id := range g.Stages[stage-1] {
+		if id == oldID {
+			pos = p
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("%w: node %d not at stage %d", ErrSplice, oldID, stage)
+	}
+	if newID == 0 || newID == oldID {
+		return nil, fmt.Errorf("%w: bad replacement %d", ErrSplice, newID)
+	}
+	if g.StageOf(newID) != 0 {
+		return nil, fmt.Errorf("%w: replacement %d already on the graph", ErrSplice, newID)
+	}
+	for _, s := range g.Sources {
+		if s == newID {
+			return nil, fmt.Errorf("%w: replacement %d is a source endpoint", ErrSplice, newID)
+		}
+	}
+
+	newFlow := g.freshFlow()
+	var newKey slcrypto.SymmetricKey
+	fillBytes(newKey[:], g.Rng)
+
+	newInfo := g.Infos[oldID].Clone()
+	newInfo.Key = newKey
+	newInfo.Spliced = true
+
+	g.spliceSeq++
+	plan := &SplicePlan{
+		Stage: stage, Old: oldID, New: newID, Seq: g.spliceSeq,
+		NewFlow: newFlow, NewKey: newKey, NewInfo: newInfo,
+	}
+
+	// Mutate the graph to the post-repair truth.
+	g.Stages[stage-1][pos] = newID
+	for i, id := range g.Relays {
+		if id == oldID {
+			g.Relays[i] = newID
+		}
+	}
+	g.Flows[newID] = newFlow
+	delete(g.Flows, oldID)
+	g.Keys[newID] = newKey
+	delete(g.Keys, oldID)
+	g.Infos[newID] = newInfo
+	delete(g.Infos, oldID)
+	if hs, ok := g.holders[oldID]; ok {
+		g.holders[newID] = hs
+		delete(g.holders, oldID)
+	}
+
+	// Parents (stage-1 relays above the splice point) swap one child: the
+	// address and flow-id at the dead node's position. At stage 1 the
+	// "parents" are the source endpoints — the source patches itself by
+	// reading the mutated Stages/Flows on its next round.
+	if stage > 1 {
+		for _, u := range g.Stages[stage-2] {
+			upd := g.Infos[u].Clone()
+			upd.Children[pos] = newID
+			upd.ChildFlows[pos] = newFlow
+			g.Infos[u] = upd
+			plan.Patches = append(plan.Patches, SplicePatch{
+				Node: u, Flow: g.Flows[u], Key: g.Keys[u], Info: upd,
+			})
+		}
+	}
+	// Children swap one parent address in their data- and slice-maps.
+	if stage < g.L {
+		for _, w := range g.Stages[stage] {
+			upd := g.Infos[w].Clone()
+			for i := range upd.DataMap {
+				if upd.DataMap[i].Parent == oldID {
+					upd.DataMap[i].Parent = newID
+				}
+			}
+			for i := range upd.SliceMap {
+				if upd.SliceMap[i].Src.Parent == oldID {
+					upd.SliceMap[i].Src.Parent = newID
+				}
+			}
+			g.Infos[w] = upd
+			plan.Patches = append(plan.Patches, SplicePatch{
+				Node: w, Flow: g.Flows[w], Key: g.Keys[w], Info: upd,
+			})
+		}
+	}
+
+	// A repair must never weaken the structure the anonymity and resilience
+	// arguments rest on; re-check everything, including exposure.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("splice left an invalid graph: %w", err)
+	}
+	return plan, nil
+}
+
+// freshFlow draws a flow-id not already assigned on this graph.
+func (g *Graph) freshFlow() wire.FlowID {
+	used := make(map[wire.FlowID]bool, len(g.Flows))
+	for _, f := range g.Flows {
+		used[f] = true
+	}
+	for {
+		f := wire.FlowID(g.Rng.Uint64())
+		if !used[f] {
+			return f
+		}
+	}
+}

@@ -26,6 +26,9 @@ var ErrInvariant = errors.New("core: graph invariant violated")
 //     source multicasts d' slices to stage 1.
 //  5. Exactly one relay carries the receiver flag, and it is the
 //     destination.
+//  6. Exposure: every address a node's info references lies in an adjacent
+//     stage — a node sees only its own in/out edges (§4). This is the
+//     invariant a live repair (Splice) must also preserve.
 func (g *Graph) Validate() error {
 	if err := g.validateStages(); err != nil {
 		return err
@@ -39,7 +42,52 @@ func (g *Graph) Validate() error {
 	if err := g.validateDataMaps(); err != nil {
 		return err
 	}
+	if err := g.validateExposure(); err != nil {
+		return err
+	}
 	return g.validateReceiver()
+}
+
+// validateExposure checks that no info block names a node outside the
+// owner's adjacent stages: children one stage down, data-/slice-map parents
+// one stage up (source endpoints count as stage 0). Any other address in an
+// info block would hand a relay knowledge the threat model (§3a) says it
+// must not have.
+func (g *Graph) validateExposure() error {
+	isSource := make(map[wire.NodeID]bool, len(g.Sources))
+	for _, s := range g.Sources {
+		isSource[s] = true
+	}
+	parentOK := func(l int, id wire.NodeID) bool {
+		if l == 1 {
+			return isSource[id]
+		}
+		return g.StageOf(id) == l-1
+	}
+	for l := 1; l <= g.L; l++ {
+		for _, x := range g.Stages[l-1] {
+			pi := g.Infos[x]
+			for _, c := range pi.Children {
+				if g.StageOf(c) != l+1 {
+					return fmt.Errorf("%w: node %d (stage %d) names non-adjacent child %d",
+						ErrInvariant, x, l, c)
+				}
+			}
+			for _, e := range pi.DataMap {
+				if !parentOK(l, e.Parent) {
+					return fmt.Errorf("%w: node %d (stage %d) names non-adjacent data parent %d",
+						ErrInvariant, x, l, e.Parent)
+				}
+			}
+			for _, e := range pi.SliceMap {
+				if !parentOK(l, e.Src.Parent) {
+					return fmt.Errorf("%w: node %d (stage %d) names non-adjacent slice parent %d",
+						ErrInvariant, x, l, e.Src.Parent)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func (g *Graph) validateStages() error {

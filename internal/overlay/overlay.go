@@ -135,6 +135,11 @@ type ChanNetwork struct {
 type chanEndpoint struct {
 	handler Handler
 	down    atomic.Bool
+	// failEpoch counts Fail events. Every queued delivery captures the
+	// receiver's epoch at send time and is dropped if it differs at
+	// delivery time: a crash loses everything already in flight toward the
+	// host, even if the host comes back before the packets' arrival time.
+	failEpoch atomic.Uint64
 	// egressFree is the virtual time at which the node's uplink is free;
 	// token-bucket-style serialization of sends.
 	mu         sync.Mutex
@@ -180,12 +185,16 @@ func (n *ChanNetwork) Detach(id wire.NodeID) {
 
 // Fail marks a node as crashed: it stops receiving and sending but stays
 // attached (the churn model of §8 — hosts become unreachable, they do not
-// deregister).
+// deregister). Packets already queued toward the node — sent before the
+// crash, still inside their emulated link delay — are dropped too, exactly
+// as a real crash loses whatever is in flight toward the host; a subsequent
+// Revive only restores packets sent after it.
 func (n *ChanNetwork) Fail(id wire.NodeID) {
 	n.mu.RLock()
 	ep := n.nodes[id]
 	n.mu.RUnlock()
 	if ep != nil {
+		ep.failEpoch.Add(1)
 		ep.down.Store(true)
 	}
 }
@@ -240,23 +249,25 @@ func (n *ChanNetwork) Send(from, to wire.NodeID, data []byte) error {
 		return nil
 	}
 	payload := append([]byte(nil), data...)
+	epoch := dst.failEpoch.Load()
+	deliver := func() {
+		if !dst.down.Load() && dst.failEpoch.Load() == epoch && !n.closed.Load() {
+			dst.handler(from, payload)
+		}
+	}
 	if delay == 0 {
 		// Fast path: immediate asynchronous delivery.
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			if !dst.down.Load() && !n.closed.Load() {
-				dst.handler(from, payload)
-			}
+			deliver()
 		}()
 		return nil
 	}
 	n.wg.Add(1)
 	timer := time.AfterFunc(delay, func() {
 		defer n.wg.Done()
-		if !dst.down.Load() && !n.closed.Load() {
-			dst.handler(from, payload)
-		}
+		deliver()
 	})
 	_ = timer
 	return nil

@@ -123,6 +123,50 @@ func TestChanNetworkFailedNodesDropTraffic(t *testing.T) {
 	}
 }
 
+// TestChanNetworkFailDropsInFlightPackets pins the fail-while-in-flight
+// semantics: packets sent before a crash but still inside their emulated
+// link delay are lost with the crash — even if the node revives before
+// their scheduled arrival. Only packets sent after the revive land.
+func TestChanNetworkFailDropsInFlightPackets(t *testing.T) {
+	p := Profile{Name: "slow", LatencyMin: 60 * time.Millisecond, LatencyMax: 60 * time.Millisecond}
+	n := NewChanNetwork(p, rand.New(rand.NewSource(1)))
+	defer n.Close()
+	s := newSink()
+	n.Attach(1, s.handler)
+	n.Attach(2, func(wire.NodeID, []byte) {})
+
+	// Queue packets toward node 1, then crash and immediately revive it
+	// while they are still in flight.
+	for i := 0; i < 5; i++ {
+		if err := n.Send(2, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Fail(1)
+	n.Revive(1)
+	if n.Down(1) {
+		t.Fatal("revive failed")
+	}
+	// The in-flight packets' arrival time passes; none may be delivered.
+	time.Sleep(200 * time.Millisecond)
+	if got := s.count(); got != 0 {
+		t.Fatalf("%d pre-crash packet(s) delivered after Fail", got)
+	}
+	// Post-revive traffic flows normally.
+	if err := n.Send(2, 1, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitFor(t, 1, 2*time.Second)
+	if got := s.count(); got != 1 {
+		t.Fatalf("got %d message(s), want exactly the post-revive one", got)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !bytes.Equal(s.msgs[0].data, []byte("after")) {
+		t.Fatal("wrong message survived the crash")
+	}
+}
+
 func TestChanNetworkLatencyShaping(t *testing.T) {
 	p := Unshaped()
 	p.LatencyMin, p.LatencyMax = 30*time.Millisecond, 31*time.Millisecond

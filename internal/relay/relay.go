@@ -67,6 +67,19 @@ type Config struct {
 	// at a full queue are dropped (datagram semantics) and counted in
 	// Stats.QueueDrops. Default 1024.
 	QueueDepth int
+	// Heartbeat enables the live-churn control plane: every established
+	// flow sends a per-flow keepalive to each child at this interval, and
+	// the same ticker drives parent-liveness checks. Zero (the default)
+	// disables the control plane entirely — the node behaves exactly like
+	// the passive, redundancy-only relay.
+	Heartbeat time.Duration
+	// LivenessTimeout is how long a parent may stay silent (no data, no
+	// heartbeat) before the relay presumes it dead and emits a ParentDown
+	// report toward the source. Defaults to 4×Heartbeat when heartbeats are
+	// enabled. Detection only *reports*; it never changes how rounds are
+	// forwarded, so the data path is identical with the control plane on
+	// or off.
+	LivenessTimeout time.Duration
 	// Rng seeds the per-shard RNGs that drive padding and recombination;
 	// defaults to a time-seeded one. It is only drawn from during New.
 	Rng *rand.Rand
@@ -98,6 +111,9 @@ func (c *Config) fillDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
+	if c.Heartbeat > 0 && c.LivenessTimeout == 0 {
+		c.LivenessTimeout = 4 * c.Heartbeat
+	}
 	if c.Rng == nil {
 		c.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
@@ -121,6 +137,13 @@ type Stats struct {
 	MessagesDelivered int64
 	Dropped           int64 // undeliverable app messages (channel full)
 	QueueDrops        int64 // packets dropped at a full shard queue
+
+	// Control plane (zero unless Config.Heartbeat is set).
+	HeartbeatsIn        int64
+	HeartbeatsOut       int64
+	ParentDownSent      int64 // reports this node originated
+	ParentDownForwarded int64 // reports re-stamped toward the source
+	SplicesApplied      int64 // info blocks swapped by an authenticated splice
 }
 
 func (s *Stats) add(o Stats) {
@@ -132,6 +155,11 @@ func (s *Stats) add(o Stats) {
 	s.MessagesDelivered += o.MessagesDelivered
 	s.Dropped += o.Dropped
 	s.QueueDrops += o.QueueDrops
+	s.HeartbeatsIn += o.HeartbeatsIn
+	s.HeartbeatsOut += o.HeartbeatsOut
+	s.ParentDownSent += o.ParentDownSent
+	s.ParentDownForwarded += o.ParentDownForwarded
+	s.SplicesApplied += o.SplicesApplied
 }
 
 // Node is one overlay relay daemon.
@@ -211,6 +239,25 @@ type flowState struct {
 	// waiting for them (they are unmarked the moment they speak again).
 	deadParents map[wire.NodeID]bool
 
+	// Control plane (live churn repair; populated only when the node runs
+	// with Config.Heartbeat > 0, except lastHeard which is cheap enough to
+	// keep always).
+	//
+	// lastHeard timestamps every previous-hop address per packet received;
+	// the liveness sweep compares parents' entries against LivenessTimeout.
+	// downSince remembers when a quiet parent was last reported so reports
+	// re-emit at most once per timeout while it stays dead; downCount
+	// applies the leaf-flow forgetting rule (see checkParentsLocked).
+	// seenReports dedupes the ParentDown flood by its clear nonce.
+	lastHeard   map[wire.NodeID]time.Time
+	downSince   map[wire.NodeID]time.Time
+	downCount   map[wire.NodeID]int
+	seenReports map[uint64]bool
+	// spliceSeq is the sequence number of the last repair patch applied;
+	// older or duplicate patches (multipath, retransmission, reordering)
+	// are dropped so the newest routing state always wins.
+	spliceSeq uint64
+
 	// Receiver-side reassembly.
 	nextSeq uint32
 	chunks  map[uint32][]byte
@@ -289,6 +336,10 @@ func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
 	}
 	n.wg.Add(1)
 	go n.gcLoop()
+	if cfg.Heartbeat > 0 {
+		n.wg.Add(1)
+		go n.controlLoop()
+	}
 	return n, nil
 }
 
@@ -438,7 +489,12 @@ func (n *Node) onPacket(from wire.NodeID, data []byte) {
 		return
 	default:
 	}
-	if wire.MsgType(data[0]) == wire.MsgAck {
+	switch wire.MsgType(data[0]) {
+	case wire.MsgAck, wire.MsgParentDown:
+		// Both are matched by the sender's address rather than the flow-id
+		// they carry (which names the *child's* flow, unknown here), so
+		// they fan out to every shard. The buffer is shared read-only:
+		// every shard only parses it and copies what it forwards.
 		for _, sh := range n.shards {
 			sh.enqueue(from, data)
 		}
@@ -488,14 +544,25 @@ func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
 		return
 	default:
 	}
-	if pkt.Type == wire.MsgAck {
+	switch pkt.Type {
+	case wire.MsgAck:
 		// Acks are matched by sender address, not flow-id, and never create
 		// flow state.
 		n.handleAck(sh, from)
 		return
+	case wire.MsgParentDown:
+		// Likewise matched by sender address; never creates flow state.
+		n.handleParentDown(sh, from, pkt)
+		return
 	}
 	fs := sh.flows[pkt.Flow]
 	if fs == nil {
+		// Only the packets that legitimately start a flow may create state:
+		// control traffic for an unknown flow is dropped, so an attacker
+		// cannot fill the flow table with heartbeats or splice probes.
+		if pkt.Type != wire.MsgSetup && pkt.Type != wire.MsgData {
+			return
+		}
 		if !n.reserveFlow() {
 			return
 		}
@@ -506,11 +573,22 @@ func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
 			rounds:    make(map[uint32]*round),
 			chunks:    make(map[uint32][]byte),
 			seen:      make(map[wire.NodeID]bool),
+			lastHeard: make(map[wire.NodeID]time.Time),
 		}
 		sh.flows[pkt.Flow] = fs
 	}
 	fs.seen[from] = true
-	fs.lastActive = time.Now()
+	now := time.Now()
+	if fs.lastHeard == nil {
+		fs.lastHeard = make(map[wire.NodeID]time.Time)
+	}
+	fs.lastHeard[from] = now
+	if pkt.Type != wire.MsgHeartbeat {
+		// Heartbeats prove the *parent* is alive; they deliberately do not
+		// refresh the flow itself, so an idle session still ages out of the
+		// table (FlowTTL) instead of being kept alive forever by keepalives.
+		fs.lastActive = now
+	}
 	switch pkt.Type {
 	case wire.MsgSetup:
 		sh.stats.SetupPacketsIn++
@@ -518,6 +596,10 @@ func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
 	case wire.MsgData:
 		sh.stats.DataPacketsIn++
 		n.handleData(sh, pkt.Flow, fs, from, pkt)
+	case wire.MsgHeartbeat:
+		sh.stats.HeartbeatsIn++
+	case wire.MsgSplice:
+		n.handleSplice(sh, fs, pkt)
 	}
 }
 
@@ -609,6 +691,21 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 			fs.slotLen, fs.nSlots = geom[0], geom[1]
 			fs.geomSet = true
 			sh.stats.FlowsEstablished++
+			// Seed parent liveness: a parent that never speaks after
+			// establishment is detected one LivenessTimeout from now, not
+			// reported blind.
+			now := time.Now()
+			for p := range fs.parents {
+				if _, ok := fs.lastHeard[p]; !ok {
+					fs.lastHeard[p] = now
+				}
+			}
+			if pi.Spliced {
+				// A spliced-in replacement received its block straight from
+				// the source endpoints; its children were patched directly,
+				// so there is no setup wave to forward.
+				fs.setupSent = true
+			}
 			if pi.Receiver {
 				// Establishment acknowledgment toward the source endpoints
 				// (§7.4): originated by the destination, re-stamped hop by
@@ -623,9 +720,9 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 			break
 		}
 	}
-	if fs.info == nil || len(fs.info.Children) == 0 {
-		// Leaf (last stage) or not yet decodable: nothing to forward. If the
-		// flow never decodes, GC reaps it.
+	if fs.info == nil || len(fs.info.Children) == 0 || fs.setupSent {
+		// Leaf (last stage), not yet decodable, or a spliced-in flow with
+		// nothing to forward. If the flow never decodes, GC reaps it.
 		return
 	}
 	if len(fs.setupPkts) >= len(fs.parents) && fs.parentsAllPresent() {

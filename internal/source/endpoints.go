@@ -11,12 +11,26 @@ import (
 
 // Endpoints manages the source-side transport attachments: the source and
 // its pseudo-sources (§3c). Besides transmitting setup and data packets,
-// the endpoints listen for the establishment acknowledgment the destination
-// sends back hop by hop (§7.4) — the only upstream traffic in the protocol.
+// the endpoints listen for the two kinds of upstream traffic the protocol
+// has: the establishment acknowledgment the destination sends back hop by
+// hop (§7.4), and the ParentDown failure reports relays flood toward the
+// source when the live-repair control plane is on.
 type Endpoints struct {
-	tr   overlay.Transport
-	ids  []wire.NodeID
-	acks chan wire.FlowID
+	tr      overlay.Transport
+	ids     []wire.NodeID
+	acks    chan wire.FlowID
+	reports chan DownReport
+}
+
+// DownReport is one ParentDown report as it reaches a source endpoint: the
+// stage-1 flow-id of the last re-stamping hop, the clear dedup nonce, and
+// the sealed body only the source can open (by trial-decrypting with the
+// graph's per-node keys, which doubles as authentication and identifies the
+// reporter).
+type DownReport struct {
+	Flow   wire.FlowID
+	Nonce  uint64
+	Sealed []byte
 }
 
 // ErrAckTimeout reports that no establishment ack arrived in time.
@@ -26,9 +40,10 @@ var ErrAckTimeout = errors.New("source: establishment ack timed out")
 // detaches them.
 func AttachEndpoints(tr overlay.Transport, ids []wire.NodeID) (*Endpoints, error) {
 	e := &Endpoints{
-		tr:   tr,
-		ids:  append([]wire.NodeID(nil), ids...),
-		acks: make(chan wire.FlowID, 64),
+		tr:      tr,
+		ids:     append([]wire.NodeID(nil), ids...),
+		acks:    make(chan wire.FlowID, 64),
+		reports: make(chan DownReport, 64),
 	}
 	for i, id := range e.ids {
 		if err := tr.Attach(id, e.onPacket); err != nil {
@@ -48,6 +63,12 @@ func (e *Endpoints) IDs() []wire.NodeID { return append([]wire.NodeID(nil), e.id
 // are stage-1 flow-ids: the last re-stamping hop before the source).
 func (e *Endpoints) Acks() <-chan wire.FlowID { return e.acks }
 
+// Reports yields arriving ParentDown failure reports. The repair loop
+// (Sender.StartRepair) is the intended consumer; if nobody listens the
+// channel simply fills and further reports are dropped, which is safe —
+// relays re-report while a parent stays dead.
+func (e *Endpoints) Reports() <-chan DownReport { return e.reports }
+
 // Close detaches all endpoints.
 func (e *Endpoints) Close() {
 	for _, id := range e.ids {
@@ -57,12 +78,63 @@ func (e *Endpoints) Close() {
 
 func (e *Endpoints) onPacket(_ wire.NodeID, data []byte) {
 	pkt, err := wire.UnmarshalPacket(data)
-	if err != nil || pkt.Type != wire.MsgAck {
+	if err != nil {
 		return
 	}
-	select {
-	case e.acks <- pkt.Flow:
-	default:
+	switch pkt.Type {
+	case wire.MsgAck:
+		select {
+		case e.acks <- pkt.Flow:
+		default:
+		}
+	case wire.MsgParentDown:
+		nonce, sealed, err := wire.ParseParentDown(pkt)
+		if err != nil {
+			return
+		}
+		// The sealed view pins the delivery buffer, which this handler owns
+		// outright (buffer-ownership rule 2); handing it to the repair loop
+		// transfers that ownership.
+		select {
+		case e.reports <- DownReport{Flow: pkt.Flow, Nonce: nonce, Sealed: sealed}:
+		default:
+		}
+	}
+}
+
+// EstablishAndWait injects the setup wave and blocks until the
+// establishment ack arrives, retransmitting the whole wave with exponential
+// backoff while it waits. Setup packets have no per-packet reliability —
+// they are datagrams over a lossy, churning overlay — so a wave that lands
+// on a dead stage-1 relay (or is simply lost) would otherwise strand the
+// flow until the caller gave up; the retransmissions are idempotent at the
+// relays (duplicate setup packets from the same previous hop are dropped)
+// and give a late-reviving relay fresh slices to decode from.
+func (s *Sender) EstablishAndWait(e *Endpoints, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	wait := timeout / 16
+	if wait < 5*time.Millisecond {
+		wait = 5 * time.Millisecond
+	}
+	for {
+		if err := s.Establish(); err != nil {
+			return err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return ErrAckTimeout
+		}
+		w := wait
+		if w > remain {
+			w = remain
+		}
+		if err := s.WaitEstablished(e, w); err == nil {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return ErrAckTimeout
+		}
+		wait *= 2
 	}
 }
 

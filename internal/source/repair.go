@@ -1,0 +1,311 @@
+package source
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoslicing/internal/code"
+	"infoslicing/internal/core"
+	"infoslicing/internal/slcrypto"
+	"infoslicing/internal/wire"
+)
+
+// The repair loop is the source side of the live churn control plane
+// (DESIGN.md, "The live churn control plane"): it keeps stage-1 relays fed
+// with heartbeats (so their parent-liveness clocks see a live source even
+// between messages), consumes the ParentDown reports that relays flood
+// toward the endpoints, and answers each authenticated report with a splice
+// — a minimal re-keyed sub-graph (core.Graph.Splice) delivered as sliced
+// setup to the replacement plus sealed patches to the surviving neighbors.
+//
+// Each Sender runs its own repair loop over its own endpoints, holding only
+// its own per-flow lock while it mutates its own graph; a MultiSender
+// process therefore repairs every flow independently, with no cross-flow
+// blocking — the same isolation the data path already has.
+
+// RepairConfig tunes a sender's repair loop.
+type RepairConfig struct {
+	// Heartbeat is the interval of source→stage-1 keepalives; it should be
+	// at most the relays' LivenessTimeout or idle flows will be
+	// false-reported. Default 100ms.
+	Heartbeat time.Duration
+
+	// Pick chooses a replacement relay. The exclude predicate reports ids
+	// that must not be chosen (current graph members, source endpoints, and
+	// the dead node itself); returning false means no candidate is
+	// available, and the report is counted in RepairStats.Failed — relays
+	// re-report while the parent stays dead, so repair retries naturally.
+	// A nil Pick runs the loop in detection-only mode: reports are consumed
+	// and counted but nothing is spliced (the repair-off arm of the churn
+	// experiment).
+	Pick func(exclude func(wire.NodeID) bool) (wire.NodeID, bool)
+
+	// Rng drives nonce dedup-resistant sealing randomness; defaults to a
+	// derivation of the sender's rng.
+	Rng *rand.Rand
+}
+
+// RepairStats counts repair-loop activity.
+type RepairStats struct {
+	Reports int64 // authenticated ParentDown reports consumed
+	Stale   int64 // reports about nodes already replaced (patch re-sent)
+	Splices int64 // successful splices injected
+	Failed  int64 // reports that could not be repaired (no candidate, splice error)
+}
+
+// ErrRepairRunning is returned by StartRepair when a loop is already up.
+var ErrRepairRunning = errors.New("source: repair loop already running")
+
+type repairState struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	reports atomic.Int64
+	stale   atomic.Int64
+	splices atomic.Int64
+	failed  atomic.Int64
+}
+
+// StartRepair launches the repair loop for this flow over the given
+// endpoints. Call StopRepair (or stop using the sender) to end it.
+func (s *Sender) StartRepair(eps *Endpoints, cfg RepairConfig) error {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 100 * time.Millisecond
+	}
+	s.mu.Lock()
+	if s.repair != nil {
+		s.mu.Unlock()
+		return ErrRepairRunning
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(s.rng.Int63()))
+	}
+	st := &repairState{stop: make(chan struct{})}
+	s.repair = st
+	s.mu.Unlock()
+
+	st.wg.Add(1)
+	go s.repairLoop(st, eps, cfg)
+	return nil
+}
+
+// StopRepair halts the repair loop; safe to call more than once.
+func (s *Sender) StopRepair() {
+	s.mu.Lock()
+	st := s.repair
+	s.repair = nil
+	s.mu.Unlock()
+	if st != nil {
+		close(st.stop)
+		st.wg.Wait()
+	}
+}
+
+// RepairStats snapshots the repair counters (zero if repair never ran).
+func (s *Sender) RepairStats() RepairStats {
+	s.mu.Lock()
+	st := s.repair
+	if st == nil {
+		st = s.lastRepair
+	}
+	s.mu.Unlock()
+	if st == nil {
+		return RepairStats{}
+	}
+	return RepairStats{
+		Reports: st.reports.Load(),
+		Stale:   st.stale.Load(),
+		Splices: st.splices.Load(),
+		Failed:  st.failed.Load(),
+	}
+}
+
+func (s *Sender) repairLoop(st *repairState, eps *Endpoints, cfg RepairConfig) {
+	defer st.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		s.lastRepair = st
+		s.mu.Unlock()
+	}()
+	tick := time.NewTicker(cfg.Heartbeat)
+	defer tick.Stop()
+	seen := make(map[uint64]bool)
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-tick.C:
+			s.sendSourceHeartbeats(eps)
+		case r := <-eps.Reports():
+			if seen[r.Nonce] {
+				continue
+			}
+			if len(seen) >= 1024 {
+				seen = make(map[uint64]bool)
+			}
+			seen[r.Nonce] = true
+			s.handleReport(st, eps, cfg, r)
+		}
+	}
+}
+
+// sendSourceHeartbeats keeps every stage-1 relay's liveness clock fresh for
+// all d' endpoint parents, mirroring the data-phase multicast.
+func (s *Sender) sendSourceHeartbeats(eps *Endpoints) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.graph
+	for _, v := range g.Stages[0] {
+		s.pktBuf = wire.AppendHeartbeat(s.pktBuf[:0], g.Flows[v])
+		for _, src := range eps.ids {
+			s.tr.Send(src, v, s.pktBuf) //nolint:errcheck // datagram semantics
+		}
+	}
+}
+
+// handleReport authenticates one ParentDown report and repairs the graph.
+// Trial decryption with the graph's per-node keys both authenticates the
+// report (only graph members hold a key) and identifies the reporter; the
+// opened body names the dead parent. Everything that touches the graph runs
+// under s.mu so splices serialize with the data rounds reading Stages and
+// Flows.
+func (s *Sender) handleReport(st *repairState, eps *Endpoints, cfg RepairConfig, r DownReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.graph
+
+	var reporter wire.NodeID
+	var dead wire.NodeID
+	authenticated := false
+	for id, key := range g.Keys {
+		plain, err := key.Open(r.Sealed)
+		if err != nil {
+			continue
+		}
+		d, err := wire.UnmarshalDownReport(plain)
+		if err != nil {
+			return // authenticated but malformed: a bug, not an attack; drop
+		}
+		reporter, dead, authenticated = id, d, true
+		break
+	}
+	if !authenticated {
+		return // not sealed by any graph member: forged or stale, drop
+	}
+	st.reports.Add(1)
+
+	for _, src := range g.Sources {
+		if dead == src {
+			// A spliced-in last-stage relay received its block straight
+			// from the endpoints, so they are its observed previous hops
+			// and the only "parents" it can monitor; source heartbeats go
+			// to stage 1 only, so it will report them. The source knows
+			// its own endpoints are alive: ignore, and crucially send
+			// nothing back — any response would refresh the endpoint's
+			// liveness clock at the reporter and keep the report loop from
+			// converging on the forget rule.
+			return
+		}
+	}
+	stage := g.StageOf(dead)
+	if stage == 0 {
+		// Already replaced (or never ours). The reporter evidently missed
+		// its patch — retransmit its current routing block.
+		st.stale.Add(1)
+		if g.StageOf(reporter) != 0 {
+			s.sendSpliceLocked(eps, cfg, g.Flows[reporter], reporter,
+				g.Keys[reporter], g.SpliceSeq(), g.Infos[reporter])
+		}
+		return
+	}
+	if dead == g.Dest || cfg.Pick == nil {
+		// The destination cannot be replaced, and detection-only mode never
+		// splices.
+		st.failed.Add(1)
+		return
+	}
+	exclude := func(id wire.NodeID) bool {
+		if id == dead || g.StageOf(id) != 0 {
+			return true
+		}
+		for _, src := range g.Sources {
+			if src == id {
+				return true
+			}
+		}
+		return false
+	}
+	repl, ok := cfg.Pick(exclude)
+	if !ok || exclude(repl) {
+		st.failed.Add(1)
+		return
+	}
+	plan, err := g.Splice(stage, dead, repl)
+	if err != nil {
+		st.failed.Add(1)
+		return
+	}
+	// Deliver the replacement's routing block the way the original setup
+	// was delivered: sliced d'-of-d, one slice per source endpoint, so no
+	// single relay or observer ever holds a decodable set in one place.
+	if err := s.sendSpliceSetupLocked(eps, cfg, plan); err != nil {
+		st.failed.Add(1)
+		return
+	}
+	// Patch the surviving neighbors, each under its own key.
+	for _, p := range plan.Patches {
+		s.sendSpliceLocked(eps, cfg, p.Flow, p.Node, p.Key, plan.Seq, p.Info)
+	}
+	st.splices.Add(1)
+}
+
+// sendSpliceSetupLocked slices the replacement's info block and sends one
+// MsgSetup per endpoint to the new relay. Runs with s.mu held.
+func (s *Sender) sendSpliceSetupLocked(eps *Endpoints, cfg RepairConfig, plan *core.SplicePlan) error {
+	g := s.graph
+	if s.repairEnc == nil {
+		enc, err := code.NewEncoder(g.D, g.DPrime, cfg.Rng)
+		if err != nil {
+			return err
+		}
+		s.repairEnc = enc
+	}
+	slices, err := s.repairEnc.Encode(plan.NewInfo.Marshal())
+	if err != nil {
+		return err
+	}
+	for e, sl := range slices {
+		slotLen := len(sl.Coeff) + len(sl.Payload) + 4
+		s.pktBuf = wire.AppendPacketHeader(s.pktBuf[:0], wire.MsgSetup,
+			plan.NewFlow, 0, uint8(g.D), uint16(slotLen), 1)
+		s.pktBuf = wire.AppendSlot(s.pktBuf, sl)
+		src := eps.ids[e%len(eps.ids)]
+		s.tr.Send(src, plan.New, s.pktBuf) //nolint:errcheck
+	}
+	return nil
+}
+
+// sendSpliceLocked seals seq ‖ info under the target's existing key and
+// sends it as a MsgSplice; the sequence prefix lets the relay drop patches
+// that arrive out of order relative to a later repair. Runs with s.mu held.
+func (s *Sender) sendSpliceLocked(eps *Endpoints, cfg RepairConfig, flow wire.FlowID,
+	node wire.NodeID, key slcrypto.SymmetricKey, seq uint64, info *wire.PerNodeInfo) {
+	blob := info.Marshal()
+	body := make([]byte, 0, 8+len(blob))
+	body = binary.BigEndian.AppendUint64(body, seq)
+	body = append(body, blob...)
+	sealed, err := key.Seal(cfg.Rng, body)
+	if err != nil {
+		return
+	}
+	if len(sealed) > 0xffff {
+		return // cannot frame; graphs this large are rejected upstream
+	}
+	s.pktBuf = wire.AppendSplice(s.pktBuf[:0], flow, sealed)
+	src := eps.ids[int(node)%len(eps.ids)]
+	s.tr.Send(src, node, s.pktBuf) //nolint:errcheck
+}

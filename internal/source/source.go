@@ -67,6 +67,13 @@ type Sender struct {
 	encErr error
 	slices []code.Slice
 	pktBuf []byte
+
+	// Live-repair state (repair.go), guarded by mu: the running loop, the
+	// last finished loop's counters (so stats survive StopRepair), and the
+	// encoder that slices replacement info blocks.
+	repair     *repairState
+	lastRepair *repairState
+	repairEnc  *code.Encoder
 }
 
 // Errors.

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	b := AppendHeartbeat(nil, 0xfeed)
+	p, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != MsgHeartbeat || p.Flow != 0xfeed || len(p.Slots) != 0 {
+		t.Fatalf("bad heartbeat parse: %+v", p)
+	}
+	if len(b) != HeaderLen {
+		t.Fatalf("heartbeat is %d bytes, want header-only %d", len(b), HeaderLen)
+	}
+}
+
+func TestParentDownRoundTrip(t *testing.T) {
+	sealed := bytes.Repeat([]byte{0xab}, 52)
+	b := AppendParentDown(nil, 0xf00, 0xdeadbeefcafe, sealed)
+	p, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != MsgParentDown || p.Flow != 0xf00 {
+		t.Fatalf("bad header: %+v", p)
+	}
+	nonce, body, err := ParseParentDown(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonce != 0xdeadbeefcafe || !bytes.Equal(body, sealed) {
+		t.Fatalf("nonce %x body %x", nonce, body)
+	}
+}
+
+func TestParentDownRejectsWrongShape(t *testing.T) {
+	// A data packet is not a report.
+	if _, _, err := ParseParentDown(&Packet{Type: MsgData}); err == nil {
+		t.Fatal("accepted wrong type")
+	}
+	// Too short for the nonce.
+	short := &Packet{Type: MsgParentDown, Slots: [][]byte{{1, 2, 3}}}
+	if _, _, err := ParseParentDown(short); err == nil {
+		t.Fatal("accepted truncated nonce")
+	}
+}
+
+func TestDownReportRoundTrip(t *testing.T) {
+	b := MarshalDownReport(0xc0ffee)
+	id, err := UnmarshalDownReport(b)
+	if err != nil || id != 0xc0ffee {
+		t.Fatalf("got %v, %v", id, err)
+	}
+	if _, err := UnmarshalDownReport(append(b, 0)); err == nil {
+		t.Fatal("oversize report accepted")
+	}
+	if _, err := UnmarshalDownReport(b[:3]); err == nil {
+		t.Fatal("short report accepted")
+	}
+}
+
+func TestSpliceRoundTrip(t *testing.T) {
+	sealed := bytes.Repeat([]byte{0x42}, 200)
+	b := AppendSplice(nil, 0xabc, sealed)
+	p, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != MsgSplice || p.Flow != 0xabc {
+		t.Fatalf("bad header: %+v", p)
+	}
+	body, err := ParseSplice(p)
+	if err != nil || !bytes.Equal(body, sealed) {
+		t.Fatalf("body mismatch: %v", err)
+	}
+	if _, err := ParseSplice(&Packet{Type: MsgSplice}); err == nil {
+		t.Fatal("slotless splice accepted")
+	}
+}
+
+func TestPerNodeInfoSplicedFlagRoundTrip(t *testing.T) {
+	pi := samplePerNodeInfo()
+	pi.Spliced = true
+	got, err := UnmarshalPerNodeInfo(pi.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInfoEqual(t, pi, got)
+}
+
+func TestPerNodeInfoClone(t *testing.T) {
+	pi := samplePerNodeInfo()
+	cp := pi.Clone()
+	checkInfoEqual(t, pi, cp)
+	// Mutating the clone must not touch the original.
+	cp.Children[0] = 999
+	cp.ChildFlows[0] = 999
+	cp.DataMap[0].Parent = 999
+	cp.SliceMap[0].Child = 99
+	if pi.Children[0] == 999 || pi.ChildFlows[0] == 999 ||
+		pi.DataMap[0].Parent == 999 || pi.SliceMap[0].Child == 99 {
+		t.Fatal("clone aliases the original")
+	}
+}

@@ -63,6 +63,80 @@ func TestUnmarshalPerNodeInfoMutated(t *testing.T) {
 	}
 }
 
+// Control-plane parsers face the same adversary as the data-plane ones: a
+// relay hands them whatever bytes arrive on the wire. Heartbeat, ParentDown,
+// Splice, and Ack frames — genuine, mutated, and pure noise — must never
+// panic.
+
+func TestParseControlNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 4000, Rand: rand.New(rand.NewSource(5))}
+	err := quick.Check(func(b []byte) bool {
+		p, err := UnmarshalPacket(b)
+		if err != nil {
+			return true
+		}
+		// Whatever type the noise claims to be, the control parsers must
+		// fail closed, never panic.
+		_, _, _ = ParseParentDown(p)
+		if body, err := ParseSplice(p); err == nil {
+			_, _ = UnmarshalPerNodeInfo(body)
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutatedControlFramesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sealed := make([]byte, 64)
+	rng.Read(sealed)
+	bases := [][]byte{
+		AppendHeartbeat(nil, 0xaaaa),
+		AppendParentDown(nil, 0xbbbb, rng.Uint64(), sealed),
+		AppendSplice(nil, 0xcccc, sealed),
+		(&Packet{Type: MsgAck, Flow: 0xdddd}).Marshal(),
+	}
+	for _, base := range bases {
+		for i := 0; i < 3000; i++ {
+			b := append([]byte(nil), base...)
+			for m := 0; m < 1+rng.Intn(4); m++ {
+				switch rng.Intn(3) {
+				case 0:
+					b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+				case 1:
+					if len(b) > 1 {
+						b = b[:1+rng.Intn(len(b)-1)]
+					}
+				case 2:
+					b = append(b, byte(rng.Intn(256)))
+				}
+			}
+			p, err := UnmarshalPacket(b)
+			if err != nil {
+				continue
+			}
+			_, _, _ = ParseParentDown(p)
+			_, _ = ParseSplice(p)
+		}
+	}
+}
+
+// A ParentDown whose sealed body has been tampered with must be rejected by
+// the open step, not crash it; the report decoder itself must reject any
+// length but the exact one.
+func TestDownReportNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}
+	err := quick.Check(func(b []byte) bool {
+		_, _ = UnmarshalDownReport(b)
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDecodeSlotNeverPanics(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(4))}
 	err := quick.Check(func(b []byte, dRaw uint8) bool {

@@ -43,9 +43,21 @@ type PerNodeInfo struct {
 	ChildFlows []FlowID              // flow-ids to stamp on packets per child
 	Receiver   bool                  // destination flag
 	Recode     bool                  // regenerate redundancy via network coding (§4.4.1)
+	Spliced    bool                  // delivered by a live repair, not the original setup wave
 	Key        slcrypto.SymmetricKey // per-node symmetric secret
 	SliceMap   []SliceForward
 	DataMap    []DataForward
+}
+
+// Clone returns a deep copy; the repair planner mutates clones so the
+// graph's original infos stay immutable references.
+func (pi *PerNodeInfo) Clone() *PerNodeInfo {
+	cp := *pi
+	cp.Children = append([]NodeID(nil), pi.Children...)
+	cp.ChildFlows = append([]FlowID(nil), pi.ChildFlows...)
+	cp.SliceMap = append([]SliceForward(nil), pi.SliceMap...)
+	cp.DataMap = append([]DataForward(nil), pi.DataMap...)
+	return &cp
 }
 
 const infoMagic = "IXSL"
@@ -68,6 +80,9 @@ func (pi *PerNodeInfo) Marshal() []byte {
 	}
 	if pi.Recode {
 		flags |= 2
+	}
+	if pi.Spliced {
+		flags |= 4
 	}
 	out[4] = flags
 	out[5] = uint8(n)
@@ -111,6 +126,7 @@ func UnmarshalPerNodeInfo(b []byte) (*PerNodeInfo, error) {
 	pi := &PerNodeInfo{
 		Receiver: b[4]&1 != 0,
 		Recode:   b[4]&2 != 0,
+		Spliced:  b[4]&4 != 0,
 	}
 	n := int(b[5])
 	off := 6

@@ -38,6 +38,14 @@ const (
 	MsgSetup MsgType = 1 // graph-establishment slices
 	MsgData  MsgType = 2 // data-phase slices
 	MsgAck   MsgType = 3 // receiver acknowledgment (measurement only)
+
+	// Control plane (live churn repair). Heartbeats flow parent→child on
+	// the data direction; ParentDown reports travel child→parent along the
+	// ack path, re-stamped hop by hop; Splice is the setup variant that
+	// re-keys only the hops touched by a repair (see control.go).
+	MsgHeartbeat  MsgType = 4
+	MsgParentDown MsgType = 5
+	MsgSplice     MsgType = 6
 )
 
 // Errors.

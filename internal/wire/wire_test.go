@@ -291,7 +291,8 @@ func TestPerNodeInfoThroughSlicing(t *testing.T) {
 
 func checkInfoEqual(t *testing.T, want, got *PerNodeInfo) {
 	t.Helper()
-	if got.Receiver != want.Receiver || got.Recode != want.Recode || got.Key != want.Key {
+	if got.Receiver != want.Receiver || got.Recode != want.Recode ||
+		got.Spliced != want.Spliced || got.Key != want.Key {
 		t.Fatal("flags/key mismatch")
 	}
 	if len(got.Children) != len(want.Children) {
