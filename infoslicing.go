@@ -39,6 +39,7 @@ import (
 	"infoslicing/internal/core"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/source"
 	"infoslicing/internal/wire"
 )
@@ -59,12 +60,24 @@ var (
 	Unshaped = overlay.Unshaped
 )
 
+// transport is what the facade needs from its overlay network: the relay
+// transport plus churn injection and counters. ChanNetwork (wall clock) and
+// simnet.SimNet (virtual time) both satisfy it.
+type transport interface {
+	overlay.Transport
+	Fail(id wire.NodeID)
+	Revive(id wire.NodeID)
+	Down(id wire.NodeID) bool
+	Stats() (pkts, bytes, lost int64)
+	Close()
+}
+
 // Network is an in-process information-slicing overlay: a transport plus a
 // set of relay daemons.
 type Network struct {
 	cfg config
 	rng *rand.Rand
-	chn *overlay.ChanNetwork
+	chn transport
 
 	mu      sync.Mutex
 	nodes   map[NodeID]*relay.Node
@@ -82,6 +95,16 @@ type config struct {
 	relayCfg      relay.Config
 	hasRelayCfg   bool
 	ctrlHeartbeat time.Duration
+	vclk          *simnet.VirtualClock
+}
+
+// clock returns the network's time source: the injected virtual clock, or
+// the wall clock.
+func (c *config) clock() simnet.Clock {
+	if c.vclk != nil {
+		return c.vclk
+	}
+	return simnet.Wall
 }
 
 // Option configures a Network.
@@ -106,9 +129,21 @@ func WithControlPlane(heartbeat time.Duration) Option {
 	return func(c *config) { c.ctrlHeartbeat = heartbeat }
 }
 
-// New creates an empty overlay network.
+// WithVirtualTime runs the whole network — transport, relay timers,
+// heartbeats, repair loops — on the given virtual clock instead of the wall
+// clock. The caller drives the universe by stepping the clock (RunFor,
+// AwaitCond); combined with WithSeed the network becomes fully
+// deterministic. Bandwidth shaping and CPU-delay emulation of the profile
+// are not modeled under virtual time (latency and loss are).
+func WithVirtualTime(vc *simnet.VirtualClock) Option {
+	return func(c *config) { c.vclk = vc }
+}
+
+// New creates an empty overlay network. Without WithSeed the seed derives
+// from the process base seed (simnet.BaseSeed), so a failing run can be
+// replayed by pinning INFOSLICING_SEED.
 func New(opts ...Option) *Network {
-	cfg := config{profile: overlay.Unshaped(), seed: time.Now().UnixNano()}
+	cfg := config{profile: overlay.Unshaped(), seed: simnet.NextSeed()}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -120,10 +155,20 @@ func New(opts ...Option) *Network {
 	if err != nil {
 		panic(err) // parameters are constants; unreachable
 	}
+	var tr transport
+	if cfg.vclk != nil {
+		tr = simnet.NewSimNet(cfg.vclk, cfg.seed+1, simnet.LinkProfile{
+			Delay:  cfg.profile.LatencyMin,
+			Jitter: cfg.profile.LatencyMax - cfg.profile.LatencyMin,
+			Loss:   cfg.profile.Loss,
+		})
+	} else {
+		tr = overlay.NewChanNetwork(cfg.profile, rand.New(rand.NewSource(cfg.seed+1)))
+	}
 	return &Network{
 		cfg:     cfg,
 		rng:     rng,
-		chn:     overlay.NewChanNetwork(cfg.profile, rand.New(rand.NewSource(cfg.seed+1))),
+		chn:     tr,
 		nodes:   make(map[NodeID]*relay.Node),
 		addrs:   make(map[NodeID]netip.Addr),
 		asTable: table,
@@ -159,6 +204,12 @@ func (nw *Network) Grow(k int) ([]NodeID, error) {
 		}
 		if rc.Heartbeat == 0 && nw.cfg.ctrlHeartbeat > 0 {
 			rc.Heartbeat = nw.cfg.ctrlHeartbeat
+		}
+		rc.Clock = nw.cfg.clock()
+		if nw.cfg.vclk != nil {
+			// One worker per node keeps the per-link send order canonical,
+			// which is what makes virtual-time runs trace-deterministic.
+			rc.Shards = 1
 		}
 		rc.Rng = rand.New(rand.NewSource(nw.cfg.seed + int64(id)*31))
 		n, err := relay.New(id, nw.chn, rc)
@@ -415,8 +466,9 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		detachSrcs()
 		return nil, err
 	}
-	snd := source.New(nw.chn, g, source.Config{}, rand.New(rand.NewSource(seed+1)))
-	start := time.Now()
+	clk := nw.cfg.clock()
+	snd := source.New(nw.chn, g, source.Config{Clock: clk}, rand.New(rand.NewSource(seed+1)))
+	start := clk.Now()
 	if err := snd.Establish(); err != nil {
 		detachSrcs()
 		return nil, err
@@ -426,22 +478,31 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 		recv: make(chan []byte, 64),
 		done: make(chan struct{}),
 	}
-	// Wait for the destination to decode its routing block, backing off
-	// exponentially (bounded) instead of busy-polling every millisecond.
-	deadline := time.Now().Add(spec.EstablishTimeout)
-	wait := 200 * time.Microsecond
-	const maxWait = 20 * time.Millisecond
-	for !destNode.Established(g.Flows[spec.Dest]) {
-		if time.Now().After(deadline) {
+	// Wait for the destination to decode its routing block. Under virtual
+	// time the wait *drives* the clock; on the wall clock it polls with a
+	// bounded backoff instead of busy-spinning.
+	established := func() bool { return destNode.Established(g.Flows[spec.Dest]) }
+	if nw.cfg.vclk != nil {
+		if !nw.cfg.vclk.AwaitCond(spec.EstablishTimeout, established) {
 			detachSrcs()
 			return nil, errors.New("infoslicing: establish timeout")
 		}
-		time.Sleep(wait)
-		if wait < maxWait {
-			wait *= 2
+	} else {
+		deadline := time.Now().Add(spec.EstablishTimeout)
+		wait := 200 * time.Microsecond
+		const maxWait = 20 * time.Millisecond
+		for !established() {
+			if time.Now().After(deadline) {
+				detachSrcs()
+				return nil, errors.New("infoslicing: establish timeout")
+			}
+			time.Sleep(wait)
+			if wait < maxWait {
+				wait *= 2
+			}
 		}
 	}
-	c.setupTime = time.Since(start)
+	c.setupTime = clk.Now().Sub(start)
 
 	if spec.Repair {
 		// The source must heartbeat at least as often as the relays expect

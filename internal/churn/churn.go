@@ -10,12 +10,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"infoslicing/internal/core"
 	"infoslicing/internal/onion"
-	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/source"
 	"infoslicing/internal/wire"
 )
@@ -70,6 +71,12 @@ func SlicingSuccess(L, d, dPrime int, p float64) float64 {
 }
 
 // --- Experimental harness (§8.2, Fig. 17) -----------------------------------
+//
+// Every trial runs on a simnet virtual universe: the full protocol stacks
+// (relays with their real timers, sources, onion circuits) execute over a
+// deterministic event queue, so a trial that used to burn seconds of wall
+// time waiting out delivery deadlines now completes in milliseconds, and a
+// given (params, seed) pair always produces the same sessions.
 
 // ExperimentParams configures one experimental point.
 type ExperimentParams struct {
@@ -123,18 +130,13 @@ func RunExperiment(p ExperimentParams) (ExperimentResult, error) {
 	if err := p.normalize(); err != nil {
 		return ExperimentResult{}, err
 	}
-	// One directory for all trials: RSA keygen is by far the most expensive
-	// step and the identities carry no per-trial state.
-	dir := onion.NewDirectory()
+	// One directory for all trials — and memoized across experiments of the
+	// same size: RSA keygen is by far the most expensive step, the
+	// identities carry no per-trial state, and the key bits themselves only
+	// provide layering semantics, not security.
 	maxNodes := p.L*p.DPrime + 1
-	kr := seededReader{rand.New(rand.NewSource(p.Seed + 15))}
-	ids := make([]wire.NodeID, maxNodes)
-	for i := range ids {
-		ids[i] = wire.NodeID(i + 1)
-	}
-	// 1024-bit keys: the smallest size that fits an OAEP-SHA256 key wrap;
-	// the baseline only needs realistic layering semantics, not security.
-	if err := dir.Generate(kr, 1024, ids...); err != nil {
+	dir, err := onionDirFor(maxNodes)
+	if err != nil {
 		return ExperimentResult{}, err
 	}
 
@@ -170,20 +172,91 @@ func failSchedule(n, messages int, p float64, rng *rand.Rand) []int {
 	return s
 }
 
-func relayCfg(seed int64) relay.Config {
+// onionDirCache memoizes one directory (ids 1..count); see onionDirFor.
+var (
+	onionDirMu    sync.Mutex
+	onionDir      *onion.Directory
+	onionDirCount int
+)
+
+// onionDirFor returns a directory holding RSA identities 1..n (at least),
+// generating on a miss — sized a little past the request so differently
+// sized experiments in one process share a single keygen. Key material is
+// fixed (constant seed) rather than derived from the experiment seed: the
+// identities carry no behavioral state, and a constant keeps each
+// experiment's outcome a pure function of its own (params, seed) no matter
+// which experiment warmed the cache.
+func onionDirFor(n int) (*onion.Directory, error) {
+	onionDirMu.Lock()
+	defer onionDirMu.Unlock()
+	if onionDir != nil && onionDirCount >= n {
+		return onionDir, nil
+	}
+	gen := n
+	if gen < 16 {
+		gen = 16
+	}
+	dir := onion.NewDirectory()
+	kr := seededReader{rand.New(rand.NewSource(15))}
+	ids := make([]wire.NodeID, gen)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	// 1024-bit keys: the smallest size that fits an OAEP-SHA256 key wrap.
+	if err := dir.Generate(kr, 1024, ids...); err != nil {
+		return nil, err
+	}
+	onionDir, onionDirCount = dir, gen
+	return dir, nil
+}
+
+// drainCount moves everything currently buffered on ch into *delivered and
+// returns the updated count — the one non-blocking delivery counter every
+// virtual harness in this package shares.
+func drainCount[T any](ch <-chan T, delivered *int) int {
+	for {
+		select {
+		case <-ch:
+			*delivered++
+		default:
+			return *delivered
+		}
+	}
+}
+
+// simLink is the link shape every virtual trial uses: a small fixed one-way
+// delay so packets interleave across stages the way a LAN's would.
+func simLink() simnet.LinkProfile {
+	return simnet.LinkProfile{Delay: 500 * time.Microsecond}
+}
+
+func relayCfg(seed int64, clk simnet.Clock) relay.Config {
 	return relay.Config{
 		SetupWait:  40 * time.Millisecond,
 		RoundWait:  40 * time.Millisecond,
 		FlowTTL:    time.Minute,
 		GCInterval: time.Second,
+		Shards:     1, // one worker per node: canonical per-link send order
 		Rng:        rand.New(rand.NewSource(seed)),
+		Clock:      clk,
 	}
 }
 
-// slicingTrial runs one full slicing session and reports completion.
+// controlRelayCfg is relayCfg with the live control plane on — the shared
+// relay shape of every repair-capable virtual harness in this package.
+func controlRelayCfg(seed int64, clk simnet.Clock) relay.Config {
+	cfg := relayCfg(seed, clk)
+	cfg.Heartbeat = 10 * time.Millisecond
+	cfg.LivenessTimeout = 40 * time.Millisecond
+	return cfg
+}
+
+// slicingTrial runs one full slicing session in virtual time and reports
+// completion.
 func slicingTrial(p ExperimentParams, seed int64) bool {
 	rng := rand.New(rand.NewSource(seed))
-	net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(seed+1)))
+	clk := simnet.NewVirtualClock()
+	net := simnet.NewSimNet(clk, seed+1, simLink())
 	defer net.Close()
 
 	nRelays := p.L * p.DPrime
@@ -205,7 +278,7 @@ func slicingTrial(p ExperimentParams, seed int64) bool {
 		}
 	}()
 	for _, id := range relays {
-		n, err := relay.New(id, net, relayCfg(seed+int64(id)))
+		n, err := relay.New(id, net, relayCfg(seed+int64(id), clk))
 		if err != nil {
 			return false
 		}
@@ -220,13 +293,20 @@ func slicingTrial(p ExperimentParams, seed int64) bool {
 	if err != nil {
 		return false
 	}
-	snd := source.New(net, g, source.Config{ChunkPayload: p.MessageBytes}, rng)
+	snd := source.New(net, g, source.Config{ChunkPayload: p.MessageBytes, Clock: clk}, rng)
 	if snd.Establish() != nil {
 		return false
 	}
 	// Let the graph settle before the session starts (paper: churn during
 	// the transfer, not during setup).
-	waitEstablished(net, nodes, g, 5*time.Second)
+	clk.AwaitCond(5*time.Second, func() bool {
+		for _, n := range nodes {
+			if !n.Established(g.Flows[n.ID()]) {
+				return false
+			}
+		}
+		return true
+	})
 
 	var dest *relay.Node
 	for _, n := range nodes {
@@ -235,6 +315,10 @@ func slicingTrial(p ExperimentParams, seed int64) bool {
 		}
 	}
 	sched := failSchedule(nRelays, p.Messages, p.NodeFailProb, rng)
+	delivered := 0
+	drain := func() bool {
+		return drainCount(dest.Received(), &delivered) >= p.Messages
+	}
 	msg := make([]byte, p.MessageBytes)
 	for k := 0; k < p.Messages; k++ {
 		for i, f := range sched {
@@ -246,15 +330,21 @@ func slicingTrial(p ExperimentParams, seed int64) bool {
 		if snd.Send(msg) != nil {
 			return false
 		}
+		clk.RunFor(20 * time.Millisecond)
+		// Drain as the session streams: the destination's Received channel
+		// is bounded (256) and drops when full, so a long session must not
+		// let deliveries pile up until the end.
+		drain()
 	}
-	return waitDelivered(dest.Received(), p.Messages, sessionDeadline(p))
+	return clk.AwaitCond(sessionDeadline(p), drain)
 }
 
-// onionTrial runs an onion session: dPrime > 0 circuits with erasure coding,
-// or a single standard circuit when dPrime == 0.
+// onionTrial runs an onion session in virtual time: dPrime > 0 circuits
+// with erasure coding, or a single standard circuit when dPrime == 0.
 func onionTrial(p ExperimentParams, seed int64, dPrime int, dir *onion.Directory) bool {
 	rng := rand.New(rand.NewSource(seed + 13))
-	net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(seed+14)))
+	clk := simnet.NewVirtualClock()
+	net := simnet.NewSimNet(clk, seed+14, simLink())
 	defer net.Close()
 
 	paths := dPrime
@@ -310,9 +400,13 @@ func onionTrial(p ExperimentParams, seed int64, dPrime int, dir *onion.Directory
 	if err != nil {
 		return false
 	}
-	time.Sleep(50 * time.Millisecond) // let setup settle
+	clk.RunFor(50 * time.Millisecond) // let setup settle
 
 	sched := failSchedule(nRelays, p.Messages, p.NodeFailProb, rng)
+	delivered := 0
+	drain := func() bool {
+		return drainCount(dest.Received(), &delivered) >= p.Messages
+	}
 	msg := make([]byte, p.MessageBytes)
 	for k := 0; k < p.Messages; k++ {
 		for i, f := range sched {
@@ -330,55 +424,14 @@ func onionTrial(p ExperimentParams, seed int64, dPrime int, dir *onion.Directory
 				return false
 			}
 		}
+		clk.RunFor(20 * time.Millisecond)
+		drain() // bounded Received channel; see slicingTrial
 	}
-	return waitDeliveredOnion(dest.Received(), p.Messages, sessionDeadline(p))
+	return clk.AwaitCond(sessionDeadline(p), drain)
 }
 
 func sessionDeadline(p ExperimentParams) time.Duration {
 	return time.Second + time.Duration(p.Messages)*150*time.Millisecond
-}
-
-func waitDelivered(ch <-chan relay.Message, want int, timeout time.Duration) bool {
-	deadline := time.After(timeout)
-	for got := 0; got < want; {
-		select {
-		case <-ch:
-			got++
-		case <-deadline:
-			return false
-		}
-	}
-	return true
-}
-
-func waitDeliveredOnion(ch <-chan onion.Message, want int, timeout time.Duration) bool {
-	deadline := time.After(timeout)
-	for got := 0; got < want; {
-		select {
-		case <-ch:
-			got++
-		case <-deadline:
-			return false
-		}
-	}
-	return true
-}
-
-func waitEstablished(net *overlay.ChanNetwork, nodes []*relay.Node, g *core.Graph, timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		all := true
-		for _, n := range nodes {
-			if !n.Established(g.Flows[n.ID()]) {
-				all = false
-				break
-			}
-		}
-		if all {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
 }
 
 // seededReader adapts math/rand to io.Reader for deterministic experiments.

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"infoslicing/internal/core"
-	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/source"
 	"infoslicing/internal/wire"
 )
@@ -25,6 +24,12 @@ import (
 // one streaming? Each flow loses KillPerFlow relays of one stage,
 // sequentially, which exceeds the redundancy budget by construction when
 // KillPerFlow > DPrime-D.
+//
+// The whole experiment runs in virtual time: all flows of a trial share one
+// simnet universe, kills land at scripted virtual instants, and the
+// "settle" windows that used to be wall-clock sleeps are now exact virtual
+// waits — a trial that took seconds of real time completes in milliseconds
+// and is replayable from its seed.
 
 // LiveRepairParams configures one experimental point.
 type LiveRepairParams struct {
@@ -73,178 +78,214 @@ func RunLiveRepair(p LiveRepairParams) (LiveRepairResult, error) {
 	if err := p.normalize(); err != nil {
 		return LiveRepairResult{}, err
 	}
-	var delivered, sent, splices, reports atomic.Int64
+	var delivered, sent, splices, reports int64
 	for trial := 0; trial < p.Trials; trial++ {
 		seed := p.Seed + int64(trial)*104729
-		net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(seed)))
-		var wg sync.WaitGroup
-		var closers []func()
-		var closersMu sync.Mutex
-		for f := 0; f < p.Flows; f++ {
-			wg.Add(1)
-			go func(f int) {
-				defer wg.Done()
-				d, s, sp, rp, cleanup := liveRepairFlow(p, net, seed+int64(f)*7919, f)
-				delivered.Add(d)
-				sent.Add(s)
-				splices.Add(sp)
-				reports.Add(rp)
-				closersMu.Lock()
-				closers = append(closers, cleanup)
-				closersMu.Unlock()
-			}(f)
-		}
-		wg.Wait()
-		for _, c := range closers {
-			c()
-		}
-		net.Close()
+		d, s, sp, rp := liveRepairTrial(p, seed)
+		delivered += d
+		sent += s
+		splices += sp
+		reports += rp
 	}
 	res := LiveRepairResult{
-		Splices: splices.Load(),
-		Reports: reports.Load(),
+		Splices: splices,
+		Reports: reports,
 	}
-	if s := sent.Load(); s > 0 {
-		res.Delivered = float64(delivered.Load()) / float64(s)
+	if sent > 0 {
+		res.Delivered = float64(delivered) / float64(sent)
 	}
 	return res, nil
 }
 
-// liveRepairFlow runs one flow's session and returns (delivered, sent,
-// splices, reports, cleanup).
-func liveRepairFlow(p LiveRepairParams, net *overlay.ChanNetwork, seed int64, f int) (int64, int64, int64, int64, func()) {
-	rng := rand.New(rand.NewSource(seed))
-	base := wire.NodeID(1 + f*1000)
-	relays := make([]wire.NodeID, p.L*p.DPrime)
-	for i := range relays {
-		relays[i] = base + wire.NodeID(i)
-	}
-	spares := make([]wire.NodeID, p.KillPerFlow+1)
-	for i := range spares {
-		spares[i] = base + 500 + wire.NodeID(i)
-	}
-	srcIDs := make([]wire.NodeID, p.DPrime)
-	for i := range srcIDs {
-		srcIDs[i] = wire.NodeID(500_000 + f*100 + i)
-	}
+// liveFlow is one flow's stack inside a live-repair trial.
+type liveFlow struct {
+	rng       *rand.Rand
+	snd       *source.Sender
+	eps       *source.Endpoints
+	g         *core.Graph
+	dest      *relay.Node
+	victims   []wire.NodeID
+	killed    int
+	sent      int
+	delivered int
+}
+
+func (fl *liveFlow) drain() {
+	drainCount(fl.dest.Received(), &fl.delivered)
+}
+
+// liveRepairTrial runs every flow of one trial on a shared virtual
+// universe and returns (delivered, sent, splices, reports).
+func liveRepairTrial(p LiveRepairParams, seed int64) (int64, int64, int64, int64) {
+	clk := simnet.NewVirtualClock()
+	net := simnet.NewSimNet(clk, seed, simLink())
+	defer net.Close()
+
 	var nodes []*relay.Node
-	cleanup := func() {
+	defer func() {
 		for _, n := range nodes {
 			n.Close()
 		}
-	}
-	for _, id := range append(append([]wire.NodeID(nil), relays...), spares...) {
-		n, err := relay.New(id, net, relay.Config{
-			SetupWait:       40 * time.Millisecond,
-			RoundWait:       40 * time.Millisecond,
-			FlowTTL:         time.Minute,
-			GCInterval:      time.Second,
-			Heartbeat:       10 * time.Millisecond,
-			LivenessTimeout: 40 * time.Millisecond,
-			Rng:             rand.New(rand.NewSource(seed + int64(id))),
+	}()
+	flows := make([]*liveFlow, 0, p.Flows)
+	for f := 0; f < p.Flows; f++ {
+		fseed := seed + int64(f)*7919
+		rng := rand.New(rand.NewSource(fseed))
+		base := wire.NodeID(1 + f*1000)
+		relays := make([]wire.NodeID, p.L*p.DPrime)
+		for i := range relays {
+			relays[i] = base + wire.NodeID(i)
+		}
+		spares := make([]wire.NodeID, p.KillPerFlow+1)
+		for i := range spares {
+			spares[i] = base + 500 + wire.NodeID(i)
+		}
+		srcIDs := make([]wire.NodeID, p.DPrime)
+		for i := range srcIDs {
+			srcIDs[i] = wire.NodeID(500_000 + f*100 + i)
+		}
+		for _, id := range append(append([]wire.NodeID(nil), relays...), spares...) {
+			n, err := relay.New(id, net, controlRelayCfg(fseed+int64(id), clk))
+			if err != nil {
+				return 0, 0, 0, 0
+			}
+			nodes = append(nodes, n)
+		}
+		eps, err := source.AttachEndpoints(net, srcIDs)
+		if err != nil {
+			return 0, 0, 0, 0
+		}
+		defer eps.Close()
+		g, err := core.Build(core.Spec{
+			L: p.L, D: p.D, DPrime: p.DPrime,
+			Relays: relays, Dest: relays[0], Sources: srcIDs,
+			Recode: true, Scramble: true,
+			Rng: rng,
 		})
 		if err != nil {
-			return 0, 0, 0, 0, cleanup
+			return 0, 0, 0, 0
 		}
-		nodes = append(nodes, n)
+		snd := source.New(net, g, source.Config{ChunkPayload: p.MessageBytes, Clock: clk}, rng)
+		defer snd.StopRepair()
+		fl := &liveFlow{rng: rng, snd: snd, eps: eps, g: g}
+		for _, n := range nodes {
+			if n.ID() == g.Dest {
+				fl.dest = n
+			}
+		}
+		// Same-stage victims, chosen before repair can mutate the graph; a
+		// stage that does not hold the destination always exists (L ≥ 2).
+		for l := 1; l <= g.L; l++ {
+			if g.DestStage == l {
+				continue
+			}
+			fl.victims = append([]wire.NodeID(nil), g.Stages[l-1][:p.KillPerFlow]...)
+			break
+		}
+		rcfg := source.RepairConfig{Heartbeat: 10 * time.Millisecond}
+		if p.Repair {
+			var pickMu sync.Mutex
+			used := map[wire.NodeID]bool{}
+			rcfg.Pick = func(exclude func(wire.NodeID) bool) (wire.NodeID, bool) {
+				pickMu.Lock()
+				defer pickMu.Unlock()
+				for _, id := range spares {
+					if !used[id] && !exclude(id) {
+						used[id] = true
+						return id, true
+					}
+				}
+				return 0, false
+			}
+		}
+		flows = append(flows, fl)
+		if err := snd.Establish(); err != nil {
+			return 0, 0, 0, 0
+		}
+		if err := snd.StartRepair(eps, rcfg); err != nil {
+			return 0, 0, 0, 0
+		}
 	}
-	eps, err := source.AttachEndpoints(net, srcIDs)
-	if err != nil {
-		return 0, 0, 0, 0, cleanup
-	}
-	prev := cleanup
-	cleanup = func() { prev(); eps.Close() }
-	g, err := core.Build(core.Spec{
-		L: p.L, D: p.D, DPrime: p.DPrime,
-		Relays: relays, Dest: relays[0], Sources: srcIDs,
-		Recode: true, Scramble: true,
-		Rng: rng,
-	})
-	if err != nil {
-		return 0, 0, 0, 0, cleanup
-	}
-	snd := source.New(net, g, source.Config{ChunkPayload: p.MessageBytes}, rng)
-	if snd.EstablishAndWait(eps, 10*time.Second) != nil {
-		return 0, 0, 0, 0, cleanup
-	}
+
 	// Failures are injected mid-transfer, not during setup (§8): wait for
-	// the whole graph, not just the destination's ack.
-	waitEstablished(net, nodes[:len(relays)], g, 5*time.Second)
-	var dest *relay.Node
-	for _, n := range nodes {
-		if n.ID() == g.Dest {
-			dest = n
-		}
-	}
-
-	// Same-stage victims, chosen before repair can mutate the graph; a
-	// stage that does not hold the destination always exists (L ≥ 2).
-	var victims []wire.NodeID
-	for l := 1; l <= g.L; l++ {
-		if g.DestStage == l {
-			continue
-		}
-		victims = append([]wire.NodeID(nil), g.Stages[l-1][:p.KillPerFlow]...)
-		break
-	}
-
-	rcfg := source.RepairConfig{Heartbeat: 10 * time.Millisecond}
-	if p.Repair {
-		var pickMu sync.Mutex
-		used := map[wire.NodeID]bool{}
-		rcfg.Pick = func(exclude func(wire.NodeID) bool) (wire.NodeID, bool) {
-			pickMu.Lock()
-			defer pickMu.Unlock()
-			for _, id := range spares {
-				if !used[id] && !exclude(id) {
-					used[id] = true
-					return id, true
+	// every graph to come up before the sessions start.
+	established := clk.AwaitCond(10*time.Second, func() bool {
+		for _, n := range nodes {
+			for _, fl := range flows {
+				if f, ok := fl.g.Flows[n.ID()]; ok && !n.Established(f) {
+					return false
 				}
 			}
-			return 0, false
 		}
+		return true
+	})
+	if !established {
+		return 0, 0, 0, 0
 	}
-	if snd.StartRepair(eps, rcfg) != nil {
-		return 0, 0, 0, 0, cleanup
-	}
-	prev2 := cleanup
-	cleanup = func() { snd.StopRepair(); prev2() }
 
 	// The session: kills are spread across the message stream, one victim
-	// at each kill point, with a settle window after each so detection (and
-	// repair, when enabled) can run — the paper's "failures during the
-	// transfer, not during setup".
+	// per flow at each kill point, with a settle window after each so
+	// detection (and repair, when enabled) can run — the paper's "failures
+	// during the transfer, not during setup".
 	killAt := make(map[int]int) // message index -> victim index
-	for k := range victims {
-		killAt[(k+1)*p.Messages/(len(victims)+1)] = k
+	for k := 0; k < p.KillPerFlow; k++ {
+		killAt[(k+1)*p.Messages/(p.KillPerFlow+1)] = k
 	}
-	var delivered, sent int64
 	msg := make([]byte, p.MessageBytes)
 	for i := 0; i < p.Messages; i++ {
 		if k, ok := killAt[i]; ok {
-			net.Fail(victims[k])
-			if p.Repair {
-				deadline := time.Now().Add(5 * time.Second)
-				for snd.RepairStats().Splices < int64(k+1) && time.Now().Before(deadline) {
-					time.Sleep(5 * time.Millisecond)
+			for _, fl := range flows {
+				if k < len(fl.victims) {
+					net.Fail(fl.victims[k])
+					fl.killed++
 				}
+			}
+			if p.Repair {
+				clk.AwaitCond(5*time.Second, func() bool {
+					for _, fl := range flows {
+						if fl.snd.RepairStats().Splices < int64(fl.killed) {
+							return false
+						}
+					}
+					return true
+				})
 				// Let the freshest replacement establish and neighbors patch.
-				time.Sleep(100 * time.Millisecond)
+				clk.RunFor(100 * time.Millisecond)
 			} else {
-				time.Sleep(200 * time.Millisecond)
+				clk.RunFor(200 * time.Millisecond)
 			}
 		}
-		rng.Read(msg)
-		if snd.Send(msg) != nil {
-			continue
+		for _, fl := range flows {
+			fl.rng.Read(msg)
+			if fl.snd.Send(msg) != nil {
+				continue
+			}
+			fl.sent++
 		}
-		sent++
-		select {
-		case <-dest.Received():
-			delivered++
-		case <-time.After(1500 * time.Millisecond):
-		}
+		// Per-message delivery window, in virtual time.
+		want := i + 1
+		clk.AwaitCond(1500*time.Millisecond, func() bool {
+			for _, fl := range flows {
+				fl.drain()
+				if fl.delivered < want && fl.delivered < fl.sent {
+					return false
+				}
+			}
+			return true
+		})
 	}
-	st := snd.RepairStats()
-	return delivered, sent, st.Splices, st.Reports, cleanup
+
+	var delivered, sent, splices, reports int64
+	for _, fl := range flows {
+		fl.drain()
+		if fl.delivered > fl.sent {
+			fl.delivered = fl.sent // duplicates cannot mint credit
+		}
+		delivered += int64(fl.delivered)
+		sent += int64(fl.sent)
+		st := fl.snd.RepairStats()
+		splices += st.Splices
+		reports += st.Reports
+	}
+	return delivered, sent, splices, reports
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
@@ -37,25 +38,36 @@ func (m ChurnModel) FailureProbability(session time.Duration) float64 {
 	return 1 - math.Exp(-float64(session)/float64(m.MeanLifetime))
 }
 
-// Churner drives failures on a transport according to a ChurnModel.
+// Churner drives failures on a transport according to a ChurnModel. All its
+// timers run on the injected clock, so a churner over a simnet.SimNet with a
+// VirtualClock produces an exactly replayable failure schedule.
 type Churner struct {
 	model ChurnModel
 	f     Failer
+	clk   simnet.Clock
 	rng   *rand.Rand
 	rngMu sync.Mutex
 
 	mu      sync.Mutex
 	stopped bool
-	timers  []*time.Timer
+	timers  []simnet.Timer
 	failed  map[wire.NodeID]bool
 }
 
-// NewChurner creates a churner over the given transport.
+// NewChurner creates a churner over the given transport on the wall clock.
+// A nil rng is seeded from the process base seed (simnet.BaseSeed) so a
+// failing run can be replayed.
 func NewChurner(model ChurnModel, f Failer, rng *rand.Rand) *Churner {
+	return NewChurnerClock(model, f, rng, simnet.Wall)
+}
+
+// NewChurnerClock is NewChurner with an explicit clock: pass a
+// simnet.VirtualClock to schedule the churn events in virtual time.
+func NewChurnerClock(model ChurnModel, f Failer, rng *rand.Rand, clk simnet.Clock) *Churner {
 	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		rng = simnet.NewRand()
 	}
-	return &Churner{model: model, f: f, rng: rng, failed: make(map[wire.NodeID]bool)}
+	return &Churner{model: model, f: f, clk: clk, rng: rng, failed: make(map[wire.NodeID]bool)}
 }
 
 // Watch schedules an exponential time-to-failure for each node. Call once
@@ -76,7 +88,7 @@ func (c *Churner) scheduleFail(id wire.NodeID) {
 		c.mu.Unlock()
 		return
 	}
-	t := time.AfterFunc(d, func() {
+	t := c.clk.AfterFunc(d, func() {
 		c.mu.Lock()
 		if c.stopped {
 			c.mu.Unlock()
@@ -100,7 +112,7 @@ func (c *Churner) scheduleRevive(id wire.NodeID) {
 		c.mu.Unlock()
 		return
 	}
-	t := time.AfterFunc(d, func() {
+	t := c.clk.AfterFunc(d, func() {
 		c.mu.Lock()
 		if c.stopped {
 			c.mu.Unlock()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"infoslicing/internal/metrics"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
@@ -41,7 +42,10 @@ var counterStripes = 4 * runtime.GOMAXPROCS(0)
 // hands the buffer to a per-shard worker queue. Buffer ownership moves with
 // the buffer: whichever goroutine the handler forwards it to becomes the
 // owner.
-type Handler func(from wire.NodeID, data []byte)
+// Handler is a type alias (not a defined type) so transports living below
+// this package — simnet.SimNet, the deterministic virtual-time network —
+// can satisfy Transport without importing it.
+type Handler = func(from wire.NodeID, data []byte)
 
 // Transport moves opaque datagrams between overlay nodes.
 type Transport interface {
@@ -147,10 +151,12 @@ type chanEndpoint struct {
 }
 
 // NewChanNetwork creates an in-memory network with the given profile. The
-// rng drives latency jitter and loss; it is locked internally.
+// rng drives latency jitter and loss; it is locked internally. A nil rng is
+// seeded from the process base seed (simnet.BaseSeed) so a failing run can
+// be replayed.
 func NewChanNetwork(p Profile, rng *rand.Rand) *ChanNetwork {
 	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		rng = simnet.NewRand()
 	}
 	return &ChanNetwork{
 		profile:   p,

@@ -19,6 +19,7 @@ import (
 	"infoslicing/internal/onion"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/source"
 	"infoslicing/internal/wire"
 )
@@ -437,15 +438,11 @@ func recordErr(mu *sync.Mutex, dst *error, err error) {
 	mu.Unlock()
 }
 
+// pollUntil is simnet.Eventually at the tight polling interval the
+// throughput harnesses want (they time real transfers, so the wait must not
+// quantize the measurement).
 func pollUntil(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return true
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-	return false
+	return simnet.Eventually(timeout, 200*time.Microsecond, cond)
 }
 
 type seededReader struct{ r *rand.Rand }

@@ -19,37 +19,33 @@ import (
 // not (§9.2).
 const seenReportsCap = 512
 
-// controlLoop is the node's heartbeat/liveness driver, started only when
-// Config.Heartbeat > 0. Each tick it walks every shard under its lock:
-// established flows with children get one keepalive per child, and — when
-// LivenessTimeout is set — parents that have been silent too long are
-// reported toward the source. Detection never alters round forwarding
-// (deadParents stays round-driven), so enabling the control plane does not
-// change what the data path delivers; it only adds the repair signal.
-func (n *Node) controlLoop() {
-	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.Heartbeat)
-	defer t.Stop()
-	for {
-		select {
-		case <-n.done:
-			return
-		case <-t.C:
-			now := time.Now()
-			for _, sh := range n.shards {
-				sh.mu.Lock()
-				for f, fs := range sh.flows {
-					if fs.info == nil {
-						continue
-					}
-					n.sendHeartbeatsLocked(sh, fs)
-					if n.cfg.LivenessTimeout > 0 {
-						n.checkParentsLocked(sh, f, fs, now)
-					}
-				}
-				sh.mu.Unlock()
+// controlSweep is the node's heartbeat/liveness driver, scheduled as a
+// periodic clock task (every Config.Heartbeat) only when the control plane
+// is on. Each sweep walks every shard under its lock: established flows
+// with children get one keepalive per child, and — when LivenessTimeout is
+// set — parents that have been silent too long are reported toward the
+// source. Detection never alters round forwarding (deadParents stays
+// round-driven), so enabling the control plane does not change what the
+// data path delivers; it only adds the repair signal.
+func (n *Node) controlSweep() {
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	now := n.clk.Now()
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		for f, fs := range sh.flows {
+			if fs.info == nil {
+				continue
+			}
+			n.sendHeartbeatsLocked(sh, fs)
+			if n.cfg.LivenessTimeout > 0 {
+				n.checkParentsLocked(sh, f, fs, now)
 			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -243,7 +239,7 @@ func (n *Node) handleSplice(sh *shard, fs *flowState, pkt *wire.Packet) {
 	}
 	fs.spliceSeq = seq
 	fs.info = pi
-	now := time.Now()
+	now := n.clk.Now()
 	newParents := parentSet(pi)
 	for p := range newParents {
 		if !fs.parents[p] {

@@ -9,6 +9,7 @@ import (
 
 	"infoslicing/internal/code"
 	"infoslicing/internal/overlay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/slcrypto"
 	"infoslicing/internal/wire"
 )
@@ -61,6 +62,12 @@ func spliceBody(seq uint64, pi *wire.PerNodeInfo) []byte {
 // injectFlow installs an established flow directly (the unit-test analogue
 // of a completed setup phase).
 func injectFlow(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo) *flowState {
+	return injectFlowAt(n, flow, pi, time.Now())
+}
+
+// injectFlowAt is injectFlow with an explicit "now" — virtual-clock tests
+// pass their clock's time so liveness and GC stamps live on that timeline.
+func injectFlowAt(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo, now time.Time) *flowState {
 	fs := &flowState{
 		setupPkts:  make(map[wire.NodeID]*wire.Packet),
 		ownByD:     make(map[int][]code.Slice),
@@ -73,9 +80,8 @@ func injectFlow(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo) *flowState {
 		parents:    parentSet(pi),
 		d:          2,
 		setupSent:  true,
-		lastActive: time.Now(),
+		lastActive: now,
 	}
-	now := time.Now()
 	for p := range fs.parents {
 		fs.seen[p] = true
 		fs.lastHeard[p] = now
@@ -138,14 +144,11 @@ func TestLivenessDetectionReportsQuietParent(t *testing.T) {
 		}
 	}()
 
-	deadline := time.Now().Add(5 * time.Second)
 	var reports []rawSend
-	for time.Now().Before(deadline) {
-		if reports = tr.packetsOfType(wire.MsgParentDown); len(reports) > 0 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	simnet.Eventually(5*time.Second, 5*time.Millisecond, func() bool {
+		reports = tr.packetsOfType(wire.MsgParentDown)
+		return len(reports) > 0
+	})
 	close(stop)
 	wg.Wait()
 	if len(reports) == 0 {
@@ -219,14 +222,11 @@ func TestParentDownForwardedUpstream(t *testing.T) {
 	report := wire.AppendParentDown(nil, 0xbb66, 777, sealed)
 	n.onPacket(child, report)
 
-	deadline := time.Now().Add(5 * time.Second)
 	var fwd []rawSend
-	for time.Now().Before(deadline) {
-		if fwd = tr.packetsOfType(wire.MsgParentDown); len(fwd) > 0 {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
+		fwd = tr.packetsOfType(wire.MsgParentDown)
+		return len(fwd) > 0
+	})
 	if len(fwd) != 1 || fwd[0].to != par {
 		t.Fatalf("forwarded %d report(s) %+v, want 1 to parent %d", len(fwd), fwd, par)
 	}
@@ -246,12 +246,9 @@ func TestParentDownForwardedUpstream(t *testing.T) {
 	n.onPacket(child, report)
 	// A fresh nonce from the same child: forwarded.
 	n.onPacket(child, wire.AppendParentDown(nil, 0xbb66, 778, sealed))
-	for time.Now().Before(deadline) {
-		if len(tr.packetsOfType(wire.MsgParentDown)) >= 2 {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
+		return len(tr.packetsOfType(wire.MsgParentDown)) >= 2
+	})
 	if got := len(tr.packetsOfType(wire.MsgParentDown)); got != 2 {
 		t.Fatalf("after dup + fresh reports, %d forwards, want 2", got)
 	}
@@ -312,10 +309,9 @@ func TestSpliceSwapsParentAtomically(t *testing.T) {
 	}
 	n.onPacket(999, wire.AppendSplice(nil, flow, genuine))
 
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && n.Stats().SplicesApplied == 0 {
-		time.Sleep(2 * time.Millisecond)
-	}
+	simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
+		return n.Stats().SplicesApplied > 0
+	})
 	if got := n.Stats().SplicesApplied; got != 1 {
 		t.Fatalf("SplicesApplied = %d, want 1 (forged splice must not count)", got)
 	}
@@ -370,13 +366,12 @@ func TestSpliceOrderingNewestWins(t *testing.T) {
 	}
 	// Repair 2's patch (parent 97) overtakes repair 1's (parent 96).
 	n.onPacket(999, mkPatch(2, 97))
-	deadline := time.Now().Add(5 * time.Second)
-	for n.Stats().SplicesApplied == 0 && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
+	simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
+		return n.Stats().SplicesApplied > 0
+	})
 	n.onPacket(999, mkPatch(1, 96)) // late: must be dropped
 	n.onPacket(999, mkPatch(2, 97)) // duplicate: must be dropped
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
 	if got := n.Stats().SplicesApplied; got != 1 {
 		t.Fatalf("SplicesApplied = %d, want 1", got)
 	}
@@ -404,7 +399,7 @@ func TestSpliceIgnoredForUnknownOrUnestablishedFlow(t *testing.T) {
 	}
 	n.onPacket(5, wire.AppendSplice(nil, 0x123, sealed))
 	n.onPacket(5, wire.AppendHeartbeat(nil, 0x456))
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
 	if got := n.flowTableSize(); got != 0 {
 		t.Fatalf("control traffic created %d flow(s)", got)
 	}
@@ -460,7 +455,7 @@ func TestRelayMalformedControlTraffic(t *testing.T) {
 		}
 		n.onPacket(froms[i%len(froms)], b)
 	}
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
 	if got := n.flowTableSize(); got != 1 {
 		t.Fatalf("noise changed the flow table: %d flows, want 1", got)
 	}

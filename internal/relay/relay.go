@@ -40,6 +40,7 @@ import (
 	"infoslicing/internal/code"
 	"infoslicing/internal/metrics"
 	"infoslicing/internal/overlay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
@@ -81,8 +82,14 @@ type Config struct {
 	// or off.
 	LivenessTimeout time.Duration
 	// Rng seeds the per-shard RNGs that drive padding and recombination;
-	// defaults to a time-seeded one. It is only drawn from during New.
+	// defaults to one derived from the process base seed (simnet.BaseSeed),
+	// so a failing run can be replayed. It is only drawn from during New.
 	Rng *rand.Rand
+	// Clock supplies every timer and timestamp the node uses: setup/round
+	// waits, the GC sweep, the heartbeat/liveness loop, and per-flow
+	// activity stamps. Defaults to simnet.Wall; inject a
+	// simnet.VirtualClock to run the node in deterministic virtual time.
+	Clock simnet.Clock
 }
 
 func (c *Config) fillDefaults() {
@@ -115,7 +122,10 @@ func (c *Config) fillDefaults() {
 		c.LivenessTimeout = 4 * c.Heartbeat
 	}
 	if c.Rng == nil {
-		c.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		c.Rng = simnet.NewRand()
+	}
+	if c.Clock == nil {
+		c.Clock = simnet.Wall
 	}
 }
 
@@ -167,6 +177,7 @@ type Node struct {
 	id  wire.NodeID
 	tr  overlay.Transport
 	cfg Config
+	clk simnet.Clock
 
 	shards []*shard
 	mask   uint64
@@ -178,6 +189,11 @@ type Node struct {
 	done     chan struct{}
 	closeOne sync.Once
 	wg       sync.WaitGroup
+
+	// Periodic work runs as clock tasks so a virtual clock can fire the GC
+	// and heartbeat sweeps deterministically.
+	gcTask   simnet.Task
+	ctrlTask simnet.Task
 }
 
 // shard is one stripe of the flow table plus everything its worker needs.
@@ -206,6 +222,11 @@ type shard struct {
 type inPkt struct {
 	from wire.NodeID
 	data []byte
+	// release returns the packet's busy token to the clock once the shard
+	// worker has fully processed it — the hook that lets a virtual clock
+	// know the universe has not quiesced while packets sit in shard queues.
+	// A no-op on the wall clock.
+	release func()
 }
 
 type flowState struct {
@@ -222,7 +243,7 @@ type flowState struct {
 	// its only parent knowledge (and all the threat model grants it).
 	seen       map[wire.NodeID]bool
 	setupSent  bool
-	setupTimer *time.Timer
+	setupTimer simnet.Timer
 
 	// Packet geometry, adopted when the routing block decodes. geomByD
 	// remembers the setup slot geometry per claimed d until then.
@@ -281,7 +302,7 @@ type round struct {
 	slices    map[wire.NodeID]code.Slice
 	forwarded bool
 	decoded   bool
-	timer     *time.Timer
+	timer     simnet.Timer
 }
 
 // maxLiveRounds bounds the per-flow round table: a long-lived flow must not
@@ -315,6 +336,7 @@ func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
 		id:       id,
 		tr:       tr,
 		cfg:      cfg,
+		clk:      cfg.Clock,
 		shards:   make([]*shard, cfg.Shards),
 		mask:     uint64(cfg.Shards - 1),
 		received: make(chan Message, 256),
@@ -334,11 +356,9 @@ func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
 		n.wg.Add(1)
 		go n.runShard(sh)
 	}
-	n.wg.Add(1)
-	go n.gcLoop()
+	n.gcTask = n.clk.Every(cfg.GCInterval, n.gcSweep)
 	if cfg.Heartbeat > 0 {
-		n.wg.Add(1)
-		go n.controlLoop()
+		n.ctrlTask = n.clk.Every(cfg.Heartbeat, n.controlSweep)
 	}
 	return n, nil
 }
@@ -421,6 +441,10 @@ func (n *Node) Close() {
 	n.closeOne.Do(func() {
 		close(n.done)
 		n.tr.Detach(n.id)
+		n.gcTask.Stop()
+		if n.ctrlTask != nil {
+			n.ctrlTask.Stop()
+		}
 		for _, sh := range n.shards {
 			sh.mu.Lock()
 			for _, fs := range sh.flows {
@@ -446,30 +470,26 @@ func (fs *flowState) stopTimers() {
 	}
 }
 
-func (n *Node) gcLoop() {
-	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.GCInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-n.done:
-			return
-		case <-t.C:
-			now := time.Now()
-			for _, sh := range n.shards {
-				sh.mu.Lock()
-				removed := 0
-				for f, fs := range sh.flows {
-					if now.Sub(fs.lastActive) > n.cfg.FlowTTL {
-						fs.stopTimers()
-						delete(sh.flows, f)
-						removed++
-					}
-				}
-				sh.mu.Unlock()
-				n.flowCount.Add(-int64(removed))
+// gcSweep evicts idle flows; it runs as a periodic clock task.
+func (n *Node) gcSweep() {
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	now := n.clk.Now()
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		removed := 0
+		for f, fs := range sh.flows {
+			if now.Sub(fs.lastActive) > n.cfg.FlowTTL {
+				fs.stopTimers()
+				delete(sh.flows, f)
+				removed++
 			}
 		}
+		sh.mu.Unlock()
+		n.flowCount.Add(-int64(removed))
 	}
 }
 
@@ -496,19 +516,22 @@ func (n *Node) onPacket(from wire.NodeID, data []byte) {
 		// they fan out to every shard. The buffer is shared read-only:
 		// every shard only parses it and copies what it forwards.
 		for _, sh := range n.shards {
-			sh.enqueue(from, data)
+			sh.enqueue(from, data, n.clk.Hold())
 		}
 		return
 	}
 	f := wire.FlowID(binary.BigEndian.Uint64(data[1:]))
-	n.shardFor(f).enqueue(from, data)
+	n.shardFor(f).enqueue(from, data, n.clk.Hold())
 }
 
-func (sh *shard) enqueue(from wire.NodeID, data []byte) {
+// enqueue hands a packet (and its clock hold) to the shard queue; a full
+// queue drops the packet and releases the hold immediately.
+func (sh *shard) enqueue(from wire.NodeID, data []byte, release func()) {
 	select {
-	case sh.in <- inPkt{from: from, data: data}:
+	case sh.in <- inPkt{from: from, data: data, release: release}:
 	default:
 		sh.queueDrops.Add(1)
+		release()
 	}
 }
 
@@ -519,9 +542,19 @@ func (n *Node) runShard(sh *shard) {
 	for {
 		select {
 		case <-n.done:
-			return
+			// Release anything still queued so a virtual clock does not
+			// wait forever on packets nobody will process.
+			for {
+				select {
+				case p := <-sh.in:
+					p.release()
+				default:
+					return
+				}
+			}
 		case p := <-sh.in:
 			n.process(sh, p.from, p.data)
+			p.release()
 		}
 	}
 }
@@ -578,7 +611,7 @@ func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
 		sh.flows[pkt.Flow] = fs
 	}
 	fs.seen[from] = true
-	now := time.Now()
+	now := n.clk.Now()
 	if fs.lastHeard == nil {
 		fs.lastHeard = make(map[wire.NodeID]time.Time)
 	}
@@ -694,7 +727,7 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 			// Seed parent liveness: a parent that never speaks after
 			// establishment is detected one LivenessTimeout from now, not
 			// reported blind.
-			now := time.Now()
+			now := n.clk.Now()
 			for p := range fs.parents {
 				if _, ok := fs.lastHeard[p]; !ok {
 					fs.lastHeard[p] = now
@@ -730,7 +763,7 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 		return
 	}
 	if fs.setupTimer == nil {
-		fs.setupTimer = time.AfterFunc(n.cfg.SetupWait, func() {
+		fs.setupTimer = n.clk.AfterFunc(n.cfg.SetupWait, func() {
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
 			if cur := sh.flows[f]; cur == fs && fs.info != nil && !fs.setupSent {
@@ -853,7 +886,7 @@ func (n *Node) handleData(sh *shard, f wire.FlowID, fs *flowState, from wire.Nod
 		return
 	}
 	if r.timer == nil {
-		r.timer = time.AfterFunc(n.cfg.RoundWait, func() {
+		r.timer = n.clk.AfterFunc(n.cfg.RoundWait, func() {
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
 			if cur := sh.flows[f]; cur == fs && !r.forwarded {

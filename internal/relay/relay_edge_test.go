@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
@@ -15,8 +16,6 @@ func TestEstablishmentAckOriginatesAtReceiverOnly(t *testing.T) {
 	h := newHarness(t, 3, 2, 2, 101, true)
 	defer h.close()
 	h.establish(t)
-	// Give acks time to propagate fully.
-	time.Sleep(100 * time.Millisecond)
 	// Every relay between the receiver's stage and the source forwarded the
 	// ack; nodes downstream of the receiver never saw one. We can't observe
 	// packets directly, but we can assert the receiver acked exactly once by
@@ -24,11 +23,13 @@ func TestEstablishmentAckOriginatesAtReceiverOnly(t *testing.T) {
 	// the dedup flag holds (no crash, no storm).
 	destFlow := h.graph.Flows[h.graph.Dest]
 	sh := h.dest.shardFor(destFlow)
-	sh.mu.Lock()
-	fs := sh.flows[destFlow]
-	acked := fs != nil && fs.ackSent
-	sh.mu.Unlock()
-	if !acked {
+	acked := func() bool {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		fs := sh.flows[destFlow]
+		return fs != nil && fs.ackSent
+	}
+	if !simnet.Eventually(5*time.Second, 2*time.Millisecond, acked) {
 		t.Fatal("receiver did not send establishment ack")
 	}
 }
@@ -87,7 +88,7 @@ func TestNoDuplicateDeliveries(t *testing.T) {
 	select {
 	case m := <-h.dest.Received():
 		t.Fatalf("duplicate delivery: %q", m.Data)
-	case <-time.After(300 * time.Millisecond):
+	case <-time.After(150 * time.Millisecond):
 	}
 	if got := h.dest.Stats().MessagesDelivered; got != 1 {
 		t.Fatalf("delivered %d messages, want 1", got)

@@ -8,6 +8,7 @@ import (
 
 	"infoslicing/internal/core"
 	"infoslicing/internal/overlay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/source"
 	"infoslicing/internal/wire"
 )
@@ -78,21 +79,17 @@ func (h *harness) establish(t *testing.T) {
 	if err := h.sender.Establish(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	want := len(h.nodes)
-	for time.Now().Before(deadline) {
-		got := 0
+	ok := simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
 		for _, n := range h.nodes {
-			if n.Established(h.graph.Flows[n.ID()]) {
-				got++
+			if !n.Established(h.graph.Flows[n.ID()]) {
+				return false
 			}
 		}
-		if got == want {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
+		return true
+	})
+	if !ok {
+		t.Fatal("graph did not establish")
 	}
-	t.Fatal("graph did not establish")
 }
 
 func (h *harness) waitMsg(t *testing.T, timeout time.Duration) []byte {
@@ -199,23 +196,17 @@ func TestSetupSurvivesStageFailures(t *testing.T) {
 		t.Fatal(err)
 	}
 	// All surviving nodes downstream must establish (give timers room).
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		ok := true
+	simnet.Eventually(10*time.Second, 5*time.Millisecond, func() bool {
 		for id, n := range h.nodes {
 			if h.net.Down(id) {
 				continue
 			}
 			if !n.Established(h.graph.Flows[id]) {
-				ok = false
-				break
+				return false
 			}
 		}
-		if ok {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return true
+	})
 	if err := h.sender.Send([]byte("survives churn")); err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +287,7 @@ func TestGarbageTrafficIgnored(t *testing.T) {
 	junk := &wire.Packet{Type: wire.MsgData, Flow: 0xdead, CoeffLen: 2,
 		SlotLen: 8, Slots: [][]byte{make([]byte, 8)}}
 	h.net.Send(1000, anyRelay, junk.Marshal())
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
 	if err := h.sender.Send([]byte("still works")); err != nil {
 		t.Fatal(err)
 	}
@@ -321,19 +312,17 @@ func TestFlowGarbageCollection(t *testing.T) {
 	junk := &wire.Packet{Type: wire.MsgData, Flow: 7, CoeffLen: 2,
 		SlotLen: 8, Slots: [][]byte{make([]byte, 8)}}
 	net.Send(1, 42, junk.Marshal())
-	deadline := time.Now().Add(2 * time.Second)
 	sawFlow := false
-	for time.Now().Before(deadline) {
+	ok := simnet.Eventually(2*time.Second, 2*time.Millisecond, func() bool {
 		cnt := n.flowTableSize()
 		if cnt > 0 {
 			sawFlow = true
 		}
-		if sawFlow && cnt == 0 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+		return sawFlow && cnt == 0
+	})
+	if !ok {
+		t.Fatal("stale flow not collected")
 	}
-	t.Fatal("stale flow not collected")
 }
 
 func TestMaxFlowsBound(t *testing.T) {
@@ -352,13 +341,9 @@ func TestMaxFlowsBound(t *testing.T) {
 			SlotLen: 8, Slots: [][]byte{make([]byte, 8)}}
 		net.Send(1, 42, junk.Marshal())
 	}
-	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) {
-		if n.flowTableSize() == 5 {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	simnet.Eventually(time.Second, 2*time.Millisecond, func() bool {
+		return n.flowTableSize() == 5
+	})
 	if got := n.flowTableSize(); got > 5 {
 		t.Fatalf("flow table grew to %d", got)
 	}
@@ -407,8 +392,11 @@ func TestEndToEndOverTCP(t *testing.T) {
 		}
 	}
 	msg := []byte("over real sockets")
-	// Data is buffered by relays even if setup is still in flight.
-	time.Sleep(100 * time.Millisecond)
+	// Data is buffered by relays even if setup is still in flight; waiting
+	// for the destination just keeps the assertion deadline honest.
+	simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
+		return dest.Established(g.Flows[g.Dest])
+	})
 	if err := snd.Send(msg); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,137 @@
+// Package simnet is the deterministic-simulation substrate for the
+// repository's timing-sensitive code: an injectable Clock abstraction with a
+// wall-clock implementation for production and a virtual clock for tests, a
+// virtual-time overlay transport (SimNet) with scriptable per-link faults,
+// and a scenario Script DSL.
+//
+// The paper's churn and repair claims (Figs. 16-17 and the live-repair
+// extension) are statements about timing races — detection windows,
+// heartbeat gaps, kills landing mid-stream. Under the wall clock those races
+// can only be tested with sleeps, which makes the suite slow and flaky under
+// CI load. Under a VirtualClock the same protocol stacks run unmodified, but
+// time advances only when every simulated goroutine has quiesced, timers
+// fire in a canonical order, and the same seed yields byte-identical
+// delivery traces across runs.
+//
+// # The quiescence contract
+//
+// VirtualClock tracks outstanding work with a busy counter. Every event
+// callback runs with the counter held; any work a callback hands to another
+// goroutine must be bracketed by Hold (the relay's shard queues do this per
+// packet: the transport handler takes a hold when it enqueues, the shard
+// worker releases it after processing). The clock fires the next event only
+// when the counter is zero, so everything a packet or timer causes —
+// forwards, regenerations, splices — lands at the virtual instant that
+// caused it, no matter how the OS schedules the goroutines in between.
+package simnet
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is a handle to a pending AfterFunc callback. Stop reports whether it
+// prevented the callback from firing (mirrors time.Timer.Stop, which also
+// satisfies this interface).
+type Timer interface {
+	Stop() bool
+}
+
+// Task is a handle to a periodic Every callback. Stop cancels future firings;
+// on the wall clock it also waits for an in-flight callback to return.
+type Task interface {
+	Stop()
+}
+
+// Clock supplies every time primitive the protocol stack uses. Production
+// code takes the Wall implementation by default; tests inject a
+// VirtualClock. Callers must not mix clocks within one simulated universe.
+type Clock interface {
+	// Now returns the current (wall or virtual) time.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d. On a VirtualClock it may
+	// only be called from goroutines started with VirtualClock.Go (the
+	// goroutine's busy token is parked while it sleeps); calling it from an
+	// event callback would deadlock the event loop.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the time after d. On a
+	// VirtualClock the send happens from the event loop and the receiver is
+	// not tracked for quiescence — use it only in wall-clock-style waiting
+	// code, never on a simulated data path.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run once, d from now.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Every schedules f to run repeatedly, every interval, until the
+	// returned Task is stopped. Callbacks are never invoked concurrently
+	// with themselves.
+	Every(interval time.Duration, f func()) Task
+	// Hold marks the caller as busy until the returned release function is
+	// called: virtual time cannot advance while any hold is outstanding.
+	// The wall clock returns a no-op. Use it to hand work to another
+	// goroutine without letting the clock run ahead of that work.
+	Hold() (release func())
+}
+
+// Wall is the production Clock: thin wrappers over package time.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                            { return time.Now() }
+func (wallClock) Sleep(d time.Duration)                     { time.Sleep(d) }
+func (wallClock) After(d time.Duration) <-chan time.Time    { return time.After(d) }
+func (wallClock) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+var nopRelease = func() {}
+
+func (wallClock) Hold() func() { return nopRelease }
+
+func (wallClock) Every(interval time.Duration, f func()) Task {
+	t := &wallTask{done: make(chan struct{})}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-t.done:
+				return
+			case <-tk.C:
+				f()
+			}
+		}
+	}()
+	return t
+}
+
+type wallTask struct {
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// Stop cancels the task and waits for an in-flight callback to finish; safe
+// to call more than once.
+func (t *wallTask) Stop() {
+	t.once.Do(func() { close(t.done) })
+	t.wg.Wait()
+}
+
+// Eventually polls cond every interval until it returns true or timeout
+// expires, on the wall clock. It replaces ad-hoc sleep-poll loops in tests:
+// the wait ends the moment the condition holds instead of a fixed sleep
+// later. Returns whether the condition was observed true.
+func Eventually(timeout, interval time.Duration, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		time.Sleep(interval)
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}

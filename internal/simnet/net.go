@@ -1,0 +1,344 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// SimNet is the virtual-time overlay transport: the deterministic
+// counterpart of overlay.ChanNetwork. It satisfies overlay.Transport (and
+// the Failer side the churner uses) without importing the overlay package.
+//
+// Determinism: every (from, to) link owns its own RNG stream, seeded from
+// (netSeed, from, to), and its own delivery sequence counter. Two
+// goroutines sending concurrently on different links cannot perturb each
+// other's loss/jitter draws, and deliveries scheduled for the same virtual
+// instant fire in the canonical (from, to, per-link-seq) order — so the
+// delivery trace is a pure function of the seed and the scenario.
+type SimNet struct {
+	clk  *VirtualClock
+	seed int64
+	def  LinkProfile
+
+	mu      sync.Mutex
+	nodes   map[wire.NodeID]*simEndpoint
+	links   map[linkKey]*linkState
+	traceOn bool
+	trace   []TraceEvent
+	pkts    int64
+	bytes   int64
+	lost    int64
+	closed  bool
+}
+
+// LinkProfile shapes one directed link.
+type LinkProfile struct {
+	// Delay is the base one-way delivery delay.
+	Delay time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the independent per-packet drop probability.
+	Loss float64
+	// Duplicate is the probability a packet is delivered twice (the copy
+	// arrives one Delay later).
+	Duplicate float64
+	// Reorder is the probability a packet is held an extra ReorderDelay,
+	// letting later traffic on the link overtake it.
+	Reorder      float64
+	ReorderDelay time.Duration
+}
+
+type simEndpoint struct {
+	h     func(wire.NodeID, []byte)
+	down  bool
+	epoch uint64
+}
+
+type linkKey struct{ from, to wire.NodeID }
+
+type linkState struct {
+	prof    LinkProfile
+	hasProf bool
+	cut     bool
+	rng     *rand.Rand
+	seq     uint64
+}
+
+// TraceEvent is one packet delivery as observed at the receiving node:
+// virtual time since the start of the simulation, the link it traveled, and
+// the wire message type.
+type TraceEvent struct {
+	At       time.Duration
+	From, To wire.NodeID
+	Type     wire.MsgType
+}
+
+// Errors (mirroring the overlay transport's semantics).
+var (
+	ErrDuplicateNode = errors.New("simnet: node already attached")
+	ErrUnknownNode   = errors.New("simnet: unknown node")
+	ErrNodeDown      = errors.New("simnet: node is down")
+)
+
+// NewSimNet creates a virtual-time network on clk. All links start with the
+// default profile def; per-link overrides come later via SetLink. The seed
+// fixes every loss/jitter/duplicate draw of the run.
+//
+// Delivery tracing starts disabled — an unbounded per-packet log is wrong
+// for long-lived networks (the facade's WithVirtualTime mode, soak
+// experiments). Scenario tooling that wants the replayable trace turns it
+// on with EnableTrace; NewScript does so for every scripted scenario.
+func NewSimNet(clk *VirtualClock, seed int64, def LinkProfile) *SimNet {
+	return &SimNet{
+		clk:   clk,
+		seed:  seed,
+		def:   def,
+		nodes: make(map[wire.NodeID]*simEndpoint),
+		links: make(map[linkKey]*linkState),
+	}
+}
+
+// EnableTrace starts recording a TraceEvent per delivery (unbounded; meant
+// for scenario-length runs, not soaks).
+func (n *SimNet) EnableTrace() {
+	n.mu.Lock()
+	n.traceOn = true
+	n.mu.Unlock()
+}
+
+// Clock returns the virtual clock the network schedules on.
+func (n *SimNet) Clock() *VirtualClock { return n.clk }
+
+// Attach implements overlay.Transport.
+func (n *SimNet) Attach(id wire.NodeID, h func(wire.NodeID, []byte)) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = &simEndpoint{h: h}
+	return nil
+}
+
+// Detach implements overlay.Transport.
+func (n *SimNet) Detach(id wire.NodeID) {
+	n.mu.Lock()
+	delete(n.nodes, id)
+	n.mu.Unlock()
+}
+
+// Fail crashes a node: it stops receiving and sending but stays attached,
+// and packets already in flight toward it are dropped (same epoch semantics
+// as overlay.ChanNetwork.Fail).
+func (n *SimNet) Fail(id wire.NodeID) {
+	n.mu.Lock()
+	if ep := n.nodes[id]; ep != nil {
+		ep.down = true
+		ep.epoch++
+	}
+	n.mu.Unlock()
+}
+
+// Revive brings a failed node back; only packets sent after the revival are
+// delivered.
+func (n *SimNet) Revive(id wire.NodeID) {
+	n.mu.Lock()
+	if ep := n.nodes[id]; ep != nil {
+		ep.down = false
+	}
+	n.mu.Unlock()
+}
+
+// Down reports whether the node is currently failed (or unknown).
+func (n *SimNet) Down(id wire.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := n.nodes[id]
+	return ep == nil || ep.down
+}
+
+// SetLink overrides the profile of the directed link from→to.
+func (n *SimNet) SetLink(from, to wire.NodeID, p LinkProfile) {
+	n.mu.Lock()
+	ls := n.linkLocked(from, to)
+	ls.prof, ls.hasProf = p, true
+	n.mu.Unlock()
+}
+
+// SetLinkBoth overrides both directions between a and b.
+func (n *SimNet) SetLinkBoth(a, b wire.NodeID, p LinkProfile) {
+	n.SetLink(a, b, p)
+	n.SetLink(b, a, p)
+}
+
+// Cut severs the directed link from→to (all packets dropped); Heal restores
+// it. Partition cuts every link between the two sets, both directions.
+func (n *SimNet) Cut(from, to wire.NodeID) {
+	n.mu.Lock()
+	n.linkLocked(from, to).cut = true
+	n.mu.Unlock()
+}
+
+// Heal restores a severed directed link.
+func (n *SimNet) Heal(from, to wire.NodeID) {
+	n.mu.Lock()
+	n.linkLocked(from, to).cut = false
+	n.mu.Unlock()
+}
+
+// Partition severs every link between set a and set b, in both directions.
+func (n *SimNet) Partition(a, b []wire.NodeID) { n.setPartition(a, b, true) }
+
+// HealPartition restores every link between set a and set b.
+func (n *SimNet) HealPartition(a, b []wire.NodeID) { n.setPartition(a, b, false) }
+
+func (n *SimNet) setPartition(a, b []wire.NodeID, cut bool) {
+	n.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			n.linkLocked(x, y).cut = cut
+			n.linkLocked(y, x).cut = cut
+		}
+	}
+	n.mu.Unlock()
+}
+
+// linkLocked returns (creating if needed) the state of the directed link.
+func (n *SimNet) linkLocked(from, to wire.NodeID) *linkState {
+	k := linkKey{from, to}
+	ls := n.links[k]
+	if ls == nil {
+		ls = &linkState{
+			rng: rand.New(rand.NewSource(n.seed ^ int64(splitmix64(uint64(from)*0x1f123bb5+uint64(to)*0x5bd1e995)))),
+		}
+		n.links[k] = ls
+	}
+	return ls
+}
+
+// Send implements overlay.Transport: the packet is copied and scheduled for
+// delivery after the link's shaped delay, on the virtual clock.
+func (n *SimNet) Send(from, to wire.NodeID, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	src := n.nodes[from]
+	dst := n.nodes[to]
+	if src == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	if src.down {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	ls := n.linkLocked(from, to)
+	if dst == nil || dst.down || ls.cut {
+		n.lost++
+		n.mu.Unlock()
+		return nil
+	}
+	prof := n.def
+	if ls.hasProf {
+		prof = ls.prof
+	}
+	n.pkts++
+	n.bytes += int64(len(data))
+	if prof.Loss > 0 && ls.rng.Float64() < prof.Loss {
+		n.lost++
+		n.mu.Unlock()
+		return nil
+	}
+	delay := prof.Delay
+	if prof.Jitter > 0 {
+		delay += time.Duration(ls.rng.Int63n(int64(prof.Jitter)))
+	}
+	if prof.Reorder > 0 && ls.rng.Float64() < prof.Reorder {
+		delay += prof.ReorderDelay
+	}
+	dup := prof.Duplicate > 0 && ls.rng.Float64() < prof.Duplicate
+	payload := append([]byte(nil), data...)
+	epoch := dst.epoch
+	deliver := n.deliverFn(from, to, dst, epoch, payload)
+	seq := ls.seq
+	ls.seq++
+	var dupSeq uint64
+	if dup {
+		dupSeq = ls.seq
+		ls.seq++
+	}
+	n.mu.Unlock()
+
+	n.clk.scheduleNet(delay, uint64(from), uint64(to), seq, deliver)
+	if dup {
+		// The duplicate gets its own copy: each delivery's handler owns its
+		// buffer outright (overlay.Handler contract), so two deliveries must
+		// never alias one backing array.
+		dupPayload := append([]byte(nil), payload...)
+		n.clk.scheduleNet(delay+prof.Delay, uint64(from), uint64(to), dupSeq,
+			n.deliverFn(from, to, dst, epoch, dupPayload))
+	}
+	return nil
+}
+
+func (n *SimNet) deliverFn(from, to wire.NodeID, dst *simEndpoint, epoch uint64, payload []byte) func() {
+	return func() {
+		n.mu.Lock()
+		if n.closed || dst.down || dst.epoch != epoch || n.nodes[to] != dst {
+			n.lost++
+			n.mu.Unlock()
+			return
+		}
+		h := dst.h
+		if n.traceOn {
+			var typ wire.MsgType
+			if len(payload) > 0 {
+				typ = wire.MsgType(payload[0])
+			}
+			n.trace = append(n.trace, TraceEvent{At: n.clk.Elapsed(), From: from, To: to, Type: typ})
+		}
+		n.mu.Unlock()
+		h(from, payload)
+	}
+}
+
+// Stats reports cumulative counters: packets sent, bytes sent, packets lost
+// (same shape as overlay.ChanNetwork.Stats).
+func (n *SimNet) Stats() (pkts, bytes, lost int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pkts, n.bytes, n.lost
+}
+
+// Close stops all future deliveries.
+func (n *SimNet) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+}
+
+// Trace snapshots the delivery trace so far.
+func (n *SimNet) Trace() []TraceEvent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]TraceEvent(nil), n.trace...)
+}
+
+// TraceString renders the delivery trace one event per line —
+// "elapsed from->to type" — the byte-identical artifact the determinism
+// gate compares across same-seed runs.
+func (n *SimNet) TraceString() string {
+	var b strings.Builder
+	for _, e := range n.Trace() {
+		fmt.Fprintf(&b, "%d %d->%d %d\n", e.At.Nanoseconds(), e.From, e.To, e.Type)
+	}
+	return b.String()
+}

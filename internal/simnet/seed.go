@@ -1,0 +1,101 @@
+package simnet
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Seed management: every RNG in the repo that used to be seeded with
+// time.Now().UnixNano() now derives from one process-wide base seed. The
+// base is still random by default (components must not accidentally share
+// streams), but it is a single number that can be printed on failure and
+// re-injected — via SetBaseSeed or the INFOSLICING_SEED environment
+// variable — to replay any red test run.
+
+var (
+	seedMu   sync.Mutex
+	seedBase int64
+	seedCtr  uint64
+	seedInit bool
+)
+
+// seedEnv is the environment variable that pins the process base seed.
+const seedEnv = "INFOSLICING_SEED"
+
+func initSeedLocked() {
+	if seedInit {
+		return
+	}
+	seedInit = true
+	if v, err := strconv.ParseInt(os.Getenv(seedEnv), 10, 64); err == nil {
+		seedBase = v
+		return
+	}
+	// The one remaining wall-clock read in the seeding path: everything
+	// else derives from the replayable base.
+	seedBase = int64(splitmix64(uint64(time.Now().UnixNano())))
+}
+
+// BaseSeed returns the process base seed, initializing it on first use from
+// INFOSLICING_SEED or, failing that, the wall clock.
+func BaseSeed() int64 {
+	seedMu.Lock()
+	defer seedMu.Unlock()
+	initSeedLocked()
+	return seedBase
+}
+
+// SetBaseSeed pins the base seed and resets the derivation counter; call it
+// before anything draws a seed to replay a previous run exactly.
+func SetBaseSeed(s int64) {
+	seedMu.Lock()
+	defer seedMu.Unlock()
+	seedInit = true
+	seedBase = s
+	seedCtr = 0
+}
+
+// NextSeed derives a fresh seed from the base: the n-th call after a given
+// SetBaseSeed always returns the same value.
+func NextSeed() int64 {
+	seedMu.Lock()
+	defer seedMu.Unlock()
+	initSeedLocked()
+	seedCtr++
+	return int64(splitmix64(uint64(seedBase) + 0x9e3779b97f4a7c15*seedCtr))
+}
+
+// NewRand returns a rand.Rand seeded from NextSeed — the drop-in for the old
+// rand.NewSource(time.Now().UnixNano()) default sites.
+func NewRand() *rand.Rand { return rand.New(rand.NewSource(NextSeed())) }
+
+// splitmix64 is the standard 64-bit finalizer; good dispersion from
+// sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TB is the subset of testing.TB the seed reporter needs (declared locally
+// so non-test code never imports package testing).
+type TB interface {
+	Failed() bool
+	Logf(format string, args ...any)
+	Cleanup(func())
+}
+
+// ReportSeed registers a cleanup that, if the test failed, logs the process
+// base seed and how to replay with it. Call it at the top of any test whose
+// behavior depends on derived seeds.
+func ReportSeed(t TB) {
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay this run with %s=%d", seedEnv, BaseSeed())
+		}
+	})
+}

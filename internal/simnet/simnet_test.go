@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+func TestVirtualClockFiresInOrder(t *testing.T) {
+	c := NewVirtualClock()
+	var got []int
+	c.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	c.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	c.RunUntilIdle()
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("fired out of order: %v", got)
+	}
+	if el := c.Elapsed(); el != 30*time.Millisecond {
+		t.Fatalf("elapsed %v, want 30ms", el)
+	}
+}
+
+func TestVirtualClockStopTimer(t *testing.T) {
+	c := NewVirtualClock()
+	fired := false
+	tm := c.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	c.RunUntilIdle()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualClockEvery(t *testing.T) {
+	c := NewVirtualClock()
+	n := 0
+	task := c.Every(10*time.Millisecond, func() { n++ })
+	c.RunFor(35 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("ticked %d times in 35ms at 10ms, want 3", n)
+	}
+	task.Stop()
+	c.RunFor(50 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("stopped task kept ticking: %d", n)
+	}
+}
+
+// A timer callback's derived work — handed to another goroutine under a
+// Hold — must complete before the next event fires.
+func TestVirtualClockQuiescence(t *testing.T) {
+	c := NewVirtualClock()
+	var stage atomic.Int32
+	c.AfterFunc(time.Millisecond, func() {
+		release := c.Hold()
+		go func() {
+			defer release()
+			time.Sleep(5 * time.Millisecond) // real time: simulate slow work
+			stage.Store(1)
+		}()
+	})
+	sawOne := false
+	c.AfterFunc(2*time.Millisecond, func() {
+		sawOne = stage.Load() == 1
+	})
+	c.RunUntilIdle()
+	if !sawOne {
+		t.Fatal("second event fired before the first event's work quiesced")
+	}
+}
+
+func TestVirtualClockSleepInGoGoroutine(t *testing.T) {
+	c := NewVirtualClock()
+	var wokeAt time.Duration
+	c.Go(func() {
+		c.Sleep(25 * time.Millisecond)
+		wokeAt = c.Elapsed()
+	})
+	c.RunUntilIdle()
+	if wokeAt != 25*time.Millisecond {
+		t.Fatalf("sleeper woke at %v, want 25ms", wokeAt)
+	}
+}
+
+func TestSimNetDeliversWithDelay(t *testing.T) {
+	s := NewScript(1, LinkProfile{Delay: 2 * time.Millisecond})
+	var at time.Duration
+	if err := s.Net.Attach(2, func(from wire.NodeID, data []byte) { at = s.Elapsed() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Net.Attach(1, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Net.Send(1, 2, []byte{7, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	s.Clk.RunUntilIdle()
+	if at != 2*time.Millisecond {
+		t.Fatalf("delivered at %v, want 2ms", at)
+	}
+	tr := s.Net.Trace()
+	if len(tr) != 1 || tr[0].From != 1 || tr[0].To != 2 || tr[0].Type != 7 {
+		t.Fatalf("trace %+v", tr)
+	}
+}
+
+func TestSimNetFailDropsInFlight(t *testing.T) {
+	s := NewScript(2, LinkProfile{Delay: 10 * time.Millisecond})
+	got := 0
+	s.Net.Attach(2, func(wire.NodeID, []byte) { got++ })
+	s.Net.Attach(1, func(wire.NodeID, []byte) {})
+	s.Net.Send(1, 2, []byte{1})
+	s.KillAt(5*time.Millisecond, 2)
+	s.ReviveAt(6*time.Millisecond, 2)
+	s.Clk.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("in-flight packet survived a crash")
+	}
+	// Sent after revival: delivered.
+	s.Net.Send(1, 2, []byte{1})
+	s.Clk.RunUntilIdle()
+	if got != 1 {
+		t.Fatal("post-revival packet lost")
+	}
+}
+
+func TestSimNetPartitionAndHeal(t *testing.T) {
+	s := NewScript(3, LinkProfile{Delay: time.Millisecond})
+	got := 0
+	s.Net.Attach(2, func(wire.NodeID, []byte) { got++ })
+	s.Net.Attach(1, func(wire.NodeID, []byte) {})
+	s.Net.Partition([]wire.NodeID{1}, []wire.NodeID{2})
+	s.Net.Send(1, 2, []byte{1})
+	s.Clk.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("packet crossed a partition")
+	}
+	s.Net.HealPartition([]wire.NodeID{1}, []wire.NodeID{2})
+	s.Net.Send(1, 2, []byte{1})
+	s.Clk.RunUntilIdle()
+	if got != 1 {
+		t.Fatal("packet lost after heal")
+	}
+}
+
+func TestSimNetLossDuplicateReorderDeterministic(t *testing.T) {
+	run := func() (string, int) {
+		s := NewScript(42, LinkProfile{
+			Delay: time.Millisecond, Jitter: time.Millisecond,
+			Loss: 0.2, Duplicate: 0.2, Reorder: 0.3, ReorderDelay: 3 * time.Millisecond,
+		})
+		got := 0
+		s.Net.Attach(2, func(wire.NodeID, []byte) { got++ })
+		s.Net.Attach(1, func(wire.NodeID, []byte) {})
+		for i := 0; i < 100; i++ {
+			s.Net.Send(1, 2, []byte{byte(i)})
+		}
+		s.Clk.RunUntilIdle()
+		return s.Net.TraceString(), got
+	}
+	t1, g1 := run()
+	t2, g2 := run()
+	if t1 != t2 || g1 != g2 {
+		t.Fatalf("same seed diverged: %d vs %d deliveries", g1, g2)
+	}
+	if g1 == 100 || g1 == 0 {
+		t.Fatalf("loss/duplication had no effect: %d deliveries", g1)
+	}
+}
+
+func TestAwaitCondStopsEarly(t *testing.T) {
+	c := NewVirtualClock()
+	n := 0
+	c.Every(time.Millisecond, func() { n++ })
+	if !c.AwaitCond(time.Second, func() bool { return n >= 5 }) {
+		t.Fatal("condition never held")
+	}
+	if el := c.Elapsed(); el != 5*time.Millisecond {
+		t.Fatalf("stopped at %v, want 5ms", el)
+	}
+	if c.AwaitCond(10*time.Millisecond, func() bool { return false }) {
+		t.Fatal("false condition reported true")
+	}
+	if el := c.Elapsed(); el != 15*time.Millisecond {
+		t.Fatalf("deadline not honored: %v", el)
+	}
+}
+
+func TestSeedDerivationReplayable(t *testing.T) {
+	old := BaseSeed()
+	defer SetBaseSeed(old)
+	SetBaseSeed(123)
+	a1, a2 := NextSeed(), NextSeed()
+	SetBaseSeed(123)
+	if b1, b2 := NextSeed(), NextSeed(); a1 != b1 || a2 != b2 {
+		t.Fatal("seed derivation not replayable")
+	}
+	if a1 == a2 {
+		t.Fatal("consecutive seeds collide")
+	}
+}
+
+func TestEventually(t *testing.T) {
+	n := 0
+	if !Eventually(time.Second, time.Millisecond, func() bool { n++; return n > 3 }) {
+		t.Fatal("condition never observed")
+	}
+	if Eventually(10*time.Millisecond, time.Millisecond, func() bool { return false }) {
+		t.Fatal("false condition reported true")
+	}
+}

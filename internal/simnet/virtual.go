@@ -1,0 +1,373 @@
+package simnet
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Event classes order same-instant events: network deliveries land before
+// timers stamped the same virtual instant. A timeout that expires "at the
+// same tick" as the packet it was waiting for therefore loses the race,
+// deterministically — the convention the timer-edge tests pin.
+const (
+	classNet   = 0
+	classClock = 1
+)
+
+// event is one scheduled callback. Ordering is total and canonical:
+// (when, class, a, b, seq). For network deliveries (a, b) is the (from, to)
+// link and seq a per-link counter, so the order two concurrently-scheduled
+// deliveries fire in does not depend on which goroutine reached the heap
+// first — only on link identity and per-link program order, both of which
+// are deterministic.
+type event struct {
+	when    time.Time
+	class   uint8
+	a, b    uint64
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if !a.when.Equal(b.when) {
+		return a.when.Before(b.when)
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.a != b.a {
+		return a.a < b.a
+	}
+	if a.b != b.b {
+		return a.b < b.b
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// VirtualClock is a deterministic Clock: time is a number that advances only
+// when the clock's driver (the test goroutine, via Step/RunFor/AwaitCond)
+// fires the next scheduled event AND every busy token has been released.
+// Events at the same instant fire in the canonical order documented on
+// event. The zero value is not usable; call NewVirtualClock.
+type VirtualClock struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	epoch time.Time
+	now   time.Time
+	busy  int
+	seq   uint64 // tiebreak for clock-class events
+	evs   eventHeap
+}
+
+// NewVirtualClock creates a virtual clock starting at a fixed, arbitrary
+// epoch (so time.Time zero-value semantics never collide with "the start of
+// the simulation").
+func NewVirtualClock() *VirtualClock {
+	c := &VirtualClock{epoch: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+	c.now = c.epoch
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Elapsed returns virtual time since the epoch — the timestamp traces use.
+func (c *VirtualClock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now.Sub(c.epoch)
+}
+
+// Hold implements Clock.
+func (c *VirtualClock) Hold() func() {
+	c.mu.Lock()
+	c.busy++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(c.release) }
+}
+
+func (c *VirtualClock) release() {
+	c.mu.Lock()
+	c.busy--
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// pushLocked schedules e; callers hold c.mu.
+func (c *VirtualClock) pushLocked(e *event) {
+	heap.Push(&c.evs, e)
+}
+
+// scheduleNet schedules a network delivery with the canonical (from, to,
+// perLinkSeq) ordering key. SimNet is the only caller.
+func (c *VirtualClock) scheduleNet(delay time.Duration, from, to, linkSeq uint64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.mu.Lock()
+	c.pushLocked(&event{when: c.now.Add(delay), class: classNet, a: from, b: to, seq: linkSeq, fn: fn})
+	c.mu.Unlock()
+}
+
+// AfterFunc implements Clock.
+func (c *VirtualClock) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	e := &event{when: c.now.Add(d), class: classClock, seq: c.seq, fn: f}
+	c.seq++
+	c.pushLocked(e)
+	c.mu.Unlock()
+	return &vTimer{c: c, e: e}
+}
+
+type vTimer struct {
+	c *VirtualClock
+	e *event
+}
+
+// Stop implements Timer: it reports whether the callback was still pending.
+func (t *vTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := !t.e.stopped && t.e.fn != nil
+	t.e.stopped = true
+	return was
+}
+
+// Every implements Clock. The callback runs on the event loop; rescheduling
+// happens after each firing, so a slow callback cannot pile up ticks.
+func (c *VirtualClock) Every(interval time.Duration, f func()) Task {
+	t := &vTask{c: c, interval: interval, fn: f}
+	c.mu.Lock()
+	t.scheduleLocked()
+	c.mu.Unlock()
+	return t
+}
+
+type vTask struct {
+	c        *VirtualClock
+	interval time.Duration
+	fn       func()
+	stopped  bool
+	cur      *event
+}
+
+func (t *vTask) scheduleLocked() {
+	c := t.c
+	e := &event{when: c.now.Add(t.interval), class: classClock, seq: c.seq}
+	c.seq++
+	e.fn = func() {
+		c.mu.Lock()
+		stopped := t.stopped
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		t.fn()
+		c.mu.Lock()
+		if !t.stopped {
+			t.scheduleLocked()
+		}
+		c.mu.Unlock()
+	}
+	t.cur = e
+	c.pushLocked(e)
+}
+
+// Stop implements Task.
+func (t *vTask) Stop() {
+	t.c.mu.Lock()
+	t.stopped = true
+	if t.cur != nil {
+		t.cur.stopped = true
+	}
+	t.c.mu.Unlock()
+}
+
+// After implements Clock. The returned channel is buffered; the send happens
+// on the event loop and the receiving goroutine is NOT tracked for
+// quiescence — see the interface doc.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.AfterFunc(d, func() { ch <- c.Now() })
+	return ch
+}
+
+// Go starts fn on its own goroutine holding a busy token for its lifetime:
+// the clock treats it as running work until fn returns (or parks in Sleep).
+func (c *VirtualClock) Go(fn func()) {
+	release := c.Hold()
+	go func() {
+		defer release()
+		fn()
+	}()
+}
+
+// Sleep implements Clock for goroutines started with Go: the goroutine's
+// busy token is parked while it sleeps and handed back — busy again — the
+// virtual instant the timer fires, so work done after Sleep is stamped at
+// the right time. Must not be called from event callbacks.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.pushLocked(&event{when: c.now.Add(d), class: classClock, seq: c.seq, fn: func() {
+		c.mu.Lock()
+		c.busy++ // wake holding a token: the sleeper is running work again
+		c.mu.Unlock()
+		close(done)
+	}})
+	c.seq++
+	c.busy-- // park this goroutine's token
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	<-done
+}
+
+// quiesceLocked blocks until every busy token is released; callers hold c.mu.
+func (c *VirtualClock) quiesceLocked() {
+	for c.busy > 0 {
+		c.cond.Wait()
+	}
+}
+
+// Step fires the next pending event (advancing time to it) and waits for all
+// resulting work to quiesce. It returns false when no events remain. Only
+// the driving goroutine may call Step and the Run helpers.
+func (c *VirtualClock) Step() bool {
+	return c.stepBefore(time.Time{}, false)
+}
+
+// stepBefore fires the next event whose time is <= limit (when bounded). It
+// returns false — without advancing past limit — if none qualifies.
+func (c *VirtualClock) stepBefore(limit time.Time, bounded bool) bool {
+	c.mu.Lock()
+	c.quiesceLocked()
+	var e *event
+	for len(c.evs) > 0 {
+		next := c.evs[0]
+		if bounded && next.when.After(limit) {
+			break
+		}
+		heap.Pop(&c.evs)
+		if !next.stopped {
+			e = next
+			break
+		}
+	}
+	if e == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if e.when.After(c.now) {
+		c.now = e.when
+	}
+	fn := e.fn
+	e.fn = nil
+	c.busy++ // the dispatch itself holds a token while the callback runs
+	c.mu.Unlock()
+	fn()
+	c.release()
+	c.mu.Lock()
+	c.quiesceLocked()
+	c.mu.Unlock()
+	return true
+}
+
+// RunFor processes every event within the next d of virtual time, then sets
+// the clock to exactly now+d.
+func (c *VirtualClock) RunFor(d time.Duration) {
+	c.mu.Lock()
+	limit := c.now.Add(d)
+	c.mu.Unlock()
+	for c.stepBefore(limit, true) {
+	}
+	c.mu.Lock()
+	if limit.After(c.now) {
+		c.now = limit
+	}
+	c.mu.Unlock()
+}
+
+// RunUntilIdle processes events until none remain.
+func (c *VirtualClock) RunUntilIdle() {
+	for c.Step() {
+	}
+}
+
+// AwaitCond steps virtual time until cond returns true, at most max virtual
+// time ahead. The condition is evaluated only at quiescence, so everything
+// the last event caused is visible to it. Returns whether cond held. If the
+// event queue drains before the deadline the remaining virtual time is
+// consumed in one jump (periodic tasks normally keep the queue non-empty).
+func (c *VirtualClock) AwaitCond(max time.Duration, cond func() bool) bool {
+	c.mu.Lock()
+	limit := c.now.Add(max)
+	c.mu.Unlock()
+	if cond() {
+		return true
+	}
+	for {
+		if !c.stepBefore(limit, true) {
+			c.mu.Lock()
+			if limit.After(c.now) {
+				c.now = limit
+			}
+			c.mu.Unlock()
+			// Only the final verdict pays for the settle retries: between
+			// steps a cond made true by an untracked goroutine is caught
+			// one event later anyway.
+			return c.condSettled(cond)
+		}
+		if cond() {
+			return true
+		}
+	}
+}
+
+// condSettled evaluates cond, giving unsynchronized goroutines (channel
+// demultiplexers and other hops the busy counter cannot see) a few chances
+// to drain before concluding the condition is false. The retries cost
+// microseconds of real time and do not advance virtual time.
+func (c *VirtualClock) condSettled(cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	for i := 0; i < 20; i++ {
+		time.Sleep(50 * time.Microsecond)
+		if cond() {
+			return true
+		}
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package source
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"infoslicing/internal/overlay"
@@ -20,6 +21,14 @@ type Endpoints struct {
 	ids     []wire.NodeID
 	acks    chan wire.FlowID
 	reports chan DownReport
+
+	// onReport, when set, consumes ParentDown reports synchronously on the
+	// delivery goroutine instead of the reports channel. The repair loop
+	// registers itself here: under a virtual clock this keeps report
+	// processing — and the splices it triggers — at the virtual instant the
+	// report arrived, which an asynchronous consumer could not guarantee.
+	repMu    sync.Mutex
+	onReport func(DownReport)
 }
 
 // DownReport is one ParentDown report as it reaches a source endpoint: the
@@ -92,14 +101,30 @@ func (e *Endpoints) onPacket(_ wire.NodeID, data []byte) {
 		if err != nil {
 			return
 		}
-		// The sealed view pins the delivery buffer, which this handler owns
-		// outright (buffer-ownership rule 2); handing it to the repair loop
-		// transfers that ownership.
+		r := DownReport{Flow: pkt.Flow, Nonce: nonce, Sealed: sealed}
+		e.repMu.Lock()
+		h := e.onReport
+		e.repMu.Unlock()
+		if h != nil {
+			// The sealed view pins the delivery buffer, which this handler
+			// owns outright (buffer-ownership rule 2); the report handler
+			// reads it synchronously and must not retain it.
+			h(r)
+			return
+		}
 		select {
-		case e.reports <- DownReport{Flow: pkt.Flow, Nonce: nonce, Sealed: sealed}:
+		case e.reports <- r:
 		default:
 		}
 	}
+}
+
+// setReportHandler installs (or, with nil, removes) the synchronous report
+// consumer. While set, the Reports channel receives nothing.
+func (e *Endpoints) setReportHandler(h func(DownReport)) {
+	e.repMu.Lock()
+	e.onReport = h
+	e.repMu.Unlock()
 }
 
 // EstablishAndWait injects the setup wave and blocks until the
@@ -111,7 +136,7 @@ func (e *Endpoints) onPacket(_ wire.NodeID, data []byte) {
 // relays (duplicate setup packets from the same previous hop are dropped)
 // and give a late-reviving relay fresh slices to decode from.
 func (s *Sender) EstablishAndWait(e *Endpoints, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := s.clk.Now().Add(timeout)
 	wait := timeout / 16
 	if wait < 5*time.Millisecond {
 		wait = 5 * time.Millisecond
@@ -120,7 +145,7 @@ func (s *Sender) EstablishAndWait(e *Endpoints, timeout time.Duration) error {
 		if err := s.Establish(); err != nil {
 			return err
 		}
-		remain := time.Until(deadline)
+		remain := deadline.Sub(s.clk.Now())
 		if remain <= 0 {
 			return ErrAckTimeout
 		}
@@ -131,7 +156,7 @@ func (s *Sender) EstablishAndWait(e *Endpoints, timeout time.Duration) error {
 		if err := s.WaitEstablished(e, w); err == nil {
 			return nil
 		}
-		if !time.Now().Before(deadline) {
+		if !s.clk.Now().Before(deadline) {
 			return ErrAckTimeout
 		}
 		wait *= 2
@@ -146,7 +171,7 @@ func (s *Sender) WaitEstablished(e *Endpoints, timeout time.Duration) error {
 	for _, v := range s.graph.Stage1() {
 		valid[s.graph.Flows[v]] = true
 	}
-	deadline := time.After(timeout)
+	deadline := s.clk.After(timeout)
 	for {
 		select {
 		case f := <-e.acks:

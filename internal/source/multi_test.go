@@ -134,14 +134,14 @@ func TestMultiSenderTwoFlowsDeliver(t *testing.T) {
 func TestMultiSenderStalledFlowDoesNotBlockOthers(t *testing.T) {
 	st := buildMultiStack(t, 2, 2, 2, 23)
 
-	// Flow 0 is the stalled one: paced to ~64 kb/s, sending 16 KiB takes
-	// about two seconds.
+	// Flow 0 is the stalled one: paced to ~64 kb/s, sending 8 KiB takes
+	// about one second.
 	slow := st.ms.Open(st.graphs[0], Config{ChunkPayload: 2048, RateBps: 64_000})
 	fast := st.ms.Open(st.graphs[1], Config{ChunkPayload: 256})
 	st.establish(t, slow, st.graphs[0], st.dests[0])
 	st.establish(t, fast, st.graphs[1], st.dests[1])
 
-	bigMsg := make([]byte, 16<<10)
+	bigMsg := make([]byte, 8<<10)
 	rand.New(rand.NewSource(23)).Read(bigMsg)
 	slowDone := make(chan struct{})
 	var wg sync.WaitGroup
@@ -177,7 +177,7 @@ func TestMultiSenderStalledFlowDoesNotBlockOthers(t *testing.T) {
 		t.Fatal("slow flow finished before fast flow; stall not exercised")
 	default:
 	}
-	if fastElapsed > 1500*time.Millisecond {
+	if fastElapsed > 700*time.Millisecond {
 		t.Fatalf("fast flow took %v while the other flow was stalled", fastElapsed)
 	}
 

@@ -4,12 +4,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"infoslicing/internal/code"
 	"infoslicing/internal/core"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/slcrypto"
 	"infoslicing/internal/wire"
 )
@@ -22,7 +22,14 @@ import (
 // — a minimal re-keyed sub-graph (core.Graph.Splice) delivered as sliced
 // setup to the replacement plus sealed patches to the surviving neighbors.
 //
-// Each Sender runs its own repair loop over its own endpoints, holding only
+// Structurally the loop is two hooks rather than a goroutine: heartbeats
+// run as a periodic clock task (so a virtual clock fires them
+// deterministically), and reports are consumed synchronously on the
+// endpoint's delivery path (so the splice a report triggers is stamped at
+// the virtual instant the report arrived). Under the wall clock the
+// behavior is the same as the old select-loop, minus its channel hop.
+//
+// Each Sender runs its own repair hooks over its own endpoints, holding only
 // its own per-flow lock while it mutates its own graph; a MultiSender
 // process therefore repairs every flow independently, with no cross-flow
 // blocking — the same isolation the data path already has.
@@ -61,8 +68,12 @@ type RepairStats struct {
 var ErrRepairRunning = errors.New("source: repair loop already running")
 
 type repairState struct {
-	stop chan struct{}
-	wg   sync.WaitGroup
+	eps *Endpoints
+	hb  simnet.Task
+
+	// seen dedupes report nonces along the multipath flood; guarded by the
+	// sender's mu (reports are handled under it).
+	seen map[uint64]bool
 
 	reports atomic.Int64
 	stale   atomic.Int64
@@ -70,8 +81,8 @@ type repairState struct {
 	failed  atomic.Int64
 }
 
-// StartRepair launches the repair loop for this flow over the given
-// endpoints. Call StopRepair (or stop using the sender) to end it.
+// StartRepair launches the repair hooks for this flow over the given
+// endpoints. Call StopRepair (or stop using the sender) to end them.
 func (s *Sender) StartRepair(eps *Endpoints, cfg RepairConfig) error {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 100 * time.Millisecond
@@ -84,24 +95,31 @@ func (s *Sender) StartRepair(eps *Endpoints, cfg RepairConfig) error {
 	if cfg.Rng == nil {
 		cfg.Rng = rand.New(rand.NewSource(s.rng.Int63()))
 	}
-	st := &repairState{stop: make(chan struct{})}
+	st := &repairState{eps: eps, seen: make(map[uint64]bool)}
+	// Everything is wired before the state is published (still under s.mu,
+	// so a concurrent StopRepair cannot observe a half-started loop). The
+	// heartbeat task's first tick and any report simply wait on s.mu.
+	st.hb = s.clk.Every(cfg.Heartbeat, func() { s.sendSourceHeartbeats(eps) })
+	eps.setReportHandler(func(r DownReport) { s.handleReport(st, eps, cfg, r) })
 	s.repair = st
 	s.mu.Unlock()
-
-	st.wg.Add(1)
-	go s.repairLoop(st, eps, cfg)
 	return nil
 }
 
-// StopRepair halts the repair loop; safe to call more than once.
+// StopRepair halts the repair hooks; safe to call more than once.
 func (s *Sender) StopRepair() {
 	s.mu.Lock()
 	st := s.repair
 	s.repair = nil
+	if st != nil {
+		s.lastRepair = st
+		st.eps.setReportHandler(nil)
+	}
 	s.mu.Unlock()
 	if st != nil {
-		close(st.stop)
-		st.wg.Wait()
+		// Outside s.mu: stopping the wall task waits for an in-flight
+		// heartbeat callback, which itself takes s.mu.
+		st.hb.Stop()
 	}
 }
 
@@ -124,35 +142,6 @@ func (s *Sender) RepairStats() RepairStats {
 	}
 }
 
-func (s *Sender) repairLoop(st *repairState, eps *Endpoints, cfg RepairConfig) {
-	defer st.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		s.lastRepair = st
-		s.mu.Unlock()
-	}()
-	tick := time.NewTicker(cfg.Heartbeat)
-	defer tick.Stop()
-	seen := make(map[uint64]bool)
-	for {
-		select {
-		case <-st.stop:
-			return
-		case <-tick.C:
-			s.sendSourceHeartbeats(eps)
-		case r := <-eps.Reports():
-			if seen[r.Nonce] {
-				continue
-			}
-			if len(seen) >= 1024 {
-				seen = make(map[uint64]bool)
-			}
-			seen[r.Nonce] = true
-			s.handleReport(st, eps, cfg, r)
-		}
-	}
-}
-
 // sendSourceHeartbeats keeps every stage-1 relay's liveness clock fresh for
 // all d' endpoint parents, mirroring the data-phase multicast.
 func (s *Sender) sendSourceHeartbeats(eps *Endpoints) {
@@ -167,15 +156,29 @@ func (s *Sender) sendSourceHeartbeats(eps *Endpoints) {
 	}
 }
 
-// handleReport authenticates one ParentDown report and repairs the graph.
+// handleReport dedupes, authenticates, and answers one ParentDown report.
 // Trial decryption with the graph's per-node keys both authenticates the
 // report (only graph members hold a key) and identifies the reporter; the
 // opened body names the dead parent. Everything that touches the graph runs
 // under s.mu so splices serialize with the data rounds reading Stages and
-// Flows.
+// Flows; reports arriving concurrently on several endpoint deliveries
+// serialize here too.
 func (s *Sender) handleReport(st *repairState, eps *Endpoints, cfg RepairConfig, r DownReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.repair != st {
+		// StopRepair won the race with this in-flight delivery: the old
+		// loop's close+wait guarantee, restated — a stopped repair must not
+		// splice the graph or grow its published counters.
+		return
+	}
+	if st.seen[r.Nonce] {
+		return
+	}
+	if len(st.seen) >= 1024 {
+		st.seen = make(map[uint64]bool)
+	}
+	st.seen[r.Nonce] = true
 	g := s.graph
 
 	var reporter wire.NodeID

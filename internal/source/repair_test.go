@@ -9,15 +9,18 @@ import (
 	"math/rand"
 
 	"infoslicing/internal/core"
-	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
-// repairStack is a full control-plane-enabled overlay: liveness-tracking
-// relays, spare nodes to splice in, endpoints that hear reports.
+// repairStack is a full control-plane-enabled overlay on a virtual clock:
+// liveness-tracking relays, spare nodes to splice in, endpoints that hear
+// reports. Tests drive it by stepping virtual time, so the repair scenarios
+// run in milliseconds of real time and are replayable from their seed.
 type repairStack struct {
-	net    *overlay.ChanNetwork
+	clk    *simnet.VirtualClock
+	net    *simnet.SimNet
 	eps    *Endpoints
 	snd    *Sender
 	nodes  map[wire.NodeID]*relay.Node
@@ -30,7 +33,9 @@ type repairStack struct {
 
 func buildRepairStack(t *testing.T, l, d, dp, spares int, seed int64) *repairStack {
 	t.Helper()
-	net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(seed)))
+	simnet.ReportSeed(t)
+	clk := simnet.NewVirtualClock()
+	net := simnet.NewSimNet(clk, seed, simnet.LinkProfile{Delay: 500 * time.Microsecond})
 	relays := make([]wire.NodeID, l*dp)
 	for i := range relays {
 		relays[i] = wire.NodeID(i + 1)
@@ -54,7 +59,9 @@ func buildRepairStack(t *testing.T, l, d, dp, spares int, seed int64) *repairSta
 			RoundWait:       50 * time.Millisecond,
 			Heartbeat:       15 * time.Millisecond,
 			LivenessTimeout: 60 * time.Millisecond,
+			Shards:          1,
 			Rng:             rand.New(rand.NewSource(seed + int64(id))),
+			Clock:           clk,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -70,8 +77,8 @@ func buildRepairStack(t *testing.T, l, d, dp, spares int, seed int64) *repairSta
 	if err != nil {
 		t.Fatal(err)
 	}
-	snd := New(net, g, Config{ChunkPayload: 256}, rand.New(rand.NewSource(seed+501)))
-	st := &repairStack{net: net, eps: eps, snd: snd, nodes: nodes, g: g, spares: spareIDs}
+	snd := New(net, g, Config{ChunkPayload: 256, Clock: clk}, rand.New(rand.NewSource(seed+501)))
+	st := &repairStack{clk: clk, net: net, eps: eps, snd: snd, nodes: nodes, g: g, spares: spareIDs}
 	t.Cleanup(func() {
 		snd.StopRepair()
 		for _, n := range nodes {
@@ -81,6 +88,26 @@ func buildRepairStack(t *testing.T, l, d, dp, spares int, seed int64) *repairSta
 		net.Close()
 	})
 	return st
+}
+
+// establish injects the setup wave and steps virtual time until every graph
+// relay has decoded its block.
+func (st *repairStack) establish(t *testing.T) {
+	t.Helper()
+	if err := st.snd.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	ok := st.clk.AwaitCond(10*time.Second, func() bool {
+		for _, id := range st.g.Relays {
+			if !st.nodes[id].Established(st.g.Flows[id]) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("graph never established in virtual time")
+	}
 }
 
 // pick hands out unused spares and records what the repair loop chose.
@@ -110,27 +137,32 @@ func (st *repairStack) repairCfg() RepairConfig {
 	return RepairConfig{Heartbeat: 15 * time.Millisecond, Pick: st.pick}
 }
 
-func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+// waitFor steps virtual time until cond holds (an exact-step wait, not a
+// sleep-poll: the condition is re-checked at every quiesced instant).
+func (st *repairStack) waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !st.clk.AwaitCond(timeout, cond) {
+		t.Fatalf("timed out waiting for %s", what)
 	}
-	t.Fatalf("timed out waiting for %s", what)
 }
 
 func recvMsg(t *testing.T, st *repairStack, want []byte, timeout time.Duration) {
 	t.Helper()
-	select {
-	case m := <-st.nodes[st.g.Dest].Received():
-		if !bytes.Equal(m.Data, want) {
-			t.Fatal("delivered message corrupted")
+	var got []byte
+	ok := st.clk.AwaitCond(timeout, func() bool {
+		select {
+		case m := <-st.nodes[st.g.Dest].Received():
+			got = m.Data
+			return true
+		default:
+			return false
 		}
-	case <-time.After(timeout):
+	})
+	if !ok {
 		t.Fatal("message not delivered")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("delivered message corrupted")
 	}
 }
 
@@ -141,9 +173,7 @@ func recvMsg(t *testing.T, st *repairStack, want []byte, timeout time.Duration) 
 // detect each death, splice in a spare, and keep the stream decodable.
 func TestLiveRepairSurvivesStageCollapse(t *testing.T) {
 	st := buildRepairStack(t, 3, 2, 3, 4, 42)
-	if err := st.snd.EstablishAndWait(st.eps, 10*time.Second); err != nil {
-		t.Fatal(err)
-	}
+	st.establish(t)
 	// Choose two same-stage victims before repair can mutate the graph.
 	var victims []wire.NodeID
 	var stage int
@@ -176,14 +206,14 @@ func TestLiveRepairSurvivesStageCollapse(t *testing.T) {
 	recvMsg(t, st, msg1, 10*time.Second)
 
 	st.net.Fail(victims[0])
-	waitFor(t, 15*time.Second, "first splice", func() bool {
+	st.waitFor(t, 15*time.Second, "first splice", func() bool {
 		return st.snd.RepairStats().Splices >= 1
 	})
 	// The replacement must come up as a real spliced-in relay.
 	st.mu.Lock()
 	first := st.picked[0]
 	st.mu.Unlock()
-	waitFor(t, 10*time.Second, "replacement establishment", func() bool {
+	st.waitFor(t, 10*time.Second, "replacement establishment", func() bool {
 		return st.nodes[first].EstablishedCount() >= 1
 	})
 
@@ -194,12 +224,12 @@ func TestLiveRepairSurvivesStageCollapse(t *testing.T) {
 	recvMsg(t, st, msg2, 10*time.Second)
 
 	st.net.Fail(victims[1])
-	waitFor(t, 15*time.Second, "second splice", func() bool {
+	st.waitFor(t, 15*time.Second, "second splice", func() bool {
 		return st.snd.RepairStats().Splices >= 2
 	})
 	// Give the freshest replacement a beat to establish, then stream: with
 	// both original victims dead this only decodes if the splices carried.
-	time.Sleep(150 * time.Millisecond)
+	st.clk.RunFor(150 * time.Millisecond)
 	msg3 := bytes.Repeat([]byte("three"), 100)
 	if err := st.snd.Send(msg3); err != nil {
 		t.Fatal(err)
@@ -223,9 +253,7 @@ func TestLiveRepairSurvivesStageCollapse(t *testing.T) {
 // reports but never splices — the repair-off arm of the churn comparison.
 func TestRepairDetectionOnly(t *testing.T) {
 	st := buildRepairStack(t, 2, 2, 2, 0, 43)
-	if err := st.snd.EstablishAndWait(st.eps, 10*time.Second); err != nil {
-		t.Fatal(err)
-	}
+	st.establish(t)
 	if err := st.snd.StartRepair(st.eps, RepairConfig{Heartbeat: 15 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +264,7 @@ func TestRepairDetectionOnly(t *testing.T) {
 		}
 	}
 	st.net.Fail(victim)
-	waitFor(t, 15*time.Second, "report in detection-only mode", func() bool {
+	st.waitFor(t, 15*time.Second, "report in detection-only mode", func() bool {
 		return st.snd.RepairStats().Reports >= 1
 	})
 	if s := st.snd.RepairStats(); s.Splices != 0 {
@@ -269,7 +297,9 @@ func TestMultiSenderRepairsFlowsIndependently(t *testing.T) {
 		l, d, dp = 2, 2, 3
 		seed     = int64(77)
 	)
-	net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(seed)))
+	simnet.ReportSeed(t)
+	clk := simnet.NewVirtualClock()
+	net := simnet.NewSimNet(clk, seed, simnet.LinkProfile{Delay: 500 * time.Microsecond})
 	ms := NewMulti(net, rand.New(rand.NewSource(seed+1)))
 
 	type flow struct {
@@ -286,7 +316,9 @@ func TestMultiSenderRepairsFlowsIndependently(t *testing.T) {
 			RoundWait:       50 * time.Millisecond,
 			Heartbeat:       15 * time.Millisecond,
 			LivenessTimeout: 60 * time.Millisecond,
+			Shards:          1,
 			Rng:             rand.New(rand.NewSource(seed + int64(id))),
+			Clock:           clk,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -323,7 +355,7 @@ func TestMultiSenderRepairsFlowsIndependently(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snd := ms.Open(g, Config{ChunkPayload: 256})
+		snd := ms.Open(g, Config{ChunkPayload: 256, Clock: clk})
 		flows[f] = &flow{snd: snd, eps: eps, g: g, spares: spares}
 		for _, n := range nodes {
 			if n.ID() == g.Dest {
@@ -343,8 +375,19 @@ func TestMultiSenderRepairsFlowsIndependently(t *testing.T) {
 	})
 	for _, fl := range flows {
 		fl := fl
-		if err := fl.snd.EstablishAndWait(fl.eps, 10*time.Second); err != nil {
+		if err := fl.snd.Establish(); err != nil {
 			t.Fatal(err)
+		}
+		ok := clk.AwaitCond(10*time.Second, func() bool {
+			for _, id := range fl.g.Relays {
+				if !nodeByID(nodes, id).Established(fl.g.Flows[id]) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			t.Fatal("flow never established")
 		}
 		pick := func(exclude func(wire.NodeID) bool) (wire.NodeID, bool) {
 			for _, id := range fl.spares {
@@ -376,37 +419,69 @@ func TestMultiSenderRepairsFlowsIndependently(t *testing.T) {
 		if err := flows[1].snd.Send(msg); err != nil {
 			t.Fatal(err)
 		}
-		select {
-		case m := <-flows[1].dest.Received():
-			if !bytes.Equal(m.Data, msg) {
-				t.Fatalf("flow 1 message %d corrupted", i)
+		var got []byte
+		ok := clk.AwaitCond(5*time.Second, func() bool {
+			select {
+			case m := <-flows[1].dest.Received():
+				got = m.Data
+				return true
+			default:
+				return false
 			}
-		case <-time.After(5 * time.Second):
+		})
+		if !ok {
 			t.Fatal("flow 1 starved while flow 0 repaired")
 		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("flow 1 message %d corrupted", i)
+		}
 	}
-	waitFor(t, 15*time.Second, "flow 0 splice", func() bool {
+	if !clk.AwaitCond(15*time.Second, func() bool {
 		return flows[0].snd.RepairStats().Splices >= 1
-	})
+	}) {
+		t.Fatal("flow 0 never spliced")
+	}
 	// Flow 0 streams again post-repair.
+	clk.RunFor(100 * time.Millisecond)
 	msg := bytes.Repeat([]byte("healed"), 40)
 	if err := flows[0].snd.Send(msg); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case m := <-flows[0].dest.Received():
-		if !bytes.Equal(m.Data, msg) {
-			t.Fatal("flow 0 corrupted after repair")
+	var got []byte
+	ok := clk.AwaitCond(10*time.Second, func() bool {
+		select {
+		case m := <-flows[0].dest.Received():
+			got = m.Data
+			return true
+		default:
+			return false
 		}
-	case <-time.After(10 * time.Second):
+	})
+	if !ok {
 		t.Fatal("flow 0 never recovered")
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("flow 0 corrupted after repair")
 	}
 	if s := flows[1].snd.RepairStats(); s.Splices != 0 {
 		t.Fatalf("flow 1 spliced against an intact graph: %+v", s)
 	}
 }
 
+func nodeByID(nodes []*relay.Node, id wire.NodeID) *relay.Node {
+	for _, n := range nodes {
+		if n.ID() == id {
+			return n
+		}
+	}
+	return nil
+}
+
 // --- Establish timeout/backoff (satellite) ---------------------------------
+//
+// These three stay on the wall clock on purpose: EstablishAndWait is the
+// blocking, caller-facing API, and its deadline behavior under a real clock
+// is exactly what they pin.
 
 // TestEstablishTimesOutWhenStage1Down: with no redundancy (d'=d), a dead
 // stage-1 relay makes establishment impossible; EstablishAndWait must give
@@ -415,15 +490,15 @@ func TestEstablishTimesOutWhenStage1Down(t *testing.T) {
 	net, eps, snd, _, g := buildStack(t, 2, 2, 2, 21)
 	net.Fail(g.Stage1()[0])
 	start := time.Now()
-	err := snd.EstablishAndWait(eps, 400*time.Millisecond)
+	err := snd.EstablishAndWait(eps, 150*time.Millisecond)
 	el := time.Since(start)
 	if err != ErrAckTimeout {
 		t.Fatalf("want ErrAckTimeout, got %v", err)
 	}
-	if el < 350*time.Millisecond {
+	if el < 120*time.Millisecond {
 		t.Fatalf("gave up after %v, before the deadline", el)
 	}
-	if el > 5*time.Second {
+	if el > 3*time.Second {
 		t.Fatalf("timeout overshot: %v", el)
 	}
 }
@@ -436,7 +511,7 @@ func TestEstablishBackoffRecoversOnRevive(t *testing.T) {
 	down := g.Stage1()[0]
 	net.Fail(down)
 	go func() {
-		time.Sleep(250 * time.Millisecond)
+		time.Sleep(100 * time.Millisecond)
 		net.Revive(down)
 	}()
 	if err := snd.EstablishAndWait(eps, 15*time.Second); err != nil {

@@ -23,6 +23,7 @@ import (
 	"infoslicing/internal/code"
 	"infoslicing/internal/core"
 	"infoslicing/internal/overlay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
@@ -38,6 +39,14 @@ type Config struct {
 	// an unpaced sender can queue arbitrarily far ahead of a slow overlay;
 	// pacing keeps relay buffers bounded. Zero disables pacing.
 	RateBps int64
+
+	// Clock drives pacing, establishment deadlines, and the repair loop's
+	// heartbeat. Defaults to simnet.Wall; inject the scenario's
+	// simnet.VirtualClock to run the sender in virtual time. Under a
+	// non-wall clock RateBps pacing is disabled (the sending goroutine
+	// typically drives a virtual clock and must not block on it);
+	// scenarios pace by scheduling sends at spaced virtual instants.
+	Clock simnet.Clock
 }
 
 // Sender drives one anonymous flow over an established forwarding graph.
@@ -49,6 +58,7 @@ type Sender struct {
 	tr    overlay.Transport
 	graph *core.Graph
 	cfg   Config
+	clk   simnet.Clock
 	rng   *rand.Rand
 
 	// mu guards this flow's round pipeline only. It is held across
@@ -88,10 +98,13 @@ func New(tr overlay.Transport, g *core.Graph, cfg Config, rng *rand.Rand) *Sende
 	if cfg.ChunkPayload == 0 {
 		cfg.ChunkPayload = 1200 * g.D
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = simnet.Wall
+	}
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &Sender{tr: tr, graph: g, cfg: cfg, rng: rng}
+	return &Sender{tr: tr, graph: g, cfg: cfg, clk: cfg.Clock, rng: rng}
 }
 
 // Graph exposes the underlying forwarding graph (the source knows it all).
@@ -150,15 +163,26 @@ func (s *Sender) Send(msg []byte) error {
 }
 
 // pace sleeps just enough to keep the long-run plaintext rate at RateBps.
-// The virtual-time accounting repays oversleeping (OS timer granularity)
-// with later chunks passing through unslept.
+// The pacer's own virtual-time accounting repays oversleeping (OS timer
+// granularity) with later chunks passing through unslept.
+//
+// Pacing only ever blocks on the wall clock. Under any other Clock —
+// a VirtualClock or a wrapper around one — Send typically runs on the
+// goroutine that drives the clock, which must never block on it
+// (VirtualClock.Sleep is reserved for Go-registered goroutines), so the
+// sleep is skipped outright rather than risking a deadlock on a clock we
+// cannot classify; virtual scenarios pace by scheduling their sends at
+// spaced virtual instants instead.
 func (s *Sender) pace(bytes int) {
 	if s.cfg.RateBps <= 0 {
 		return
 	}
+	if s.clk != simnet.Wall {
+		return
+	}
 	cost := time.Duration(float64(bytes) * 8 / float64(s.cfg.RateBps) * float64(time.Second))
 	s.mu.Lock()
-	now := time.Now()
+	now := s.clk.Now()
 	start := s.paceFree
 	if start.Before(now) {
 		start = now
@@ -166,8 +190,8 @@ func (s *Sender) pace(bytes int) {
 	s.paceFree = start.Add(cost)
 	target := s.paceFree
 	s.mu.Unlock()
-	if d := time.Until(target); d > 0 {
-		time.Sleep(d)
+	if d := target.Sub(s.clk.Now()); d > 0 {
+		s.clk.Sleep(d)
 	}
 }
 

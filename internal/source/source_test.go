@@ -9,6 +9,7 @@ import (
 	"infoslicing/internal/core"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
 	"infoslicing/internal/wire"
 )
 
@@ -204,23 +205,25 @@ func TestAttachEndpointsRollbackOnFailure(t *testing.T) {
 func TestRatePacing(t *testing.T) {
 	net, eps, _, nodes, g := buildStack(t, 2, 2, 2, 9)
 	_ = eps
-	// A paced sender: 64 KiB at 1 Mb/s should take ≈ 0.5 s.
+	// A paced sender: 32 KiB at 1 Mb/s should take ≈ 0.25 s.
 	snd := New(net, g, Config{ChunkPayload: 4096, RateBps: 1_000_000},
 		rand.New(rand.NewSource(9)))
 	if err := snd.Establish(); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	msg := make([]byte, 64<<10)
+	simnet.Eventually(5*time.Second, 2*time.Millisecond, func() bool {
+		return nodes[g.Dest].Established(g.Flows[g.Dest])
+	})
+	msg := make([]byte, 32<<10)
 	start := time.Now()
 	if err := snd.Send(msg); err != nil {
 		t.Fatal(err)
 	}
 	el := time.Since(start)
-	if el < 350*time.Millisecond {
+	if el < 175*time.Millisecond {
 		t.Fatalf("pacing ineffective: Send returned in %v", el)
 	}
-	if el > 2*time.Second {
+	if el > time.Second {
 		t.Fatalf("pacing too aggressive: %v", el)
 	}
 	select {
