@@ -16,6 +16,7 @@ import (
 	"infoslicing/internal/anonymity"
 	"infoslicing/internal/churn"
 	"infoslicing/internal/code"
+	"infoslicing/internal/metrics"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/perf"
 	"infoslicing/internal/wire"
@@ -282,6 +283,46 @@ func BenchmarkRelayScaling(b *testing.B) {
 				b.ReportMetric(float64(res.LatencyP99.Microseconds()), "p99-µs")
 			})
 		}
+	}
+}
+
+// BenchmarkTCPLoopback is BenchmarkRelayScaling with the OS network stack
+// in the path: the same flows × relay-pool experiment over real loopback
+// TCP sockets (one listener per relay, as in the paper's per-host daemon,
+// §7.1). It is the wire transport's entry in the perf trajectory — msgs/s
+// here measures framing, per-peer write batching, and the reader path, not
+// the coding kernels. Allocs/op is gated by bench_baseline.json: a
+// per-frame allocation sneaking into the peer write path multiplies by
+// every message of every flow and trips the gate.
+func BenchmarkTCPLoopback(b *testing.B) {
+	for _, flows := range []int{1, 8} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			b.ReportAllocs()
+			var res perf.RelayScalingResult
+			var delivered int
+			var elapsed time.Duration
+			var lat []float64
+			for i := 0; i < b.N; i++ {
+				r, err := perf.TCPLoopback(perf.RelayScalingParams{
+					Flows: flows, L: 2, D: 2,
+					Messages: 128, MessageBytes: 512, Window: 16,
+					Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+				delivered += r.Delivered
+				elapsed += r.Elapsed
+				lat = append(lat, r.LatencySamples...)
+			}
+			// Every reported metric is pooled over all iterations — a
+			// single run's rate and tail swing with scheduler luck.
+			b.ReportMetric(float64(delivered)/elapsed.Seconds(), "msgs/s")
+			b.ReportMetric(res.AggregateMbps, "Mbps-total")
+			b.ReportMetric(metrics.Percentile(lat, 50)*1e6, "p50-µs")
+			b.ReportMetric(metrics.Percentile(lat, 99)*1e6, "p99-µs")
+		})
 	}
 }
 

@@ -1,18 +1,25 @@
-// Command slicenode runs one information-slicing overlay daemon — the
+// Command slicenode runs information-slicing overlay daemons — the
 // per-host program of the paper's prototype (§7.1). It listens at its
-// address-book endpoint, maintains a flow table keyed on flow-ids, forwards
-// slices per the maps delivered in its sliced routing block, and prints any
-// message for which it turns out to be the destination.
+// address-book endpoints, maintains a flow table keyed on flow-ids,
+// forwards slices per the maps delivered in its sliced routing blocks, and
+// prints (or writes) any message for which one of its relays turns out to
+// be the destination.
 //
 // Usage:
 //
 //	slicenode -id 3 -book overlay.book
+//	slicenode -id 2,3,5 -book overlay.book -out received.bin
 //
 // where overlay.book has one "id host:port" pair per line, e.g.
 //
 //	1 127.0.0.1:7001
-//	2 127.0.0.1:7002
+//	2 127.0.0.2:7002
 //	3 127.0.0.1:7003
+//
+// -id accepts a comma-separated list so one process can host several
+// relays (a deployment packing more than one overlay identity per host);
+// all of them share one StaticTCP transport — and therefore one TCP
+// connection per remote host, the peer model of internal/transport.
 package main
 
 import (
@@ -25,42 +32,82 @@ import (
 
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
-	"infoslicing/internal/wire"
 
 	"infoslicing/cmd/internal/book"
 )
 
 func main() {
-	id := flag.Uint("id", 0, "this node's overlay id (must appear in the book)")
+	ids := flag.String("id", "", "this process's overlay id(s), comma-separated (each must appear in the book)")
 	bookPath := flag.String("book", "overlay.book", "address book file: lines of 'id host:port'")
+	outPath := flag.String("out", "", "append received message payloads to this file (default: print them)")
 	flag.Parse()
-	if *id == 0 {
+	if *ids == "" {
 		log.Fatal("slicenode: -id is required")
+	}
+	nodeIDs, err := book.ParseIDs(*ids)
+	if err != nil {
+		log.Fatalf("slicenode: -id: %v", err)
 	}
 	addrs, err := book.Load(*bookPath)
 	if err != nil {
 		log.Fatalf("slicenode: %v", err)
 	}
+	var out *os.File
+	if *outPath != "" {
+		out, err = os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("slicenode: %v", err)
+		}
+		defer out.Close()
+	}
 	tr := overlay.NewStaticTCP(addrs)
 	defer tr.Close()
-	node, err := relay.New(wire.NodeID(*id), tr, relay.Config{})
-	if err != nil {
-		log.Fatalf("slicenode: %v", err)
+
+	// All relays of this process feed one delivery channel.
+	delivered := make(chan relay.Message, 256)
+	nodes := make([]*relay.Node, 0, len(nodeIDs))
+	for _, id := range nodeIDs {
+		node, err := relay.New(id, tr, relay.Config{})
+		if err != nil {
+			log.Fatalf("slicenode: relay %d: %v", id, err)
+		}
+		defer node.Close()
+		nodes = append(nodes, node)
+		go func(n *relay.Node) {
+			for m := range n.Received() {
+				delivered <- m
+			}
+		}(node)
+		log.Printf("slicenode %d listening at %s", id, addrs[id])
 	}
-	defer node.Close()
-	log.Printf("slicenode %d listening at %s", *id, addrs[wire.NodeID(*id)])
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	for {
 		select {
-		case m := <-node.Received():
+		case m := <-delivered:
+			if out != nil {
+				// No per-message fsync: Write alone updates the in-kernel
+				// size (what pollers Stat) and durability-per-chunk would
+				// make the receiver disk-flush-bound.
+				if _, err := out.Write(m.Data); err != nil {
+					log.Fatalf("slicenode: write -out: %v", err)
+				}
+				log.Printf("received anonymous message (flow %x): %d bytes -> %s",
+					uint64(m.Flow), len(m.Data), *outPath)
+				continue
+			}
 			fmt.Printf("received anonymous message (flow %x): %q\n", uint64(m.Flow), m.Data)
 		case <-sig:
-			st := node.Stats()
-			log.Printf("slicenode %d: setup=%d data=%d out=%d regenerated=%d delivered=%d",
-				*id, st.SetupPacketsIn, st.DataPacketsIn, st.PacketsOut,
-				st.Regenerated, st.MessagesDelivered)
+			for _, n := range nodes {
+				st := n.Stats()
+				log.Printf("slicenode %d: setup=%d data=%d out=%d regenerated=%d delivered=%d sendDrops=%d",
+					n.ID(), st.SetupPacketsIn, st.DataPacketsIn, st.PacketsOut,
+					st.Regenerated, st.MessagesDelivered, st.SendDrops)
+			}
+			ps := tr.PeerStats()
+			log.Printf("slicenode transport: frames=%d bytes=%d flushes=%d drops=%d sendFailures=%d reconnects=%d",
+				ps.FramesOut, ps.BytesOut, ps.Flushes, ps.Dropped, ps.SendFailures, ps.Reconnects)
 			return
 		}
 	}

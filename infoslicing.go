@@ -72,6 +72,19 @@ type transport interface {
 	Close()
 }
 
+// staticFacade adapts overlay.StaticTCP to the facade's transport: node
+// ids with a book entry bind their pre-agreed address, everything else —
+// relays grown on the fly, transient source endpoints — binds a fresh
+// loopback port that stays resolvable inside this process.
+type staticFacade struct{ *overlay.StaticTCP }
+
+func (s staticFacade) Attach(id wire.NodeID, h overlay.Handler) error {
+	if err := s.StaticTCP.Attach(id, h); err == nil || !errors.Is(err, overlay.ErrUnknownNode) {
+		return err
+	}
+	return s.StaticTCP.AttachDynamic(id, h)
+}
+
 // Network is an in-process information-slicing overlay: a transport plus a
 // set of relay daemons.
 type Network struct {
@@ -96,6 +109,8 @@ type config struct {
 	hasRelayCfg   bool
 	ctrlHeartbeat time.Duration
 	vclk          *simnet.VirtualClock
+	tcpBook       map[NodeID]string
+	useStaticTCP  bool
 }
 
 // clock returns the network's time source: the injected virtual clock, or
@@ -129,6 +144,23 @@ func WithControlPlane(heartbeat time.Duration) Option {
 	return func(c *config) { c.ctrlHeartbeat = heartbeat }
 }
 
+// WithStaticTCP runs the overlay over real TCP sockets instead of the
+// in-memory transport: every relay (and every transient source endpoint)
+// listens on a loopback socket, and all slices cross the OS network stack
+// through the production peer layer (internal/transport: per-peer bounded
+// queues, batched writev writers, reconnect with backoff). book may pin
+// listen addresses for specific node ids — the paper's pre-agreed address
+// book (§7.1) — and may be nil or partial: ids without an entry bind a
+// fresh loopback port, which in-process senders resolve transparently.
+//
+// Traffic shaping (WithProfile) is not emulated over real sockets, and
+// WithVirtualTime is incompatible with real I/O (New panics if both are
+// set). For multi-process overlays use cmd/slicenode and cmd/slicesend
+// with a shared book file instead of the facade.
+func WithStaticTCP(book map[NodeID]string) Option {
+	return func(c *config) { c.useStaticTCP = true; c.tcpBook = book }
+}
+
 // WithVirtualTime runs the whole network — transport, relay timers,
 // heartbeats, repair loops — on the given virtual clock instead of the wall
 // clock. The caller drives the universe by stepping the clock (RunFor,
@@ -156,13 +188,19 @@ func New(opts ...Option) *Network {
 		panic(err) // parameters are constants; unreachable
 	}
 	var tr transport
-	if cfg.vclk != nil {
+	switch {
+	case cfg.vclk != nil:
+		if cfg.useStaticTCP {
+			panic("infoslicing: WithStaticTCP and WithVirtualTime are incompatible (virtual time cannot drive real sockets)")
+		}
 		tr = simnet.NewSimNet(cfg.vclk, cfg.seed+1, simnet.LinkProfile{
 			Delay:  cfg.profile.LatencyMin,
 			Jitter: cfg.profile.LatencyMax - cfg.profile.LatencyMin,
 			Loss:   cfg.profile.Loss,
 		})
-	} else {
+	case cfg.useStaticTCP:
+		tr = staticFacade{overlay.NewStaticTCP(cfg.tcpBook)}
+	default:
 		tr = overlay.NewChanNetwork(cfg.profile, rand.New(rand.NewSource(cfg.seed+1)))
 	}
 	return &Network{

@@ -3,11 +3,14 @@
 // between nodes, network profiles that emulate LAN and PlanetLab conditions
 // (§7), and a churn controller that fails nodes mid-transfer (§8).
 //
-// Two transports are provided. ChanNetwork is an in-process network with
+// Three transports are provided. ChanNetwork is an in-process network with
 // configurable per-node bandwidth, link latency, and loss — the workhorse
 // for experiments, since one machine can host hundreds of relay goroutines.
-// TCPNetwork runs the identical byte protocol over real loopback sockets for
-// end-to-end validation with the OS network stack in the path.
+// TCPNetwork runs the identical byte protocol over real loopback sockets,
+// and StaticTCP over a pre-agreed address book spanning processes and
+// hosts; both are thin shims over the production peer layer
+// (internal/transport): per-host bounded queues, batched writev writers,
+// reconnect with backoff, and slab-based zero-copy readers.
 package overlay
 
 import (
@@ -60,6 +63,13 @@ type Transport interface {
 	// Send must not retain data after it returns: implementations copy (or
 	// write out) the bytes synchronously. Relays and sources rely on this
 	// to reuse one framing buffer across rounds.
+	//
+	// Non-blocking send contract: Send must never block on a slow or dead
+	// receiver. Real-network implementations hand the frame to a bounded
+	// per-peer queue drained by a dedicated writer (internal/transport); a
+	// full queue sheds the frame and returns the advisory ErrSendQueueFull,
+	// which data-path callers count (relay Stats.SendDrops) and nothing
+	// retries — redundancy, not retransmission, is the protocol's answer.
 	Send(from, to wire.NodeID, data []byte) error
 }
 

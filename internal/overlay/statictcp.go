@@ -1,12 +1,11 @@
 package overlay
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 
+	"infoslicing/internal/transport"
 	"infoslicing/internal/wire"
 )
 
@@ -17,15 +16,28 @@ import (
 // 4-byte sender id, payload.
 //
 // Only the nodes attached in this process listen; Send can reach any node
-// in the book, local or remote.
+// in the book, local or remote. It is an address-resolution shim over
+// internal/transport: each remote host gets ONE peer — a bounded queue, a
+// batching writer, reconnect-with-backoff — shared by every local sender
+// (frames carry their sender in the header), which is what batches writes
+// across flows and lets a transfer ride out a peer process being killed
+// and restarted (the e2e deployment test does exactly that).
 type StaticTCP struct {
-	mu       sync.RWMutex
-	book     map[wire.NodeID]string
-	local    map[wire.NodeID]*tcpEndpoint
-	conns    map[connKey]net.Conn
-	accepted map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
+	mu     sync.RWMutex
+	book   map[wire.NodeID]string
+	local  map[wire.NodeID]*staticEndpoint
+	down   map[wire.NodeID]bool
+	peers  *transport.PeerSet
+	closed bool
+}
+
+type staticEndpoint struct {
+	acc  *transport.Acceptor
+	addr string
+	// dynamic marks an AttachDynamic endpoint: its ephemeral address is
+	// meaningless once detached, so Detach erases it from the book (a
+	// pre-agreed book entry survives detach — the process may come back).
+	dynamic bool
 }
 
 // NewStaticTCP creates a transport over the given id→address book.
@@ -35,10 +47,10 @@ func NewStaticTCP(book map[wire.NodeID]string) *StaticTCP {
 		b[id] = addr
 	}
 	return &StaticTCP{
-		book:     b,
-		local:    make(map[wire.NodeID]*tcpEndpoint),
-		conns:    make(map[connKey]net.Conn),
-		accepted: make(map[net.Conn]struct{}),
+		book:  b,
+		local: make(map[wire.NodeID]*staticEndpoint),
+		down:  make(map[wire.NodeID]bool),
+		peers: transport.NewPeerSet(transport.Config{}),
 	}
 }
 
@@ -51,89 +63,70 @@ func (s *StaticTCP) Attach(id wire.NodeID, h Handler) error {
 	if !ok {
 		return fmt.Errorf("%w: %d not in address book", ErrUnknownNode, id)
 	}
+	return s.attach(id, addr, false, h)
+}
+
+// AttachDynamic binds the node to a fresh loopback port and records the
+// address in this process's book. Processes sharing the StaticTCP instance
+// (the facade's single-process deployments) resolve it like any book
+// entry; remote processes cannot, so cross-process overlays must pre-agree
+// every id in the book file instead.
+func (s *StaticTCP) AttachDynamic(id wire.NodeID, h Handler) error {
+	return s.attach(id, "127.0.0.1:0", true, h)
+}
+
+func (s *StaticTCP) attach(id wire.NodeID, addr string, dynamic bool, h Handler) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("overlay: %w", err)
 	}
-	ep := &tcpEndpoint{handler: h, listener: ln, addr: ln.Addr().String()}
+	ep := &staticEndpoint{addr: ln.Addr().String(), dynamic: dynamic}
+	ep.acc = transport.NewAcceptor(ln, transport.DefaultMaxFrame, func(from wire.NodeID, data []byte) bool {
+		s.mu.RLock()
+		cur := s.local[id]
+		isDown := s.down[id] || s.down[from]
+		s.mu.RUnlock()
+		if cur != ep {
+			return false // detached or superseded: stop this read loop
+		}
+		if isDown {
+			// Crashed receiver or sender (churn injection): discarded.
+			return true
+		}
+		h(from, data)
+		return true
+	})
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		ep.acc.Close()
 		return ErrNodeDown
 	}
 	if _, dup := s.local[id]; dup {
 		s.mu.Unlock()
-		ln.Close()
+		ep.acc.Close()
 		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
 	}
 	s.local[id] = ep
+	s.book[id] = ep.addr
 	s.mu.Unlock()
-
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			// Track inbound connections so Close can unblock their read
-			// loops; otherwise teardown waits on peers that never hang up.
-			s.mu.Lock()
-			if s.closed {
-				s.mu.Unlock()
-				conn.Close()
-				return
-			}
-			s.accepted[conn] = struct{}{}
-			s.mu.Unlock()
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				defer func() {
-					conn.Close()
-					s.mu.Lock()
-					delete(s.accepted, conn)
-					s.mu.Unlock()
-				}()
-				readFrames(conn, func(from wire.NodeID, buf []byte) bool {
-					s.mu.RLock()
-					cur, ok := s.local[id]
-					s.mu.RUnlock()
-					if !ok || cur != ep {
-						return false
-					}
-					h(from, buf)
-					return true
-				})
-			}()
-		}
-	}()
+	// Accept only after the endpoint is published: a reconnecting peer's
+	// first frames must find the liveness check already true, not get
+	// their fresh connection dropped by the attach race.
+	ep.acc.Start()
 	return nil
 }
 
-// readFrames parses the shared frame format until EOF or until deliver
-// returns false.
-func readFrames(conn net.Conn, deliver func(wire.NodeID, []byte) bool) {
-	var hdr [8]byte
-	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
-		}
-		size := binary.BigEndian.Uint32(hdr[:4])
-		from := wire.NodeID(binary.BigEndian.Uint32(hdr[4:]))
-		if size > 64<<20 {
-			return
-		}
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(conn, buf); err != nil {
-			return
-		}
-		if !deliver(from, buf) {
-			return
-		}
+// Addr returns a node's listen address — from the book, or the live
+// endpoint for dynamically attached ids (diagnostics).
+func (s *StaticTCP) Addr(id wire.NodeID) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ep, ok := s.local[id]; ok {
+		return ep.addr, true
 	}
+	addr, ok := s.book[id]
+	return addr, ok
 }
 
 // Detach implements Transport.
@@ -141,86 +134,105 @@ func (s *StaticTCP) Detach(id wire.NodeID) {
 	s.mu.Lock()
 	ep := s.local[id]
 	delete(s.local, id)
-	for k, c := range s.conns {
-		if k.from == id {
-			c.Close()
-			delete(s.conns, k)
-		}
+	if ep != nil && ep.dynamic {
+		delete(s.book, id) // ephemeral address: dead the moment it detaches
 	}
 	s.mu.Unlock()
+	s.peers.Drop(func(to wire.NodeID) bool { return to == id })
 	if ep != nil {
-		ep.listener.Close()
+		ep.acc.Close()
 	}
 }
 
-// Send implements Transport.
+// Fail crashes a local node (churn injection for single-process
+// deployments): its inbound frames are discarded, its sends error, and
+// frames it already queued on shared host connections are discarded at
+// delivery. Cross-process churn is injected by killing the process.
+func (s *StaticTCP) Fail(id wire.NodeID) {
+	s.mu.Lock()
+	s.down[id] = true
+	s.mu.Unlock()
+}
+
+// Revive restores a failed node.
+func (s *StaticTCP) Revive(id wire.NodeID) {
+	s.mu.Lock()
+	delete(s.down, id)
+	s.mu.Unlock()
+}
+
+// Down reports whether the node is marked failed in this process.
+func (s *StaticTCP) Down(id wire.NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down[id]
+}
+
+// Send implements Transport: resolve the receiver in the book, stamp the
+// frame with its sender, hand it to the receiver's host peer. Never
+// blocks, never dials on this path; a full peer queue drops and returns
+// ErrSendQueueFull (advisory).
 func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 	s.mu.RLock()
-	addr, ok := s.book[to]
+	_, known := s.book[to]
+	isDown := s.down[from]
 	s.mu.RUnlock()
-	if !ok {
+	if isDown {
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if !known {
 		return nil // unknown receiver: datagram semantics
 	}
-	conn, err := s.dial(from, to, addr)
-	if err != nil {
-		return nil // unreachable: dropped
+	// Fast path first: building Get's resolver closure costs a heap
+	// allocation (it escapes into the peer), which the steady state —
+	// one per frame, across every relay shard — must not pay.
+	p := s.peers.Lookup(to)
+	if p == nil {
+		p = s.peers.Get(to, func() (string, bool) {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			addr, ok := s.book[to]
+			return addr, ok
+		})
 	}
-	frame := make([]byte, 8+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	binary.BigEndian.PutUint32(frame[4:], uint32(from))
-	copy(frame[8:], data)
-	if _, err := conn.Write(frame); err != nil {
-		s.mu.Lock()
-		delete(s.conns, connKey{from, to})
-		s.mu.Unlock()
-		conn.Close()
+	if p == nil {
+		// Transport closed: a datagram into the void, not congestion —
+		// callers must not count it toward SendDrops.
+		return nil
+	}
+	if !p.Enqueue(from, data) {
+		return ErrSendQueueFull
 	}
 	return nil
 }
 
-func (s *StaticTCP) dial(from, to wire.NodeID, addr string) (net.Conn, error) {
-	key := connKey{from, to}
-	s.mu.RLock()
-	conn, ok := s.conns[key]
-	s.mu.RUnlock()
-	if ok {
-		return conn, nil
-	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	if existing, ok := s.conns[key]; ok {
-		s.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	s.conns[key] = c
-	s.mu.Unlock()
-	return c, nil
+// PeerStats reports aggregate outbound peer counters.
+func (s *StaticTCP) PeerStats() transport.Stats { return s.peers.Stats() }
+
+// Stats reports cumulative counters in the facade's shape: packets sent,
+// bytes sent, packets lost (queue drops and failed flushes).
+func (s *StaticTCP) Stats() (pkts, bytes, lost int64) {
+	st := s.peers.Stats()
+	return st.FramesOut, st.BytesOut, st.Dropped
 }
 
-// Close shuts down listeners and connections owned by this process.
+// Close shuts down peers (draining queued frames briefly) and the
+// listeners owned by this process.
 func (s *StaticTCP) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
-	eps := make([]*tcpEndpoint, 0, len(s.local))
+	eps := make([]*staticEndpoint, 0, len(s.local))
 	for _, ep := range s.local {
 		eps = append(eps, ep)
 	}
-	s.local = map[wire.NodeID]*tcpEndpoint{}
-	for _, c := range s.conns {
-		c.Close()
-	}
-	s.conns = map[connKey]net.Conn{}
-	for c := range s.accepted {
-		c.Close()
-	}
-	s.accepted = map[net.Conn]struct{}{}
+	s.local = map[wire.NodeID]*staticEndpoint{}
 	s.mu.Unlock()
+	s.peers.Close()
 	for _, ep := range eps {
-		ep.listener.Close()
+		ep.acc.Close()
 	}
-	s.wg.Wait()
 }

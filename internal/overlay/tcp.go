@@ -1,235 +1,43 @@
 package overlay
 
 import (
-	"encoding/binary"
-	"fmt"
-	"io"
-	"net"
-	"sync"
-
+	"infoslicing/internal/transport"
 	"infoslicing/internal/wire"
 )
 
-// TCPNetwork runs the overlay over real loopback TCP sockets. Each attached
-// node gets its own listener; senders keep one outbound connection per
-// (from, to) pair. Framing: 4-byte big-endian length, 4-byte sender NodeID,
-// then the datagram.
-//
-// The paper's prototype is a daemon listening on a special port per overlay
-// host (§7.1); TCPNetwork is the same shape collapsed onto 127.0.0.1.
+// ErrSendQueueFull re-exports the peer layer's advisory drop error: the
+// frame was shed at a full per-peer queue. Callers on the data path count
+// it (relay Stats.SendDrops); datagram semantics mean nothing else changes.
+var ErrSendQueueFull = transport.ErrQueueFull
+
+// TCPNetwork runs the overlay over real loopback TCP sockets: StaticTCP
+// with an empty address book where every node binds an ephemeral port on
+// Attach. The paper's prototype is a daemon listening on a special port
+// per overlay host (§7.1); TCPNetwork is the same shape collapsed onto
+// 127.0.0.1, riding the identical peer core (internal/transport: per-host
+// bounded queues, batched writev writers, reconnect with backoff) and the
+// identical wire format (4-byte big-endian length, 4-byte sender NodeID,
+// payload).
 type TCPNetwork struct {
-	mu    sync.RWMutex
-	nodes map[wire.NodeID]*tcpEndpoint
-	conns map[connKey]net.Conn
-	down  map[wire.NodeID]bool
-
-	wg     sync.WaitGroup
-	closed bool
-}
-
-type connKey struct{ from, to wire.NodeID }
-
-type tcpEndpoint struct {
-	handler  Handler
-	listener net.Listener
-	addr     string
+	*StaticTCP
 }
 
 // NewTCPNetwork creates an empty TCP overlay.
 func NewTCPNetwork() *TCPNetwork {
-	return &TCPNetwork{
-		nodes: make(map[wire.NodeID]*tcpEndpoint),
-		conns: make(map[connKey]net.Conn),
-		down:  make(map[wire.NodeID]bool),
-	}
+	return &TCPNetwork{StaticTCP: NewStaticTCP(nil)}
 }
 
 // Attach implements Transport: it binds a loopback listener for the node.
 func (n *TCPNetwork) Attach(id wire.NodeID, h Handler) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return fmt.Errorf("overlay: %w", err)
-	}
-	ep := &tcpEndpoint{handler: h, listener: ln, addr: ln.Addr().String()}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		ln.Close()
-		return ErrNodeDown
-	}
-	if _, ok := n.nodes[id]; ok {
-		n.mu.Unlock()
-		ln.Close()
-		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
-	}
-	n.nodes[id] = ep
-	n.mu.Unlock()
-
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				defer conn.Close()
-				n.readLoop(id, conn)
-			}()
-		}
-	}()
-	return nil
+	return n.AttachDynamic(id, h)
 }
 
-func (n *TCPNetwork) readLoop(self wire.NodeID, conn net.Conn) {
-	var hdr [8]byte
-	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
-		}
-		size := binary.BigEndian.Uint32(hdr[:4])
-		from := wire.NodeID(binary.BigEndian.Uint32(hdr[4:]))
-		if size > 64<<20 {
-			return // nonsense frame; drop connection
-		}
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(conn, buf); err != nil {
-			return
-		}
-		n.mu.RLock()
-		ep := n.nodes[self]
-		isDown := n.down[self]
-		n.mu.RUnlock()
-		if ep == nil {
-			return
-		}
-		if isDown {
-			continue // crashed node: frame read and discarded
-		}
-		ep.handler(from, buf)
-	}
-}
-
-// Addr returns the listen address of a node, for diagnostics.
-func (n *TCPNetwork) Addr(id wire.NodeID) (string, bool) {
+// Down reports whether the node is currently failed or not attached —
+// TCPNetwork hosts every node in-process, so "not attached" means the
+// node does not exist (StaticTCP, spanning processes, cannot know that).
+func (n *TCPNetwork) Down(id wire.NodeID) bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	ep, ok := n.nodes[id]
-	if !ok {
-		return "", false
-	}
-	return ep.addr, true
-}
-
-// Detach implements Transport.
-func (n *TCPNetwork) Detach(id wire.NodeID) {
-	n.mu.Lock()
-	ep := n.nodes[id]
-	delete(n.nodes, id)
-	for k, c := range n.conns {
-		if k.from == id || k.to == id {
-			c.Close()
-			delete(n.conns, k)
-		}
-	}
-	n.mu.Unlock()
-	if ep != nil {
-		ep.listener.Close()
-	}
-}
-
-// Fail crashes a node: its listener keeps accepting but frames are dropped,
-// and its outbound connections are severed.
-func (n *TCPNetwork) Fail(id wire.NodeID) {
-	n.mu.Lock()
-	n.down[id] = true
-	for k, c := range n.conns {
-		if k.from == id {
-			c.Close()
-			delete(n.conns, k)
-		}
-	}
-	n.mu.Unlock()
-}
-
-// Revive restores a failed node.
-func (n *TCPNetwork) Revive(id wire.NodeID) {
-	n.mu.Lock()
-	delete(n.down, id)
-	n.mu.Unlock()
-}
-
-// Send implements Transport.
-func (n *TCPNetwork) Send(from, to wire.NodeID, data []byte) error {
-	n.mu.RLock()
-	if n.down[from] {
-		n.mu.RUnlock()
-		return fmt.Errorf("%w: %d", ErrNodeDown, from)
-	}
-	dst, ok := n.nodes[to]
-	n.mu.RUnlock()
-	if !ok {
-		return nil // unknown receiver: dropped like a datagram
-	}
-	conn, err := n.dial(from, to, dst.addr)
-	if err != nil {
-		return nil // receiver unreachable: datagram semantics
-	}
-	frame := make([]byte, 8+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	binary.BigEndian.PutUint32(frame[4:], uint32(from))
-	copy(frame[8:], data)
-	if _, err := conn.Write(frame); err != nil {
-		n.mu.Lock()
-		delete(n.conns, connKey{from, to})
-		n.mu.Unlock()
-		conn.Close()
-	}
-	return nil
-}
-
-func (n *TCPNetwork) dial(from, to wire.NodeID, addr string) (net.Conn, error) {
-	key := connKey{from, to}
-	n.mu.RLock()
-	conn, ok := n.conns[key]
-	n.mu.RUnlock()
-	if ok {
-		return conn, nil
-	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	if existing, ok := n.conns[key]; ok {
-		n.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	n.conns[key] = c
-	n.mu.Unlock()
-	return c, nil
-}
-
-// Close shuts down all listeners and connections.
-func (n *TCPNetwork) Close() {
-	n.mu.Lock()
-	n.closed = true
-	eps := make([]*tcpEndpoint, 0, len(n.nodes))
-	for _, ep := range n.nodes {
-		eps = append(eps, ep)
-	}
-	n.nodes = map[wire.NodeID]*tcpEndpoint{}
-	for _, c := range n.conns {
-		c.Close()
-	}
-	n.conns = map[connKey]net.Conn{}
-	n.mu.Unlock()
-	for _, ep := range eps {
-		ep.listener.Close()
-	}
-	n.wg.Wait()
+	_, ok := n.local[id]
+	return !ok || n.down[id]
 }

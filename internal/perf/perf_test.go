@@ -119,6 +119,30 @@ func TestRelayScalingSmoke(t *testing.T) {
 	}
 }
 
+// Smoke-test the loopback-TCP variant with a pipelined window: the same
+// harness over real sockets, which is also what puts this path under the
+// CI race detector (the benchmark alone would not run there). The window
+// exercises the sender/receiver timestamp hand-off that real-socket
+// transports cannot synchronize for free.
+func TestTCPLoopbackSmoke(t *testing.T) {
+	res, err := TCPLoopback(RelayScalingParams{
+		Flows: 2, L: 2, D: 2, PoolSize: 8,
+		Messages: 8, MessageBytes: 512, Window: 4, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2*8 {
+		t.Fatalf("delivered %d messages, want %d", res.Delivered, 2*8)
+	}
+	if res.MsgsPerSec <= 0 {
+		t.Fatalf("msgs/sec %v", res.MsgsPerSec)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyP99 {
+		t.Fatalf("latency percentiles disordered: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+}
+
 func TestScalingTwoFlows(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling test is slow")

@@ -31,6 +31,7 @@ type RelayScalingParams struct {
 	Messages     int // messages sent per flow (default 64)
 	MessageBytes int // plaintext bytes per message (default 2048)
 	ChunkPayload int // per-round plaintext (default 1200·D)
+	Window       int // messages in flight per flow (default 1: latency-bound)
 
 	Seed int64
 }
@@ -57,6 +58,9 @@ func (p *RelayScalingParams) normalize() error {
 	if p.ChunkPayload == 0 {
 		p.ChunkPayload = 1200 * p.D
 	}
+	if p.Window == 0 {
+		p.Window = 1
+	}
 	need := p.L * p.DPrime
 	if p.PoolSize == 0 {
 		p.PoolSize = 4 * need
@@ -75,23 +79,52 @@ type RelayScalingResult struct {
 	AggregateMbps float64   // sum of per-flow goodputs over the data phase
 	PerFlowMbps   []float64 // goodput per flow
 	Delivered     int       // messages delivered (Flows·Messages on success)
+	MsgsPerSec    float64   // delivered messages over the data-phase window
 	Elapsed       time.Duration
 
 	// Per-message delivery latency (source hand-off to destination decode),
 	// pooled across flows.
 	LatencyP50, LatencyP95, LatencyP99 time.Duration
+	// LatencySamples is the raw per-message latency pool (seconds) behind
+	// the percentiles, so callers running the experiment repeatedly can
+	// pool across runs instead of quoting one run's tail.
+	LatencySamples []float64
 }
 
 // RelayScaling runs the experiment: establish Flows graphs over a shared
 // pool, then stream Messages messages per flow concurrently, measuring
 // aggregate goodput and per-message latency percentiles.
 func RelayScaling(p RelayScalingParams) (RelayScalingResult, error) {
-	var res RelayScalingResult
 	if err := p.normalize(); err != nil {
-		return res, err
+		return RelayScalingResult{}, err
 	}
 	net := overlay.NewChanNetwork(overlay.Unshaped(), rand.New(rand.NewSource(p.Seed)))
 	defer net.Close()
+	return runScaling(net, p)
+}
+
+// TCPLoopback is the same flows × relays experiment with the OS network
+// stack in the path: every relay listens on a real 127.0.0.1 socket and all
+// slices cross loopback TCP connections, so the measured number is the wire
+// transport's — framing, peer queues, writev batching, reader slabs —
+// rather than the in-memory channel hand-off that RelayScaling isolates.
+// The paper's prototype ran exactly this shape (one TCP daemon per overlay
+// host, §7.1) across PlanetLab; this collapses it onto one machine.
+func TCPLoopback(p RelayScalingParams) (RelayScalingResult, error) {
+	if err := p.normalize(); err != nil {
+		return RelayScalingResult{}, err
+	}
+	net := overlay.NewTCPNetwork()
+	defer net.Close()
+	return runScaling(net, p)
+}
+
+// runScaling is the shared experiment core: the transport decides whether
+// slices move over in-memory channels or real sockets, everything else —
+// graph construction, establishment, the concurrent data phase, latency
+// accounting — is identical.
+func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult, error) {
+	var res RelayScalingResult
 
 	pool := make([]wire.NodeID, p.PoolSize)
 	nodes := make([]*relay.Node, p.PoolSize)
@@ -181,7 +214,10 @@ func RelayScaling(p RelayScalingParams) (RelayScalingResult, error) {
 			}
 		}
 		destFlow := g.Flows[g.Dest]
-		inbox := make(chan relay.Message, 4)
+		// Sized for the whole run: the dispatcher drops on a full inbox
+		// (channel-full = slow consumer), which a pipelined window must
+		// never trip.
+		inbox := make(chan relay.Message, p.Messages)
 		dmu.Lock()
 		deliveries[destFlow] = inbox
 		dmu.Unlock()
@@ -191,8 +227,11 @@ func RelayScaling(p RelayScalingParams) (RelayScalingResult, error) {
 		runs[f] = flowRun{snd: snd, inbox: inbox}
 	}
 
-	// Phase 2: every flow streams its messages concurrently; one message
-	// in flight per flow, so Flows is the data-path concurrency level.
+	// Phase 2: every flow streams its messages concurrently, keeping up to
+	// Window messages in flight. Window=1 is the latency-bound
+	// request/response shape; larger windows keep the pipeline full so the
+	// measurement is transport throughput. Deliveries arrive in stream
+	// order per flow, so latency pairs sends and receives by index.
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -210,21 +249,44 @@ func RelayScaling(p RelayScalingParams) (RelayScalingResult, error) {
 			rng := rand.New(rand.NewSource(p.Seed + 900 + int64(f)))
 			msg := make([]byte, p.MessageBytes)
 			local := make([]float64, 0, p.Messages)
+			// Send times cross to the receiver loop through a channel: over
+			// a real-socket transport the only other link between the two
+			// goroutines is the kernel, which is not a synchronization edge
+			// the Go memory model recognizes. FIFO order matches delivery
+			// order because per-flow deliveries are stream-ordered.
+			sentAt := make(chan time.Time, p.Messages)
+			window := make(chan struct{}, p.Window)
+			sendErr := make(chan error, 1)
+			quit := make(chan struct{})
+			defer close(quit)
 			t0 := time.Now()
-			for m := 0; m < p.Messages; m++ {
-				rng.Read(msg)
-				sent := time.Now()
-				if err := run.snd.Send(msg); err != nil {
-					recordErr(&mu, &firstErr, err)
-					return
+			go func() {
+				for m := 0; m < p.Messages; m++ {
+					select {
+					case window <- struct{}{}:
+					case <-quit:
+						return
+					}
+					rng.Read(msg)
+					sentAt <- time.Now()
+					if err := run.snd.Send(msg); err != nil {
+						sendErr <- err
+						return
+					}
 				}
+			}()
+			for m := 0; m < p.Messages; m++ {
 				select {
 				case got := <-run.inbox:
+					<-window
 					if len(got.Data) != p.MessageBytes {
 						recordErr(&mu, &firstErr, fmt.Errorf("perf: flow %d message %d corrupted", f, m))
 						return
 					}
-					local = append(local, time.Since(sent).Seconds())
+					local = append(local, time.Since(<-sentAt).Seconds())
+				case err := <-sendErr:
+					recordErr(&mu, &firstErr, err)
+					return
 				case <-time.After(experimentTimeout):
 					recordErr(&mu, &firstErr, fmt.Errorf("%w: flow %d message %d", ErrTimeout, f, m))
 					return
@@ -242,9 +304,13 @@ func RelayScaling(p RelayScalingParams) (RelayScalingResult, error) {
 	res.Elapsed = time.Since(start)
 	res.PerFlowMbps = perFlow
 	res.Delivered = nDeliver
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.MsgsPerSec = float64(nDeliver) / secs
+	}
 	for _, mbps := range perFlow {
 		res.AggregateMbps += mbps
 	}
+	res.LatencySamples = latSec
 	res.LatencyP50 = time.Duration(metrics.Percentile(latSec, 50) * float64(time.Second))
 	res.LatencyP95 = time.Duration(metrics.Percentile(latSec, 95) * float64(time.Second))
 	res.LatencyP99 = time.Duration(metrics.Percentile(latSec, 99) * float64(time.Second))

@@ -56,9 +56,8 @@ func (n *Node) sendHeartbeatsLocked(sh *shard, fs *flowState) {
 	pi := fs.info
 	for c, ch := range pi.Children {
 		sh.pktBuf = wire.AppendHeartbeat(sh.pktBuf[:0], pi.ChildFlows[c])
-		sh.stats.PacketsOut++
 		sh.stats.HeartbeatsOut++
-		n.tr.Send(n.id, ch, sh.pktBuf) //nolint:errcheck // datagram semantics
+		n.sendLocked(sh, ch, sh.pktBuf)
 	}
 }
 
@@ -189,8 +188,7 @@ func (n *Node) floodUpstreamLocked(sh *shard, fs *flowState, buf []byte) {
 		targets[p] = true
 	}
 	for p := range targets {
-		sh.stats.PacketsOut++
-		n.tr.Send(n.id, p, buf) //nolint:errcheck // datagram semantics
+		n.sendLocked(sh, p, buf)
 	}
 }
 

@@ -147,6 +147,7 @@ type Stats struct {
 	MessagesDelivered int64
 	Dropped           int64 // undeliverable app messages (channel full)
 	QueueDrops        int64 // packets dropped at a full shard queue
+	SendDrops         int64 // packets shed at a full transport peer queue
 
 	// Control plane (zero unless Config.Heartbeat is set).
 	HeartbeatsIn        int64
@@ -165,6 +166,7 @@ func (s *Stats) add(o Stats) {
 	s.MessagesDelivered += o.MessagesDelivered
 	s.Dropped += o.Dropped
 	s.QueueDrops += o.QueueDrops
+	s.SendDrops += o.SendDrops
 	s.HeartbeatsIn += o.HeartbeatsIn
 	s.HeartbeatsOut += o.HeartbeatsOut
 	s.ParentDownSent += o.ParentDownSent
@@ -636,6 +638,19 @@ func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
 	}
 }
 
+// sendLocked hands one framed packet to the transport, counting it out.
+// Transports never block the caller (the non-blocking send contract): a
+// peer whose outbound queue is full sheds the packet and reports the
+// advisory ErrSendQueueFull, which is counted here — a shard worker or the
+// control loop must never stall on a slow peer's TCP backpressure. Runs
+// with sh.mu held.
+func (n *Node) sendLocked(sh *shard, to wire.NodeID, buf []byte) {
+	sh.stats.PacketsOut++
+	if err := n.tr.Send(n.id, to, buf); err != nil && errors.Is(err, overlay.ErrSendQueueFull) {
+		sh.stats.SendDrops++
+	}
+}
+
 // handleAck propagates an establishment acknowledgment one hop toward the
 // source: the ack arrives stamped with the *child's* flow-id, which this
 // node does not know — but it does know the child's address, so it locates
@@ -677,8 +692,7 @@ func (n *Node) sendAckLocked(sh *shard, flow wire.FlowID, fs *flowState) {
 		targets[p] = true
 	}
 	for p := range targets {
-		sh.stats.PacketsOut++
-		n.tr.Send(n.id, p, buf) //nolint:errcheck
+		n.sendLocked(sh, p, buf)
 	}
 }
 
@@ -833,8 +847,7 @@ func (n *Node) forwardSetupLocked(sh *shard, f wire.FlowID, fs *flowState) {
 	}
 	for c, ch := range pi.Children {
 		sh.pktBuf = out[c].AppendTo(sh.pktBuf[:0])
-		sh.stats.PacketsOut++
-		n.tr.Send(n.id, ch, sh.pktBuf) //nolint:errcheck // datagram semantics
+		n.sendLocked(sh, ch, sh.pktBuf)
 	}
 	// Setup packets are no longer needed; free the slabs.
 	fs.setupPkts = map[wire.NodeID]*wire.Packet{}
@@ -943,8 +956,7 @@ func (n *Node) forwardRoundLocked(sh *shard, f wire.FlowID, fs *flowState, seq u
 		sh.pktBuf = wire.AppendPacketHeader(sh.pktBuf[:0], wire.MsgData,
 			pi.ChildFlows[e.Child], seq, uint8(fs.d), uint16(slotLen), 1)
 		sh.pktBuf = wire.AppendSlot(sh.pktBuf, out)
-		sh.stats.PacketsOut++
-		n.tr.Send(n.id, pi.Children[e.Child], sh.pktBuf) //nolint:errcheck
+		n.sendLocked(sh, pi.Children[e.Child], sh.pktBuf)
 	}
 	// If the node is not the receiver the slices are dead weight now (they
 	// pin the receive buffers they view into).

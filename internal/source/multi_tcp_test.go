@@ -1,0 +1,147 @@
+package source
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"infoslicing/internal/core"
+	"infoslicing/internal/overlay"
+	"infoslicing/internal/relay"
+	"infoslicing/internal/simnet"
+	"infoslicing/internal/wire"
+)
+
+// reserveBook grabs a free loopback port per id — the pre-agreed address
+// book every StaticTCP process shares.
+func reserveBook(t *testing.T, ids ...wire.NodeID) map[wire.NodeID]string {
+	t.Helper()
+	book := make(map[wire.NodeID]string, len(ids))
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		book[id] = ln.Addr().String()
+		ln.Close()
+	}
+	return book
+}
+
+// MultiSender over the real wire path: many concurrent flows from one
+// process, every slice crossing loopback TCP through the peer layer. The
+// flows share one StaticTCP transport — and so one connection per remote
+// relay — which is exactly the production "heavy client" deployment; the
+// test pins that per-flow isolation and message integrity survive the
+// move from in-memory channels to shared sockets.
+func TestMultiSenderOverStaticTCP(t *testing.T) {
+	simnet.ReportSeed(t)
+	const (
+		flows = 3
+		l, d  = 2, 2
+		msgs  = 4
+	)
+	var allIDs []wire.NodeID
+	for id := wire.NodeID(1); id <= wire.NodeID(flows*l*d); id++ {
+		allIDs = append(allIDs, id)
+	}
+	for f := 0; f < flows; f++ {
+		for i := 0; i < d; i++ {
+			allIDs = append(allIDs, wire.NodeID(9000+f*16+i))
+		}
+	}
+	tr := overlay.NewStaticTCP(reserveBook(t, allIDs...))
+	defer tr.Close()
+	seed := int64(7)
+	ms := NewMulti(tr, rand.New(rand.NewSource(seed)))
+
+	var nodes []*relay.Node
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	type flowRun struct {
+		snd  *Sender
+		dest *relay.Node
+		g    *core.Graph
+	}
+	runs := make([]flowRun, 0, flows)
+	nextID := wire.NodeID(1)
+	for f := 0; f < flows; f++ {
+		relays := make([]wire.NodeID, l*d)
+		for i := range relays {
+			relays[i] = nextID
+			nextID++
+		}
+		srcs := make([]wire.NodeID, d)
+		for i := range srcs {
+			srcs[i] = wire.NodeID(9000 + f*16 + i)
+		}
+		eps, err := AttachEndpoints(tr, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eps.Close()
+		var dest *relay.Node
+		for _, id := range relays {
+			n, err := relay.New(id, tr, relay.Config{
+				SetupWait: 50 * time.Millisecond,
+				RoundWait: 50 * time.Millisecond,
+				Rng:       rand.New(rand.NewSource(seed + int64(id))),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, n)
+		}
+		g, err := core.Build(core.Spec{
+			L: l, D: d, DPrime: d,
+			Relays: relays, Dest: relays[l*d-1], Sources: srcs,
+			Recode: true, Scramble: true,
+			Rng: rand.New(rand.NewSource(seed + 100 + int64(f))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range nodes {
+			if n.ID() == g.Dest {
+				dest = n
+			}
+		}
+		snd := ms.Open(g, Config{})
+		if err := snd.EstablishAndWait(eps, 10*time.Second); err != nil {
+			t.Fatalf("flow %d: %v", f, err)
+		}
+		runs = append(runs, flowRun{snd: snd, dest: dest, g: g})
+	}
+
+	// Establishment waves and acks crossed real sockets; now stream every
+	// flow and check payload integrity.
+	for f, run := range runs {
+		want := make([][]byte, msgs)
+		for m := 0; m < msgs; m++ {
+			want[m] = bytes.Repeat([]byte{byte(f*16 + m + 1)}, 777)
+			if err := run.snd.Send(want[m]); err != nil {
+				t.Fatalf("flow %d msg %d: %v", f, m, err)
+			}
+		}
+		for m := 0; m < msgs; m++ {
+			select {
+			case got := <-run.dest.Received():
+				if got.Flow != run.g.Flows[run.g.Dest] {
+					t.Fatalf("flow %d: delivery for unexpected flow id", f)
+				}
+				if !bytes.Equal(got.Data, want[m]) {
+					t.Fatalf("flow %d msg %d corrupted over TCP: %d bytes vs %d",
+						f, m, len(got.Data), len(want[m]))
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatalf("flow %d: message %d never delivered (sendDrops=%d)",
+					f, m, run.snd.SendDrops())
+			}
+		}
+	}
+}

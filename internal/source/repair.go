@@ -151,7 +151,7 @@ func (s *Sender) sendSourceHeartbeats(eps *Endpoints) {
 	for _, v := range g.Stages[0] {
 		s.pktBuf = wire.AppendHeartbeat(s.pktBuf[:0], g.Flows[v])
 		for _, src := range eps.ids {
-			s.tr.Send(src, v, s.pktBuf) //nolint:errcheck // datagram semantics
+			s.send(src, v, s.pktBuf)
 		}
 	}
 }
@@ -287,7 +287,7 @@ func (s *Sender) sendSpliceSetupLocked(eps *Endpoints, cfg RepairConfig, plan *c
 			plan.NewFlow, 0, uint8(g.D), uint16(slotLen), 1)
 		s.pktBuf = wire.AppendSlot(s.pktBuf, sl)
 		src := eps.ids[e%len(eps.ids)]
-		s.tr.Send(src, plan.New, s.pktBuf) //nolint:errcheck
+		s.send(src, plan.New, s.pktBuf)
 	}
 	return nil
 }
@@ -310,5 +310,5 @@ func (s *Sender) sendSpliceLocked(eps *Endpoints, cfg RepairConfig, flow wire.Fl
 	}
 	s.pktBuf = wire.AppendSplice(s.pktBuf[:0], flow, sealed)
 	src := eps.ids[int(node)%len(eps.ids)]
-	s.tr.Send(src, node, s.pktBuf) //nolint:errcheck
+	s.send(src, node, s.pktBuf)
 }

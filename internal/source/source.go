@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infoslicing/internal/code"
@@ -84,6 +85,11 @@ type Sender struct {
 	repair     *repairState
 	lastRepair *repairState
 	repairEnc  *code.Encoder
+
+	// sendDrops counts frames the transport shed at a full peer queue
+	// (overlay.ErrSendQueueFull). Atomic: bumped on the send path, read by
+	// diagnostics without taking the flow lock.
+	sendDrops atomic.Int64
 }
 
 // Errors.
@@ -117,6 +123,12 @@ func (s *Sender) Graph() *core.Graph { return s.graph }
 func (s *Sender) Establish() error {
 	for _, snd := range s.graph.Setup {
 		if err := s.tr.Send(snd.From, snd.To, snd.Pkt.Marshal()); err != nil {
+			if errors.Is(err, overlay.ErrSendQueueFull) {
+				// A shed setup frame is not fatal: the wave is idempotent
+				// and EstablishAndWait retransmits it until acked.
+				s.sendDrops.Add(1)
+				continue
+			}
 			return fmt.Errorf("source: establish: %w", err)
 		}
 	}
@@ -226,9 +238,13 @@ func (s *Sender) sendRound(chunk []byte) error {
 		for _, v := range g.Stages[0] {
 			wire.PatchFlow(s.pktBuf, g.Flows[v])
 			if err := s.tr.Send(src, v, s.pktBuf); err != nil {
-				// A crashed pseudo-source is survivable when d' > d; report
-				// only if no endpoint can transmit. Keep it simple: ignore
-				// per-send errors, redundancy covers them.
+				// A crashed pseudo-source is survivable when d' > d, and a
+				// slow peer sheds at its queue rather than blocking this
+				// round (non-blocking send contract) — count the shed
+				// frames, let redundancy cover them.
+				if errors.Is(err, overlay.ErrSendQueueFull) {
+					s.sendDrops.Add(1)
+				}
 				continue
 			}
 		}
@@ -241,6 +257,20 @@ func (s *Sender) Rounds() uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.seq
+}
+
+// SendDrops reports how many frames the transport shed at full peer queues
+// for this flow (always zero on the in-memory transports, which have no
+// peer queues).
+func (s *Sender) SendDrops() int64 { return s.sendDrops.Load() }
+
+// send is the fire-and-forget variant of Transport.Send for control
+// traffic (repair heartbeats, splices, replacement setup): datagram
+// semantics, but queue-full sheds are counted so a slow peer is visible.
+func (s *Sender) send(from, to wire.NodeID, buf []byte) {
+	if err := s.tr.Send(from, to, buf); err != nil && errors.Is(err, overlay.ErrSendQueueFull) {
+		s.sendDrops.Add(1)
+	}
 }
 
 // rngReader adapts the sender RNG to io.Reader for sealing. Experiments are

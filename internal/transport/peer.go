@@ -1,0 +1,458 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoslicing/internal/simnet"
+	"infoslicing/internal/wire"
+)
+
+// Peer is one remote overlay host: a single TCP connection carrying frames
+// from every local node toward it, exactly the paper's one-daemon-per-host
+// deployment shape (each frame names its sender in the header). It owns a
+// bounded outbound queue, a freelist of frame buffers, and a writer
+// goroutine that does all connection work — so Enqueue never blocks, never
+// dials, and in the steady state never allocates. Funneling all local
+// senders through one queue is also what makes frames coalesce: the writer
+// batches whatever has accumulated — across flows and senders — into one
+// writev.
+type Peer struct {
+	resolve func() (string, bool)
+	cfg     Config
+
+	out  chan []byte // framed (header‖payload) buffers awaiting the writer
+	free chan []byte // recycled frame buffers
+
+	// closed signals shutdown (writer drains then exits); killed is the
+	// immediate variant (CloseNow) that also interrupts backoff sleeps.
+	closed    chan struct{}
+	killed    chan struct{}
+	closeOnce sync.Once
+	killOnce  sync.Once
+	immediate atomic.Bool
+	done      chan struct{}
+
+	connMu sync.Mutex
+	cur    net.Conn
+
+	// lastDeadline is writer-goroutine-only: when the write deadline was
+	// last pushed out, so steady flushes skip the per-flush timer update.
+	lastDeadline time.Time
+	// drainBy is writer-goroutine-only: the drain deadline, armed by
+	// whichever writer code path first observes a graceful close — the
+	// run loop, a dial-retry loop, or a backoff sleep — so frames in hand
+	// when Close lands keep flushing (and dialing) for the full grace.
+	drainBy time.Time
+
+	enqueued     atomic.Int64
+	dropped      atomic.Int64
+	sendFailures atomic.Int64
+	flushes      atomic.Int64
+	framesOut    atomic.Int64
+	bytesOut     atomic.Int64
+	dials        atomic.Int64
+	reconnects   atomic.Int64
+}
+
+// NewPeer creates a peer and starts its writer. resolve is called on the
+// writer goroutine at dial time (never on the data path); returning false
+// means the remote address is currently unknown, which is treated like a
+// failed dial: backoff and retry.
+func NewPeer(resolve func() (string, bool), cfg Config) *Peer {
+	cfg.fillDefaults()
+	p := &Peer{
+		resolve: resolve,
+		cfg:     cfg,
+		out:     make(chan []byte, cfg.QueueDepth),
+		free:    make(chan []byte, cfg.QueueDepth+cfg.MaxBatch),
+		closed:  make(chan struct{}),
+		killed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.run(simnet.NextSeed())
+	return p
+}
+
+// Enqueue frames data (header ‖ payload, stamped with the sending node)
+// into the outbound queue. It never blocks: a full queue — or a closed peer
+// — drops the frame, counts it, and returns false. data is copied before
+// return and may be reused by the caller immediately.
+func (p *Peer) Enqueue(from wire.NodeID, data []byte) bool {
+	if len(data) > p.cfg.MaxFrame || p.isClosed() {
+		p.dropped.Add(1)
+		return false
+	}
+	var buf []byte
+	select {
+	case buf = <-p.free:
+	default:
+	}
+	var hdr [HeaderLen]byte
+	putHeader(hdr[:], from, len(data))
+	buf = append(buf[:0], hdr[:]...)
+	buf = append(buf, data...)
+	select {
+	case p.out <- buf:
+		p.enqueued.Add(1)
+		select {
+		case <-p.done:
+			// Lost the race with the writer's exit: nobody will ever
+			// flush this frame (or anything else that slipped in), so
+			// reap it here and report the drop.
+			p.discardQueue()
+			return false
+		default:
+		}
+		return true
+	default:
+		p.recycle(buf)
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// QueueLen reports how many frames are currently queued (diagnostics).
+func (p *Peer) QueueLen() int { return len(p.out) }
+
+// Stats snapshots the peer's counters.
+func (p *Peer) Stats() Stats {
+	return Stats{
+		Enqueued:     p.enqueued.Load(),
+		Dropped:      p.dropped.Load(),
+		SendFailures: p.sendFailures.Load(),
+		Flushes:      p.flushes.Load(),
+		FramesOut:    p.framesOut.Load(),
+		BytesOut:     p.bytesOut.Load(),
+		Dials:        p.dials.Load(),
+		Reconnects:   p.reconnects.Load(),
+	}
+}
+
+// Close shuts the peer down gracefully: queued frames keep flushing (and
+// the writer keeps trying to connect) for up to DrainTimeout before the
+// connection is dropped. Blocks until the writer has exited, which the
+// drain deadline bounds even against a writev wedged on a stalled
+// receiver — the deadline expiry tightens the connection's write deadline
+// out from under it.
+func (p *Peer) Close() {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		time.AfterFunc(p.cfg.DrainTimeout, func() {
+			p.connMu.Lock()
+			if p.cur != nil {
+				p.cur.SetWriteDeadline(time.Now()) //nolint:errcheck
+			}
+			p.connMu.Unlock()
+		})
+	})
+	<-p.done
+}
+
+// CloseNow shuts the peer down immediately: queued frames are dropped and
+// any in-flight write or backoff sleep is interrupted. Used when the remote
+// is known dead (churn injection, detach).
+func (p *Peer) CloseNow() {
+	p.immediate.Store(true)
+	p.killOnce.Do(func() {
+		close(p.killed)
+		p.dropConn()
+	})
+	p.closeOnce.Do(func() { close(p.closed) })
+	<-p.done
+}
+
+func (p *Peer) isClosed() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// armDrain returns the drain deadline, starting the grace window on first
+// call. Writer-goroutine only; callers have already observed p.closed.
+func (p *Peer) armDrain() time.Time {
+	if p.drainBy.IsZero() {
+		p.drainBy = time.Now().Add(p.cfg.DrainTimeout)
+	}
+	return p.drainBy
+}
+
+func (p *Peer) conn() net.Conn {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.cur
+}
+
+func (p *Peer) setConn(c net.Conn) {
+	p.connMu.Lock()
+	p.cur = c
+	p.connMu.Unlock()
+}
+
+func (p *Peer) dropConn() {
+	p.connMu.Lock()
+	c := p.cur
+	p.cur = nil
+	p.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (p *Peer) recycle(buf []byte) {
+	select {
+	case p.free <- buf:
+	default:
+	}
+}
+
+func (p *Peer) recycleBatch(batch [][]byte) {
+	for i, f := range batch {
+		p.recycle(f)
+		batch[i] = nil
+	}
+}
+
+// run is the writer: the only goroutine that dials, writes, or closes the
+// peer's connection. All frames it pulls off the queue are flushed in one
+// writev batch per wakeup (up to MaxBatch), so a burst of n frames costs
+// ~n/MaxBatch syscalls instead of n.
+func (p *Peer) run(jitterSeed int64) {
+	defer close(p.done)
+	// Final reap before done closes (defers run LIFO): a frame enqueued
+	// between the drain loop's last empty-queue check and this point is
+	// counted dropped instead of stranded. Enqueue's own post-send check
+	// on p.done covers the instruction-wide remainder of the window.
+	defer p.discardQueue()
+	defer p.dropConn()
+	var (
+		batch = make([][]byte, 0, p.cfg.MaxBatch)
+		nb    = new(net.Buffers)
+		idle  *time.Timer
+		// The jitter RNG is only materialized on the first backoff sleep:
+		// a peer whose dials succeed never pays for seeding one (it costs a
+		// 607-word table fill, visible in single-core profiles).
+		rng     = &lazyRand{seed: jitterSeed}
+		backoff = p.cfg.BackoffMin
+	)
+	for {
+		var first []byte
+		if p.isClosed() {
+			if p.immediate.Load() {
+				p.discardQueue()
+				return
+			}
+			// Flushing (dialing included) continues until the drain
+			// deadline passes or the queue empties.
+			drainDeadline := p.armDrain()
+			select {
+			case first = <-p.out:
+			default:
+				return // queue drained; graceful exit
+			}
+			if time.Now().After(drainDeadline) {
+				p.recycle(first)
+				p.dropped.Add(1)
+				p.discardQueue()
+				return
+			}
+		} else if p.cfg.IdleTimeout > 0 && p.conn() != nil {
+			if idle == nil {
+				idle = time.NewTimer(p.cfg.IdleTimeout)
+			} else {
+				idle.Reset(p.cfg.IdleTimeout)
+			}
+			select {
+			case first = <-p.out:
+				if !idle.Stop() {
+					<-idle.C
+				}
+			case <-idle.C:
+				p.dropConn() // idle teardown; next frame re-dials
+				continue
+			case <-p.closed:
+				if !idle.Stop() {
+					<-idle.C
+				}
+				continue
+			}
+		} else {
+			select {
+			case first = <-p.out:
+			case <-p.closed:
+				continue
+			}
+		}
+		batch = append(batch[:0], first)
+	fill:
+		for len(batch) < p.cfg.MaxBatch {
+			select {
+			case f := <-p.out:
+				batch = append(batch, f)
+			default:
+				break fill
+			}
+		}
+		p.flush(batch, nb, rng, &backoff)
+	}
+}
+
+// flush writes one batch with a single writev. A write error severs the
+// connection and drops the whole batch: a partial writev may have split a
+// frame, so resuming on a fresh connection would corrupt the framing —
+// every connection starts at a frame boundary.
+func (p *Peer) flush(batch [][]byte, nb *net.Buffers, rng *lazyRand, backoff *time.Duration) {
+	c := p.ensureConn(rng, backoff)
+	if c == nil {
+		p.dropped.Add(int64(len(batch)))
+		p.recycleBatch(batch)
+		return
+	}
+	// Stall protection: a wedged receiver must fail the flush instead of
+	// blocking the writer forever. Refreshing the deadline costs runtime
+	// timer locks, so it is pushed out in WriteTimeout/4 steps rather than
+	// per flush — the effective bound stays within [3/4, 1]×WriteTimeout.
+	// While draining, the deadline is clamped to the drain deadline
+	// instead: a connection dialed after Close's one-shot severing timer
+	// fired must not extend the shutdown by a full WriteTimeout.
+	if p.isClosed() {
+		dl := time.Now().Add(p.cfg.WriteTimeout)
+		if d := p.armDrain(); d.Before(dl) {
+			dl = d
+		}
+		c.SetWriteDeadline(dl) //nolint:errcheck
+		p.lastDeadline = time.Time{}
+	} else if now := time.Now(); now.Sub(p.lastDeadline) > p.cfg.WriteTimeout/4 {
+		c.SetWriteDeadline(now.Add(p.cfg.WriteTimeout)) //nolint:errcheck
+		p.lastDeadline = now
+	}
+	*nb = append((*nb)[:0], batch...)
+	n, err := nb.WriteTo(c)
+	p.bytesOut.Add(n)
+	if err != nil {
+		p.sendFailures.Add(1)
+		p.dropped.Add(int64(len(batch)))
+		p.dropConn()
+	} else {
+		p.flushes.Add(1)
+		p.framesOut.Add(int64(len(batch)))
+	}
+	p.recycleBatch(batch)
+}
+
+// ensureConn returns the live connection, dialing (with jittered
+// exponential backoff between attempts) if there is none. It gives up —
+// returning nil — only when the peer is closing: immediately for CloseNow,
+// at the drain deadline for a graceful Close (armed here if this dial loop
+// is where the close is first observed, so a batch in hand when Close
+// lands still gets its full drain grace to find a connection).
+func (p *Peer) ensureConn(rng *lazyRand, backoff *time.Duration) net.Conn {
+	if c := p.conn(); c != nil {
+		return c
+	}
+	hadConn := p.dials.Load() > 0
+	for {
+		if p.immediate.Load() {
+			return nil
+		}
+		if p.isClosed() && time.Now().After(p.armDrain()) {
+			return nil
+		}
+		if addr, ok := p.resolve(); ok {
+			if c, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout); err == nil {
+				*backoff = p.cfg.BackoffMin
+				p.setConn(c)
+				p.lastDeadline = time.Time{} // fresh conn: no deadline yet
+				p.dials.Add(1)
+				if hadConn {
+					p.reconnects.Add(1)
+				}
+				if p.immediate.Load() {
+					// Lost the race with CloseNow's dropConn: do not hand
+					// a conn back to a writer that is about to exit.
+					p.dropConn()
+					return nil
+				}
+				return c
+			}
+		}
+		if !p.sleepBackoff(rng, backoff) {
+			return nil
+		}
+	}
+}
+
+// lazyRand defers seeding a math/rand generator until the first draw.
+type lazyRand struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+func (l *lazyRand) Int63n(n int64) int64 {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(l.seed))
+	}
+	return l.rng.Int63n(n)
+}
+
+// sleepBackoff sleeps the current backoff (±50% jitter, so a fleet of
+// peers re-dialing a restarted node does not thundering-herd it), then
+// doubles it up to BackoffMax. Returns false if the peer was killed.
+// During a drain the sleep is clamped to the drain deadline; outside one,
+// a graceful Close wakes the sleep early (once — the caller re-evaluates
+// and enters drain mode) so shutdown never waits out a full backoff.
+func (p *Peer) sleepBackoff(rng *lazyRand, backoff *time.Duration) bool {
+	d := *backoff
+	d = d/2 + time.Duration(rng.Int63n(int64(d)))
+	*backoff *= 2
+	if *backoff > p.cfg.BackoffMax {
+		*backoff = p.cfg.BackoffMax
+	}
+	draining := p.isClosed()
+	if draining {
+		if rem := time.Until(p.armDrain()); rem < d {
+			d = rem
+		}
+		if d <= 0 {
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if draining {
+		// closed is already readable; selecting on it would busy-spin.
+		select {
+		case <-t.C:
+			return true
+		case <-p.killed:
+			return false
+		}
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-p.closed:
+		return true
+	case <-p.killed:
+		return false
+	}
+}
+
+// discardQueue empties the outbound queue, counting everything as dropped.
+func (p *Peer) discardQueue() {
+	for {
+		select {
+		case f := <-p.out:
+			p.recycle(f)
+			p.dropped.Add(1)
+		default:
+			return
+		}
+	}
+}

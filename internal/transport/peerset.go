@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"sync"
+
+	"infoslicing/internal/wire"
+)
+
+// PeerSet owns every peer of one transport, keyed by the remote node and
+// created on first use. One peer per remote host — not per (sender,
+// receiver) pair — matches the paper's one-daemon-per-host deployment and
+// is what makes write batching effective: every local node's frames toward
+// a host funnel through one queue and coalesce into shared writev calls
+// (each frame names its sender in its header). Get is on the data path
+// (one read-locked map lookup); everything else is control-plane.
+type PeerSet struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	peers  map[wire.NodeID]*Peer
+	closed bool
+}
+
+// NewPeerSet creates an empty peer set with the given per-peer config.
+func NewPeerSet(cfg Config) *PeerSet {
+	cfg.fillDefaults()
+	return &PeerSet{cfg: cfg, peers: make(map[wire.NodeID]*Peer)}
+}
+
+// Lookup returns the existing peer for the remote node, or nil. It is the
+// steady-state data path: callers hit it first so the resolver closure
+// Get takes — which escapes, costing one allocation — is only ever built
+// on the miss path that creates the peer.
+func (ps *PeerSet) Lookup(to wire.NodeID) *Peer {
+	ps.mu.RLock()
+	p := ps.peers[to]
+	ps.mu.RUnlock()
+	return p
+}
+
+// Get returns the peer for the remote node, creating it — with the given
+// address resolver — on first use. Returns nil after Close.
+func (ps *PeerSet) Get(to wire.NodeID, resolve func() (string, bool)) *Peer {
+	ps.mu.RLock()
+	p, closed := ps.peers[to], ps.closed
+	ps.mu.RUnlock()
+	if p != nil || closed {
+		return p
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.closed {
+		return nil
+	}
+	if p = ps.peers[to]; p != nil {
+		return p
+	}
+	p = NewPeer(resolve, ps.cfg)
+	ps.peers[to] = p
+	return p
+}
+
+// Drop immediately closes (CloseNow) the peers for every matching remote
+// node, removing them from the set. Used by Detach, where draining toward
+// a gone listener would only stall; a later Send re-creates the peer and
+// resolves the node's fresh address.
+func (ps *PeerSet) Drop(match func(to wire.NodeID) bool) {
+	ps.mu.Lock()
+	var victims []*Peer
+	for to, p := range ps.peers {
+		if match(to) {
+			victims = append(victims, p)
+			delete(ps.peers, to)
+		}
+	}
+	ps.mu.Unlock()
+	for _, p := range victims {
+		p.CloseNow()
+	}
+}
+
+// Stats sums the counters of every live peer. Peers removed by Drop or
+// Close stop contributing, so long-lived transports should read stats
+// before tearing down.
+func (ps *PeerSet) Stats() Stats {
+	ps.mu.RLock()
+	peers := make([]*Peer, 0, len(ps.peers))
+	for _, p := range ps.peers {
+		peers = append(peers, p)
+	}
+	ps.mu.RUnlock()
+	var tot Stats
+	for _, p := range peers {
+		s := p.Stats()
+		tot.add(s)
+	}
+	return tot
+}
+
+// Close gracefully closes every peer concurrently (each drains its queue,
+// bounded by DrainTimeout) and blocks until all writers have exited. The
+// set refuses new peers afterwards.
+func (ps *PeerSet) Close() {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return
+	}
+	ps.closed = true
+	peers := make([]*Peer, 0, len(ps.peers))
+	for _, p := range ps.peers {
+		peers = append(peers, p)
+	}
+	ps.peers = map[wire.NodeID]*Peer{}
+	ps.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *Peer) {
+			defer wg.Done()
+			p.Close()
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,136 @@
+// Package transport is the production peer layer under the real-network
+// overlay transports: per-peer connection lifecycle and batched TCP I/O for
+// the relay daemon deployment of §7.1 (one daemon per host, one TCP stream
+// per directed peer pair).
+//
+// The package exists because the data path above it is non-blocking by
+// contract: a relay shard worker or a source's round loop hands a frame to
+// a peer and moves on, whatever the state of the peer's TCP connection. To
+// make that true, every peer owns
+//
+//   - a bounded outbound frame queue, filled by any goroutine via
+//     Peer.Enqueue (never blocks; a full queue drops the frame and counts
+//     it),
+//   - a dedicated writer goroutine that drains the queue, coalescing many
+//     frames into one writev (net.Buffers) per syscall, and
+//   - the connection lifecycle: the dial happens lazily on the writer (off
+//     the data path), a broken connection is re-dialed with jittered
+//     exponential backoff, an idle connection is torn down, and Close
+//     drains what is queued before hanging up.
+//
+// The receive side (Acceptor) reads length-prefixed frames into reusable
+// slabs and hands each frame out as a view — zero copies between the
+// kernel and the relay's shard queues.
+//
+// Wire format, byte-compatible with the pre-peer transports: 4-byte
+// big-endian payload length, 4-byte big-endian sender NodeID, payload.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// HeaderLen is the frame header size: 4-byte length, 4-byte sender id.
+const HeaderLen = 8
+
+// DefaultMaxFrame bounds a frame's payload; a peer claiming more is talking
+// a different protocol and its connection is dropped.
+const DefaultMaxFrame = 64 << 20
+
+// ErrQueueFull reports that a frame was dropped at a peer's full outbound
+// queue. It is advisory — the transports have datagram semantics and the
+// caller's round keeps going — but callers on the data path count it (the
+// relay's Stats.SendDrops) so operators can see a slow peer shedding load.
+var ErrQueueFull = errors.New("transport: peer queue full")
+
+// Config tunes peer behaviour. The zero value is usable; zero fields take
+// the defaults noted per field.
+type Config struct {
+	// QueueDepth bounds each peer's outbound frame queue (default 512).
+	// Enqueue on a full queue drops the frame: bounded memory per peer and
+	// a never-blocking data path, at datagram semantics.
+	QueueDepth int
+	// MaxBatch caps how many queued frames one writev coalesces
+	// (default 64).
+	MaxBatch int
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the jittered exponential backoff between
+	// failed dials (defaults 20ms / 2s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// WriteTimeout bounds one flush; a stalled receiver (TCP backpressure)
+	// fails the flush, drops its frames, and severs the connection instead
+	// of wedging the writer goroutine forever (default 10s).
+	WriteTimeout time.Duration
+	// IdleTimeout tears down a connection with no traffic for this long;
+	// the next frame re-dials. Zero (default) keeps connections forever.
+	IdleTimeout time.Duration
+	// DrainTimeout bounds how long a graceful Close keeps flushing queued
+	// frames before hanging up (default 1s).
+	DrainTimeout time.Duration
+	// MaxFrame bounds payload size on both sides (default DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 20 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+}
+
+// Stats is a snapshot of one peer's counters (or, via PeerSet.Stats, their
+// sum). Enqueued-Dropped-FramesOut is the number of frames still queued.
+type Stats struct {
+	Enqueued     int64 // frames accepted into the queue
+	Dropped      int64 // frames lost: full queue, failed flush, or drain cutoff
+	SendFailures int64 // write errors (each severs the connection)
+	Flushes      int64 // writev batches issued
+	FramesOut    int64 // frames written
+	BytesOut     int64 // bytes written
+	Dials        int64 // successful connects
+	Reconnects   int64 // successful connects after the first
+}
+
+func (s *Stats) add(o Stats) {
+	s.Enqueued += o.Enqueued
+	s.Dropped += o.Dropped
+	s.SendFailures += o.SendFailures
+	s.Flushes += o.Flushes
+	s.FramesOut += o.FramesOut
+	s.BytesOut += o.BytesOut
+	s.Dials += o.Dials
+	s.Reconnects += o.Reconnects
+}
+
+// putHeader writes the frame header for a payload of n bytes from the given
+// sender into hdr.
+func putHeader(hdr []byte, from wire.NodeID, n int) {
+	binary.BigEndian.PutUint32(hdr, uint32(n))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(from))
+}

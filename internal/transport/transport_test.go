@@ -1,0 +1,531 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"infoslicing/internal/simnet"
+	"infoslicing/internal/wire"
+)
+
+// sink collects delivered frames.
+type sink struct {
+	mu     sync.Mutex
+	frames [][]byte
+	froms  []wire.NodeID
+}
+
+func (s *sink) deliver(from wire.NodeID, data []byte) bool {
+	s.mu.Lock()
+	s.frames = append(s.frames, data)
+	s.froms = append(s.froms, from)
+	s.mu.Unlock()
+	return true
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+func (s *sink) await(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	if !simnet.Eventually(timeout, time.Millisecond, func() bool { return s.count() >= n }) {
+		t.Fatalf("timeout: %d of %d frames", s.count(), n)
+	}
+}
+
+func fixedResolver(addr string) func() (string, bool) {
+	return func() (string, bool) { return addr, true }
+}
+
+// testConfig keeps timers tight so lifecycle tests run in milliseconds.
+func testConfig() Config {
+	return Config{
+		QueueDepth:   64,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		WriteTimeout: 250 * time.Millisecond,
+		DrainTimeout: 2 * time.Second,
+	}
+}
+
+func TestPeerDeliversFramesInOrder(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	p := NewPeer(fixedResolver(acc.Addr()), testConfig())
+	defer p.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		// The queue is bounded and the first dial is lazy: spin on a full
+		// queue instead of dropping, so in-order delivery can be asserted.
+		for !p.Enqueue(7, []byte{byte(i), byte(i >> 8), 0xAB}) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	s.await(t, n, 5*time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.frames {
+		if s.froms[i] != 7 {
+			t.Fatalf("frame %d from %d, want 7", i, s.froms[i])
+		}
+		if want := []byte{byte(i), byte(i >> 8), 0xAB}; !bytes.Equal(f, want) {
+			t.Fatalf("frame %d = %x, want %x (ordering or framing broken)", i, f, want)
+		}
+	}
+	st := p.Stats()
+	if st.FramesOut != n {
+		t.Fatalf("stats = %+v, want %d frames out", st, n)
+	}
+	if st.Flushes >= n {
+		t.Fatalf("%d flushes for %d frames: no writev coalescing happened", st.Flushes, n)
+	}
+}
+
+// The reconnect satellite: restart the listening side on the same address
+// and the peer must re-dial with backoff and keep delivering.
+func TestPeerReconnectAfterRestart(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := acc.Addr()
+	p := NewPeer(fixedResolver(addr), testConfig())
+	defer p.Close()
+
+	p.Enqueue(1, []byte("before"))
+	s.await(t, 1, 5*time.Second)
+	acc.Close() // peer restarts: listener and conns gone
+
+	// Writes into the dead conn fail eventually (first writes may land in
+	// the kernel buffer before the RST is seen); every frame sent while
+	// down is dropped, never blocking the caller.
+	for i := 0; i < 50; i++ {
+		p.Enqueue(1, []byte("down"))
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	acc2, err := Listen(addr, 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc2.Close()
+	if !simnet.Eventually(10*time.Second, time.Millisecond, func() bool {
+		p.Enqueue(1, []byte("after"))
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, f := range s.frames {
+			if string(f) == "after" {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatalf("no delivery after restart; stats %+v", p.Stats())
+	}
+	st := p.Stats()
+	if st.Reconnects < 1 {
+		t.Fatalf("stats = %+v, want ≥1 reconnect", st)
+	}
+	if st.SendFailures < 1 {
+		t.Fatalf("stats = %+v, want ≥1 counted send failure from the broken conn", st)
+	}
+}
+
+// Graceful Close flushes what is queued — even if the peer never dialed
+// yet (the queue filled before the first frame's lazy dial completed).
+func TestPeerCloseDrainsQueue(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	p := NewPeer(fixedResolver(acc.Addr()), testConfig())
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !p.Enqueue(3, bytes.Repeat([]byte{byte(i)}, 100)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	p.Close() // must drain all 50 before hanging up
+	s.await(t, n, 5*time.Second)
+	if st := p.Stats(); st.FramesOut != n {
+		t.Fatalf("stats = %+v, want all %d frames flushed by Close", st, n)
+	}
+}
+
+// The drain grace covers dialing too: frames in hand when Close lands
+// while the remote is DOWN must keep trying to connect for the full
+// DrainTimeout — a remote that comes back inside the window still gets
+// the batch (the tail of a transfer racing a relay restart).
+func TestPeerCloseDrainsThroughBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // remote down: the writer sits in dial/backoff
+
+	cfg := testConfig()
+	cfg.DrainTimeout = 3 * time.Second
+	p := NewPeer(fixedResolver(addr), cfg)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if !p.Enqueue(5, []byte{byte(i)}) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	// Revive the remote well inside the drain window.
+	time.Sleep(300 * time.Millisecond)
+	s := &sink{}
+	acc, err := Listen(addr, 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung")
+	}
+	if st := p.Stats(); st.FramesOut != n {
+		t.Fatalf("stats = %+v, want all %d frames drained to the revived remote", st, n)
+	}
+}
+
+// A stalled reader (TCP backpressure) must translate into bounded queue
+// drops on the sender — never a blocked caller — and Close must still
+// return, leaking no goroutines.
+func TestPeerStalledReaderBoundedDrops(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-stop // accept but never read: a wedged peer
+				c.Close()
+			}()
+		}
+	}()
+
+	cfg := testConfig()
+	cfg.QueueDepth = 16
+	cfg.WriteTimeout = 100 * time.Millisecond
+	p := NewPeer(fixedResolver(ln.Addr().String()), cfg)
+	payload := bytes.Repeat([]byte{0x55}, 32<<10) // large: fills socket buffers fast
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Dropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no drops recorded against a stalled reader; stats %+v", p.Stats())
+		}
+		start := time.Now()
+		p.Enqueue(9, payload) // must never block
+		if d := time.Since(start); d > 200*time.Millisecond {
+			t.Fatalf("Enqueue blocked %v against a stalled reader", d)
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stalled reader")
+	}
+	// goleak-style check: the writer goroutine must be gone.
+	if !simnet.Eventually(5*time.Second, time.Millisecond, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	}) {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	}
+}
+
+func TestPeerIdleTeardownAndRedial(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	cfg := testConfig()
+	cfg.IdleTimeout = 50 * time.Millisecond
+	p := NewPeer(fixedResolver(acc.Addr()), cfg)
+	defer p.Close()
+
+	p.Enqueue(4, []byte("one"))
+	s.await(t, 1, 5*time.Second)
+	// Idle long enough for teardown: the acceptor sees its conn die.
+	if !simnet.Eventually(5*time.Second, time.Millisecond, func() bool { return acc.ConnCount() == 0 }) {
+		t.Fatal("idle connection was not torn down")
+	}
+	p.Enqueue(4, []byte("two"))
+	s.await(t, 2, 5*time.Second)
+	if st := p.Stats(); st.Dials < 2 {
+		t.Fatalf("stats = %+v, want a fresh dial after idle teardown", st)
+	}
+}
+
+// The accepted-conn table must not accrete dead entries: a dropped inbound
+// connection removes itself when its read loop exits.
+func TestAcceptorRemovesDeadConns(t *testing.T) {
+	acc, err := Listen("127.0.0.1:0", 0, func(wire.NodeID, []byte) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	for i := 0; i < 5; i++ {
+		c, err := net.Dial("tcp", acc.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [HeaderLen]byte
+		putHeader(hdr[:], wire.NodeID(i+1), 0)
+		if _, err := c.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if !simnet.Eventually(5*time.Second, time.Millisecond, func() bool { return acc.ConnCount() == 0 }) {
+		t.Fatalf("dead accepted conns leaked: %d entries remain", acc.ConnCount())
+	}
+}
+
+// Frames crossing slab boundaries — and frames bigger than a slab — must
+// come out byte-identical.
+func TestReaderSlabBoundaries(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	c, err := net.Dial("tcp", acc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sizes := []int{0, 1, 7, 8, 1500, 63<<10 + 11, 64 << 10, 200 << 10, 3}
+	var want [][]byte
+	var stream []byte
+	for i, n := range sizes {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, n)
+		want = append(want, payload)
+		var hdr [HeaderLen]byte
+		putHeader(hdr[:], 42, n)
+		stream = append(stream, hdr[:]...)
+		stream = append(stream, payload...)
+	}
+	// Dribble the stream in awkward chunk sizes so frame boundaries and
+	// read boundaries never line up.
+	for off := 0; off < len(stream); {
+		end := off + 977
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if _, err := c.Write(stream[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		off = end
+	}
+	s.await(t, len(sizes), 5*time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.frames {
+		if !bytes.Equal(f, want[i]) {
+			t.Fatalf("frame %d corrupted: got %d bytes, want %d", i, len(f), len(want[i]))
+		}
+	}
+}
+
+// A frame claiming an absurd size drops the connection rather than
+// allocating.
+func TestReaderRejectsOversizeFrame(t *testing.T) {
+	acc, err := Listen("127.0.0.1:0", 1<<20, func(wire.NodeID, []byte) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	c, err := net.Dial("tcp", acc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	c.Write(hdr[:]) //nolint:errcheck
+	if !simnet.Eventually(5*time.Second, time.Millisecond, func() bool { return acc.ConnCount() == 0 }) {
+		t.Fatal("oversize frame did not drop the connection")
+	}
+}
+
+func TestPeerSetSharedHostConnAndDrop(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	acc2, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc2.Close()
+	ps := NewPeerSet(testConfig())
+	defer ps.Close()
+	resolve, resolve2 := fixedResolver(acc.Addr()), fixedResolver(acc2.Addr())
+	// Two local senders toward one host share a peer (and its connection).
+	if ps.Get(10, resolve) != ps.Get(10, resolve) {
+		t.Fatal("same host resolved to two peers")
+	}
+	ps.Get(10, resolve).Enqueue(1, []byte("a"))
+	ps.Get(10, resolve).Enqueue(2, []byte("b"))
+	ps.Get(20, resolve2).Enqueue(1, []byte("c"))
+	s.await(t, 3, 5*time.Second)
+	if got := acc.ConnCount(); got != 1 {
+		t.Fatalf("%d connections for 2 senders to one host, want 1 shared", got)
+	}
+	ps.Drop(func(to wire.NodeID) bool { return to == 10 })
+	if got := ps.Get(20, resolve2); got == nil {
+		t.Fatal("unmatched peer was dropped")
+	}
+	// The dropped peer is recreated on demand — a fresh object.
+	p1 := ps.Get(10, resolve)
+	if p1 == nil {
+		t.Fatal("Get after Drop returned nil")
+	}
+	if st := p1.Stats(); st.Enqueued != 0 {
+		t.Fatalf("recreated peer carries old stats: %+v", st)
+	}
+}
+
+// BenchmarkPeerWriteSteadyState gates the tentpole's allocation contract:
+// after warmup (freelist populated, connection dialed), enqueuing a frame
+// and flushing it through the writev writer allocates nothing. The
+// receiving side's slab amortizes to ~1 allocation per 40 frames, which
+// integer-truncates to 0 allocs/op.
+func BenchmarkPeerWriteSteadyState(b *testing.B) {
+	acc, err := Listen("127.0.0.1:0", 0, func(wire.NodeID, []byte) bool { return true })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer acc.Close()
+	cfg := Config{QueueDepth: 4096}
+	p := NewPeer(fixedResolver(acc.Addr()), cfg)
+	defer p.Close()
+	payload := bytes.Repeat([]byte{0xA5}, 1500)
+
+	await := func(frames int64) {
+		if !simnet.Eventually(30*time.Second, time.Millisecond, func() bool {
+			got, _ := acc.FramesIn()
+			return got >= frames
+		}) {
+			b.Fatalf("receiver stalled; peer stats %+v", p.Stats())
+		}
+	}
+	// Warmup: dial, grow the freelist buffers, fault in the reader slab.
+	warm := int64(256)
+	for i := int64(0); i < warm; i++ {
+		for !p.Enqueue(1, payload) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	await(warm)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Keep the queue inside the warmed buffer circulation: a producer
+		// that sprints thousands of frames ahead measures queue *growth*
+		// (which legitimately allocates new buffers), not the steady state
+		// this gate pins. Real data paths are paced by rounds.
+		for p.QueueLen() > 128 {
+			runtime.Gosched()
+		}
+		for !p.Enqueue(1, payload) {
+			runtime.Gosched()
+		}
+	}
+	await(warm + int64(b.N))
+	b.StopTimer()
+	b.SetBytes(int64(len(payload)))
+	// Queue-full rejections are retried above (and counted in Dropped);
+	// what must not happen is a frame accepted and then lost.
+	if st := p.Stats(); st.SendFailures > 0 || st.FramesOut != st.Enqueued {
+		b.Fatalf("steady state lost accepted frames: %+v", st)
+	}
+}
+
+func TestPeerUnknownAddressKeepsRetrying(t *testing.T) {
+	known := false
+	var mu sync.Mutex
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	p := NewPeer(func() (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !known {
+			return "", false
+		}
+		return acc.Addr(), true
+	}, testConfig())
+	defer p.Close()
+	p.Enqueue(1, []byte("early"))
+	time.Sleep(20 * time.Millisecond)
+	if s.count() != 0 {
+		t.Fatal("delivered before the address resolved")
+	}
+	mu.Lock()
+	known = true
+	mu.Unlock()
+	s.await(t, 1, 5*time.Second)
+}
+
+func TestPeerSetStatsAggregate(t *testing.T) {
+	s := &sink{}
+	acc, err := Listen("127.0.0.1:0", 0, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer acc.Close()
+	ps := NewPeerSet(testConfig())
+	defer ps.Close()
+	resolve := fixedResolver(acc.Addr())
+	for i := 1; i <= 4; i++ {
+		ps.Get(99, resolve).Enqueue(wire.NodeID(i), []byte(fmt.Sprintf("p%d", i)))
+	}
+	s.await(t, 4, 5*time.Second)
+	if st := ps.Stats(); st.Enqueued != 4 || st.FramesOut != 4 {
+		t.Fatalf("aggregate stats = %+v, want 4 enqueued and flushed", st)
+	}
+}
