@@ -42,6 +42,7 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline JSON path")
 	update := flag.Bool("update", false, "rewrite the baseline from measured values instead of gating")
+	prune := flag.Bool("prune", false, "with -update, drop baseline entries matching no benchmark in the run")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -71,12 +72,27 @@ func main() {
 	}
 
 	if *update {
+		var stale []string
 		for name := range base.AllocsPerOp {
 			got, ok := measured[name]
 			if !ok {
-				fatalf("baseline benchmark %q not in this run; cannot update", name)
+				// A baseline entry no benchmark produced anymore: a rename or
+				// deletion. Keep (and warn) by default so a narrow -bench
+				// pattern cannot eat the baseline; -prune drops it.
+				stale = append(stale, name)
+				continue
 			}
 			base.AllocsPerOp[name] = got
+		}
+		sort.Strings(stale)
+		for _, name := range stale {
+			if *prune {
+				delete(base.AllocsPerOp, name)
+				fmt.Printf("benchguard: pruned stale entry %q (matches no benchmark in this run)\n", name)
+			} else {
+				fmt.Fprintf(os.Stderr,
+					"benchguard: warning: baseline entry %q matches no benchmark in this run; kept as-is (use -update -prune to drop it)\n", name)
+			}
 		}
 		out, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {

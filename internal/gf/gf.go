@@ -35,6 +35,14 @@ var (
 	// only its own row. This turns MulSlice into a branch-free table walk —
 	// no log/exp indirection, no zero test per byte.
 	mulTable [Order][Order]byte
+
+	// mulTableNib[c] is the split-nibble table pair of c, packed for the
+	// SIMD kernels: bytes 0..15 hold c*n for every low nibble n, bytes
+	// 16..31 hold c*(n<<4) for every high nibble. Because GF addition is
+	// XOR, c*x == c*(x&0x0f) ^ c*(x&0xf0), so one 16-entry shuffle per
+	// nibble (PSHUFB on x86, TBL on ARM) multiplies 16 or 32 bytes at once.
+	// 8 KiB total, precomputed alongside mulTable.
+	mulTableNib [Order][32]byte
 )
 
 func init() {
@@ -57,6 +65,16 @@ func init() {
 		row := &mulTable[c]
 		for x := 1; x < Order; x++ {
 			row[x] = expTable[lc+int(logTable[x])]
+		}
+	}
+	// Derive the nibble tables from the full tables (mulTable[0] stays all
+	// zero, so mulTableNib[0] does too).
+	for c := 0; c < Order; c++ {
+		row := &mulTable[c]
+		nib := &mulTableNib[c]
+		for n := 0; n < 16; n++ {
+			nib[n] = row[n]
+			nib[16+n] = row[n<<4]
 		}
 	}
 }
@@ -107,13 +125,21 @@ func Inv(a byte) byte {
 // non-negative integer).
 func Exp(n int) byte { return expTable[n%(Order-1)] }
 
-// XorSlice computes dst[i] ^= src[i] word-wide: eight bytes per step through
-// the bulk of the block, a byte tail at the end. It is the c==1 fast path of
-// MulSlice and the a+b of every row operation.
+// XorSlice computes dst[i] ^= src[i]: a SIMD pass over the bulk of the
+// block when the platform kernel is active (see KernelName), then word-wide
+// with a byte tail. It is the c==1 fast path of MulSlice and the a+b of
+// every row operation.
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: XorSlice length mismatch")
 	}
+	n := xorSliceFast(src, dst)
+	xorSliceGeneric(src[n:], dst[n:])
+}
+
+// xorSliceGeneric is the portable xor kernel: eight bytes per step through
+// the bulk, a byte tail at the end.
+func xorSliceGeneric(src, dst []byte) {
 	n := len(dst) &^ 7
 	for i := 0; i < n; i += 8 {
 		d := binary.LittleEndian.Uint64(dst[i:])
@@ -126,8 +152,10 @@ func XorSlice(src, dst []byte) {
 }
 
 // MulSlice computes dst[i] ^= c * src[i] for every i. It is the inner loop of
-// all encode/decode operations: one coefficient applied to one block.
-// dst and src must have equal length.
+// all encode/decode operations: one coefficient applied to one block. The
+// bulk goes through the runtime-selected platform kernel (split-nibble
+// shuffles, 16-32 bytes per step); the tail and non-SIMD platforms run the
+// scalar table walk. dst and src must have equal length.
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: MulSlice length mismatch")
@@ -138,19 +166,26 @@ func MulSlice(c byte, src, dst []byte) {
 	case 1:
 		XorSlice(src, dst)
 	default:
-		mt := &mulTable[c]
-		// Byte-indexed array lookups are bounds-check free; unroll by four
-		// to keep the loop body ahead of the loads.
-		i := 0
-		for ; i+4 <= len(src); i += 4 {
-			dst[i] ^= mt[src[i]]
-			dst[i+1] ^= mt[src[i+1]]
-			dst[i+2] ^= mt[src[i+2]]
-			dst[i+3] ^= mt[src[i+3]]
-		}
-		for ; i < len(src); i++ {
-			dst[i] ^= mt[src[i]]
-		}
+		n := mulSliceFast(c, src, dst)
+		mulSliceGeneric(c, src[n:], dst[n:])
+	}
+}
+
+// mulSliceGeneric is the portable accumulate kernel: a branch-free walk of
+// the coefficient's 256-byte table. Byte-indexed array lookups are
+// bounds-check free; unroll by four to keep the loop body ahead of the
+// loads. c must not be 0 or 1 (callers take the cheaper paths).
+func mulSliceGeneric(c byte, src, dst []byte) {
+	mt := &mulTable[c]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] ^= mt[src[i]]
+		dst[i+1] ^= mt[src[i+1]]
+		dst[i+2] ^= mt[src[i+2]]
+		dst[i+3] ^= mt[src[i+3]]
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= mt[src[i]]
 	}
 }
 
@@ -165,19 +200,32 @@ func MulSliceAssign(c byte, src, dst []byte) {
 	case 1:
 		copy(dst, src)
 	default:
-		mt := &mulTable[c]
-		i := 0
-		for ; i+4 <= len(src); i += 4 {
-			dst[i] = mt[src[i]]
-			dst[i+1] = mt[src[i+1]]
-			dst[i+2] = mt[src[i+2]]
-			dst[i+3] = mt[src[i+3]]
-		}
-		for ; i < len(src); i++ {
-			dst[i] = mt[src[i]]
-		}
+		n := mulSliceAssignFast(c, src, dst)
+		mulSliceAssignGeneric(c, src[n:], dst[n:])
 	}
 }
+
+// mulSliceAssignGeneric is the portable overwrite kernel; c must not be 0
+// or 1.
+func mulSliceAssignGeneric(c byte, src, dst []byte) {
+	mt := &mulTable[c]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = mt[src[i]]
+		dst[i+1] = mt[src[i+1]]
+		dst[i+2] = mt[src[i+2]]
+		dst[i+3] = mt[src[i+3]]
+	}
+	for ; i < len(src); i++ {
+		dst[i] = mt[src[i]]
+	}
+}
+
+// KernelName reports which slice-kernel implementation this process
+// selected at init: "avx2", "neon", or "generic". Diagnostics only; the
+// choice is fixed for the life of the process (force "generic" with the
+// noasm build tag).
+func KernelName() string { return kernelName() }
 
 // mulSlow multiplies using shift-and-add ("Russian peasant") reduction. It is
 // retained as an ablation/verification reference for the table-driven Mul.

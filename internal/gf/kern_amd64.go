@@ -1,0 +1,125 @@
+// Runtime dispatch for the x86-64 SIMD kernels. The selection happens once
+// at init: AVX2 needs the CPUID leaf-7 feature flag plus OS support for
+// saving YMM state (OSXSAVE set and XCR0 reporting XMM+YMM enabled). When
+// the check fails — or the noasm build tag compiles this file out — every
+// kernel falls back to the scalar table walks in gf.go/matrix.go.
+//
+// The assembly kernels (kern_amd64.s) process only whole 32-byte vectors
+// and assume n > 0, n%32 == 0; the *Fast wrappers here truncate to that
+// multiple and return how many bytes they handled so the caller finishes
+// the tail with the generic kernel. Each wrapper takes the coefficient's
+// packed lo‖hi nibble table (mulTableNib) so the assembly does two PSHUFBs
+// and an XOR per 32 source bytes.
+
+//go:build amd64 && !noasm
+
+package gf
+
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be enabled by the OS.
+	if eax, _ := xgetbvAsm(); eax&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+func kernelName() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return "generic"
+}
+
+func xorSliceFast(src, dst []byte) int {
+	n := len(dst) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	xorSliceAVX2(&src[0], &dst[0], n)
+	return n
+}
+
+func mulSliceFast(c byte, src, dst []byte) int {
+	n := len(dst) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	mulSliceAVX2(&mulTableNib[c], &src[0], &dst[0], n)
+	return n
+}
+
+func mulSliceAssignFast(c byte, src, dst []byte) int {
+	n := len(dst) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	mulSliceAssignAVX2(&mulTableNib[c], &src[0], &dst[0], n)
+	return n
+}
+
+func mulSlicePairFast(c1, c2 byte, s1, s2, dst []byte, assign bool) int {
+	n := len(dst) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	if assign {
+		mulSlice2AssignAVX2(&mulTableNib[c1], &mulTableNib[c2], &s1[0], &s2[0], &dst[0], n)
+	} else {
+		mulSlice2AVX2(&mulTableNib[c1], &mulTableNib[c2], &s1[0], &s2[0], &dst[0], n)
+	}
+	return n
+}
+
+func mulSliceQuadFast(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) int {
+	n := len(dst) &^ 31
+	if n == 0 || !hasAVX2 {
+		return 0
+	}
+	if assign {
+		mulSlice4AssignAVX2(&mulTableNib[c1], &mulTableNib[c2], &mulTableNib[c3], &mulTableNib[c4],
+			&s1[0], &s2[0], &s3[0], &s4[0], &dst[0], n)
+	} else {
+		mulSlice4AVX2(&mulTableNib[c1], &mulTableNib[c2], &mulTableNib[c3], &mulTableNib[c4],
+			&s1[0], &s2[0], &s3[0], &s4[0], &dst[0], n)
+	}
+	return n
+}
+
+//go:noescape
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvAsm() (eax, edx uint32)
+
+//go:noescape
+func xorSliceAVX2(src, dst *byte, n int)
+
+//go:noescape
+func mulSliceAVX2(tab *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulSliceAssignAVX2(tab *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulSlice2AVX2(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+
+//go:noescape
+func mulSlice2AssignAVX2(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+
+//go:noescape
+func mulSlice4AVX2(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)
+
+//go:noescape
+func mulSlice4AssignAVX2(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)

@@ -1,0 +1,253 @@
+// AVX2 GF(2^8) slice kernels: split-nibble PSHUFB multiplication, 32 bytes
+// per step. Every TEXT here is called only from kern_amd64.go with n > 0
+// and n a multiple of 32; tails are the Go caller's job.
+//
+// Per 32-byte vector the multiply is:
+//     lo  = PSHUFB(loTable, src & 0x0f)        // c * low nibble
+//     hi  = PSHUFB(hiTable, (src>>4) & 0x0f)   // c * high nibble
+//     c*x = lo ^ hi
+// with loTable/hiTable the coefficient's 16-byte nibble tables
+// (mulTableNib), broadcast once into both YMM lanes before the loop.
+
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// 0x0f in every byte: the nibble mask.
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func xorSliceAVX2(src, dst *byte, n int)
+TEXT ·xorSliceAVX2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+
+xorloop:
+	VMOVDQU (SI)(AX*1), Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     xorloop
+	VZEROUPPER
+	RET
+
+// mulvec expands to the four-instruction nibble multiply of the vector in
+// \sreg against the lo/hi tables in \lotbl/\hitbl, leaving the product in
+// \sreg (clobbers \tmp). Y15 must hold nibMask.
+#define MULVEC(sreg, lotbl, hitbl, tmp) \
+	VPSRLQ  $4, sreg, tmp              \
+	VPAND   Y15, sreg, sreg            \
+	VPAND   Y15, tmp, tmp              \
+	VPSHUFB sreg, lotbl, sreg          \
+	VPSHUFB tmp, hitbl, tmp            \
+	VPXOR   sreg, tmp, sreg
+
+// func mulSliceAVX2(tab *[32]byte, src, dst *byte, n int)
+TEXT ·mulSliceAVX2(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), BX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 16(BX), Y2
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ AX, AX
+
+mulloop:
+	VMOVDQU (SI)(AX*1), Y0
+	MULVEC(Y0, Y1, Y2, Y3)
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     mulloop
+	VZEROUPPER
+	RET
+
+// func mulSliceAssignAVX2(tab *[32]byte, src, dst *byte, n int)
+TEXT ·mulSliceAssignAVX2(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), BX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 16(BX), Y2
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ AX, AX
+
+massloop:
+	VMOVDQU (SI)(AX*1), Y0
+	MULVEC(Y0, Y1, Y2, Y3)
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     massloop
+	VZEROUPPER
+	RET
+
+// func mulSlice2AVX2(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+TEXT ·mulSlice2AVX2(SB), NOSPLIT, $0-48
+	MOVQ t1+0(FP), BX
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 16(BX), Y2
+	MOVQ t2+8(FP), BX
+	VBROADCASTI128 (BX), Y3
+	VBROADCASTI128 16(BX), Y4
+	MOVQ s1+16(FP), SI
+	MOVQ s2+24(FP), R8
+	MOVQ dst+32(FP), DI
+	MOVQ n+40(FP), CX
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ AX, AX
+
+m2loop:
+	VMOVDQU (SI)(AX*1), Y0
+	MULVEC(Y0, Y1, Y2, Y5)
+	VMOVDQU (R8)(AX*1), Y6
+	MULVEC(Y6, Y3, Y4, Y5)
+	VPXOR   Y6, Y0, Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     m2loop
+	VZEROUPPER
+	RET
+
+// func mulSlice2AssignAVX2(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+TEXT ·mulSlice2AssignAVX2(SB), NOSPLIT, $0-48
+	MOVQ t1+0(FP), BX
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 16(BX), Y2
+	MOVQ t2+8(FP), BX
+	VBROADCASTI128 (BX), Y3
+	VBROADCASTI128 16(BX), Y4
+	MOVQ s1+16(FP), SI
+	MOVQ s2+24(FP), R8
+	MOVQ dst+32(FP), DI
+	MOVQ n+40(FP), CX
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ AX, AX
+
+m2aloop:
+	VMOVDQU (SI)(AX*1), Y0
+	MULVEC(Y0, Y1, Y2, Y5)
+	VMOVDQU (R8)(AX*1), Y6
+	MULVEC(Y6, Y3, Y4, Y5)
+	VPXOR   Y6, Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     m2aloop
+	VZEROUPPER
+	RET
+
+// func mulSlice4AVX2(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)
+TEXT ·mulSlice4AVX2(SB), NOSPLIT, $0-80
+	MOVQ t1+0(FP), BX
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 16(BX), Y2
+	MOVQ t2+8(FP), BX
+	VBROADCASTI128 (BX), Y3
+	VBROADCASTI128 16(BX), Y4
+	MOVQ t3+16(FP), BX
+	VBROADCASTI128 (BX), Y5
+	VBROADCASTI128 16(BX), Y6
+	MOVQ t4+24(FP), BX
+	VBROADCASTI128 (BX), Y7
+	VBROADCASTI128 16(BX), Y8
+	MOVQ s1+32(FP), SI
+	MOVQ s2+40(FP), R8
+	MOVQ s3+48(FP), R9
+	MOVQ s4+56(FP), R10
+	MOVQ dst+64(FP), DI
+	MOVQ n+72(FP), CX
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ AX, AX
+
+m4loop:
+	VMOVDQU (SI)(AX*1), Y0
+	MULVEC(Y0, Y1, Y2, Y9)
+	VMOVDQU (R8)(AX*1), Y10
+	MULVEC(Y10, Y3, Y4, Y9)
+	VPXOR   Y10, Y0, Y0
+	VMOVDQU (R9)(AX*1), Y10
+	MULVEC(Y10, Y5, Y6, Y9)
+	VPXOR   Y10, Y0, Y0
+	VMOVDQU (R10)(AX*1), Y10
+	MULVEC(Y10, Y7, Y8, Y9)
+	VPXOR   Y10, Y0, Y0
+	VPXOR   (DI)(AX*1), Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     m4loop
+	VZEROUPPER
+	RET
+
+// func mulSlice4AssignAVX2(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)
+TEXT ·mulSlice4AssignAVX2(SB), NOSPLIT, $0-80
+	MOVQ t1+0(FP), BX
+	VBROADCASTI128 (BX), Y1
+	VBROADCASTI128 16(BX), Y2
+	MOVQ t2+8(FP), BX
+	VBROADCASTI128 (BX), Y3
+	VBROADCASTI128 16(BX), Y4
+	MOVQ t3+16(FP), BX
+	VBROADCASTI128 (BX), Y5
+	VBROADCASTI128 16(BX), Y6
+	MOVQ t4+24(FP), BX
+	VBROADCASTI128 (BX), Y7
+	VBROADCASTI128 16(BX), Y8
+	MOVQ s1+32(FP), SI
+	MOVQ s2+40(FP), R8
+	MOVQ s3+48(FP), R9
+	MOVQ s4+56(FP), R10
+	MOVQ dst+64(FP), DI
+	MOVQ n+72(FP), CX
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ AX, AX
+
+m4aloop:
+	VMOVDQU (SI)(AX*1), Y0
+	MULVEC(Y0, Y1, Y2, Y9)
+	VMOVDQU (R8)(AX*1), Y10
+	MULVEC(Y10, Y3, Y4, Y9)
+	VPXOR   Y10, Y0, Y0
+	VMOVDQU (R9)(AX*1), Y10
+	MULVEC(Y10, Y5, Y6, Y9)
+	VPXOR   Y10, Y0, Y0
+	VMOVDQU (R10)(AX*1), Y10
+	MULVEC(Y10, Y7, Y8, Y9)
+	VPXOR   Y10, Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ    $32, AX
+	CMPQ    AX, CX
+	JLT     m4aloop
+	VZEROUPPER
+	RET

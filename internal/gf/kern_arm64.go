@@ -1,0 +1,90 @@
+// Runtime dispatch for the arm64 SIMD kernels. NEON (ASIMD) is part of the
+// baseline arm64 profile Go targets, so there is no feature probe — the
+// kernels are always eligible and only the noasm build tag disables them.
+//
+// The assembly (kern_arm64.s) processes whole 16-byte vectors via VTBL on
+// the packed lo‖hi nibble tables (mulTableNib); the *Fast wrappers truncate
+// to a multiple of 16 and return how many bytes they handled so the caller
+// finishes the tail with the generic kernel.
+
+//go:build arm64 && !noasm
+
+package gf
+
+func kernelName() string { return "neon" }
+
+func xorSliceFast(src, dst []byte) int {
+	n := len(dst) &^ 15
+	if n == 0 {
+		return 0
+	}
+	xorSliceNEON(&src[0], &dst[0], n)
+	return n
+}
+
+func mulSliceFast(c byte, src, dst []byte) int {
+	n := len(dst) &^ 15
+	if n == 0 {
+		return 0
+	}
+	mulSliceNEON(&mulTableNib[c], &src[0], &dst[0], n)
+	return n
+}
+
+func mulSliceAssignFast(c byte, src, dst []byte) int {
+	n := len(dst) &^ 15
+	if n == 0 {
+		return 0
+	}
+	mulSliceAssignNEON(&mulTableNib[c], &src[0], &dst[0], n)
+	return n
+}
+
+func mulSlicePairFast(c1, c2 byte, s1, s2, dst []byte, assign bool) int {
+	n := len(dst) &^ 15
+	if n == 0 {
+		return 0
+	}
+	if assign {
+		mulSlice2AssignNEON(&mulTableNib[c1], &mulTableNib[c2], &s1[0], &s2[0], &dst[0], n)
+	} else {
+		mulSlice2NEON(&mulTableNib[c1], &mulTableNib[c2], &s1[0], &s2[0], &dst[0], n)
+	}
+	return n
+}
+
+func mulSliceQuadFast(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) int {
+	n := len(dst) &^ 15
+	if n == 0 {
+		return 0
+	}
+	if assign {
+		mulSlice4AssignNEON(&mulTableNib[c1], &mulTableNib[c2], &mulTableNib[c3], &mulTableNib[c4],
+			&s1[0], &s2[0], &s3[0], &s4[0], &dst[0], n)
+	} else {
+		mulSlice4NEON(&mulTableNib[c1], &mulTableNib[c2], &mulTableNib[c3], &mulTableNib[c4],
+			&s1[0], &s2[0], &s3[0], &s4[0], &dst[0], n)
+	}
+	return n
+}
+
+//go:noescape
+func xorSliceNEON(src, dst *byte, n int)
+
+//go:noescape
+func mulSliceNEON(tab *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulSliceAssignNEON(tab *[32]byte, src, dst *byte, n int)
+
+//go:noescape
+func mulSlice2NEON(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+
+//go:noescape
+func mulSlice2AssignNEON(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+
+//go:noescape
+func mulSlice4NEON(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)
+
+//go:noescape
+func mulSlice4AssignNEON(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)

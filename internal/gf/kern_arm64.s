@@ -1,0 +1,202 @@
+// NEON GF(2^8) slice kernels: split-nibble VTBL multiplication, 16 bytes
+// per step. Every TEXT here is called only from kern_arm64.go with n > 0
+// and n a multiple of 16; tails are the Go caller's job.
+//
+// Per 16-byte vector the multiply is:
+//     lo  = VTBL(loTable, src & 0x0f)    // c * low nibble
+//     hi  = VTBL(hiTable, src >> 4)      // c * high nibble
+//     c*x = lo ^ hi
+// with loTable/hiTable the coefficient's packed nibble tables (mulTableNib),
+// loaded as a register pair before the loop. The byte-wise VUSHR already
+// zero-fills, so the high nibble needs no mask.
+
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// MULVEC16 multiplies the vector in sv by the coefficient whose nibble
+// tables are in lot/hit, leaving the product in sv (clobbers tmp).
+// V8 must hold 0x0f in every byte.
+#define MULVEC16(sv, lot, hit, tmp) \
+	VUSHR $4, sv, tmp              \
+	VAND  V8.B16, sv, sv           \
+	VTBL  sv, [lot], sv            \
+	VTBL  tmp, [hit], tmp          \
+	VEOR  tmp, sv, sv
+
+// LOADMASK fills V8 with the nibble mask, clobbering R4.
+#define LOADMASK \
+	MOVD $15, R4           \
+	VMOV R4, V8.B[0]       \
+	VDUP V8.B[0], V8.B16
+
+// func xorSliceNEON(src, dst *byte, n int)
+TEXT ·xorSliceNEON(SB), NOSPLIT, $0-24
+	MOVD src+0(FP), R1
+	MOVD dst+8(FP), R2
+	MOVD n+16(FP), R3
+
+xorloop:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1   (R2), [V1.B16]
+	VEOR   V1.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    xorloop
+	RET
+
+// func mulSliceNEON(tab *[32]byte, src, dst *byte, n int)
+TEXT ·mulSliceNEON(SB), NOSPLIT, $0-32
+	MOVD tab+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD dst+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R0), [V16.B16, V17.B16]
+	LOADMASK
+
+mulloop:
+	VLD1.P 16(R1), [V0.B16]
+	MULVEC16(V0.B16, V16.B16, V17.B16, V1.B16)
+	VLD1   (R2), [V2.B16]
+	VEOR   V2.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    mulloop
+	RET
+
+// func mulSliceAssignNEON(tab *[32]byte, src, dst *byte, n int)
+TEXT ·mulSliceAssignNEON(SB), NOSPLIT, $0-32
+	MOVD tab+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD dst+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R0), [V16.B16, V17.B16]
+	LOADMASK
+
+massloop:
+	VLD1.P 16(R1), [V0.B16]
+	MULVEC16(V0.B16, V16.B16, V17.B16, V1.B16)
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    massloop
+	RET
+
+// func mulSlice2NEON(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+TEXT ·mulSlice2NEON(SB), NOSPLIT, $0-48
+	MOVD t1+0(FP), R0
+	VLD1 (R0), [V16.B16, V17.B16]
+	MOVD t2+8(FP), R0
+	VLD1 (R0), [V18.B16, V19.B16]
+	MOVD s1+16(FP), R1
+	MOVD s2+24(FP), R5
+	MOVD dst+32(FP), R2
+	MOVD n+40(FP), R3
+	LOADMASK
+
+m2loop:
+	VLD1.P 16(R1), [V0.B16]
+	MULVEC16(V0.B16, V16.B16, V17.B16, V1.B16)
+	VLD1.P 16(R5), [V2.B16]
+	MULVEC16(V2.B16, V18.B16, V19.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VLD1   (R2), [V4.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    m2loop
+	RET
+
+// func mulSlice2AssignNEON(t1, t2 *[32]byte, s1, s2, dst *byte, n int)
+TEXT ·mulSlice2AssignNEON(SB), NOSPLIT, $0-48
+	MOVD t1+0(FP), R0
+	VLD1 (R0), [V16.B16, V17.B16]
+	MOVD t2+8(FP), R0
+	VLD1 (R0), [V18.B16, V19.B16]
+	MOVD s1+16(FP), R1
+	MOVD s2+24(FP), R5
+	MOVD dst+32(FP), R2
+	MOVD n+40(FP), R3
+	LOADMASK
+
+m2aloop:
+	VLD1.P 16(R1), [V0.B16]
+	MULVEC16(V0.B16, V16.B16, V17.B16, V1.B16)
+	VLD1.P 16(R5), [V2.B16]
+	MULVEC16(V2.B16, V18.B16, V19.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    m2aloop
+	RET
+
+// func mulSlice4NEON(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)
+TEXT ·mulSlice4NEON(SB), NOSPLIT, $0-80
+	MOVD t1+0(FP), R0
+	VLD1 (R0), [V16.B16, V17.B16]
+	MOVD t2+8(FP), R0
+	VLD1 (R0), [V18.B16, V19.B16]
+	MOVD t3+16(FP), R0
+	VLD1 (R0), [V20.B16, V21.B16]
+	MOVD t4+24(FP), R0
+	VLD1 (R0), [V22.B16, V23.B16]
+	MOVD s1+32(FP), R1
+	MOVD s2+40(FP), R5
+	MOVD s3+48(FP), R6
+	MOVD s4+56(FP), R7
+	MOVD dst+64(FP), R2
+	MOVD n+72(FP), R3
+	LOADMASK
+
+m4loop:
+	VLD1.P 16(R1), [V0.B16]
+	MULVEC16(V0.B16, V16.B16, V17.B16, V1.B16)
+	VLD1.P 16(R5), [V2.B16]
+	MULVEC16(V2.B16, V18.B16, V19.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VLD1.P 16(R6), [V2.B16]
+	MULVEC16(V2.B16, V20.B16, V21.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VLD1.P 16(R7), [V2.B16]
+	MULVEC16(V2.B16, V22.B16, V23.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VLD1   (R2), [V4.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    m4loop
+	RET
+
+// func mulSlice4AssignNEON(t1, t2, t3, t4 *[32]byte, s1, s2, s3, s4, dst *byte, n int)
+TEXT ·mulSlice4AssignNEON(SB), NOSPLIT, $0-80
+	MOVD t1+0(FP), R0
+	VLD1 (R0), [V16.B16, V17.B16]
+	MOVD t2+8(FP), R0
+	VLD1 (R0), [V18.B16, V19.B16]
+	MOVD t3+16(FP), R0
+	VLD1 (R0), [V20.B16, V21.B16]
+	MOVD t4+24(FP), R0
+	VLD1 (R0), [V22.B16, V23.B16]
+	MOVD s1+32(FP), R1
+	MOVD s2+40(FP), R5
+	MOVD s3+48(FP), R6
+	MOVD s4+56(FP), R7
+	MOVD dst+64(FP), R2
+	MOVD n+72(FP), R3
+	LOADMASK
+
+m4aloop:
+	VLD1.P 16(R1), [V0.B16]
+	MULVEC16(V0.B16, V16.B16, V17.B16, V1.B16)
+	VLD1.P 16(R5), [V2.B16]
+	MULVEC16(V2.B16, V18.B16, V19.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VLD1.P 16(R6), [V2.B16]
+	MULVEC16(V2.B16, V20.B16, V21.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VLD1.P 16(R7), [V2.B16]
+	MULVEC16(V2.B16, V22.B16, V23.B16, V3.B16)
+	VEOR   V2.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R2)
+	SUBS   $16, R3
+	BNE    m4aloop
+	RET

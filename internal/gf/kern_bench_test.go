@@ -1,0 +1,105 @@
+package gf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// A/B benchmarks of the runtime-selected SIMD kernel against the scalar
+// table walks it replaced. The `kernel=<name>` sub is what production code
+// runs (dispatch included); `kernel=generic` calls the scalar loop directly.
+// Under the noasm tag both subs run the scalar code and should agree.
+
+var kernBenchSizes = []int{64, 1500, 8192}
+
+func benchSrcDst(n int) (src, dst []byte) {
+	src = make([]byte, n)
+	dst = make([]byte, n)
+	rand.New(rand.NewSource(int64(n))).Read(src)
+	return
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	for _, n := range kernBenchSizes {
+		src, dst := benchSrcDst(n)
+		b.Run(fmt.Sprintf("kernel=%s/n=%d", KernelName(), n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSlice(0xb7, src, dst)
+			}
+		})
+		b.Run(fmt.Sprintf("kernel=generic/n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				mulSliceGeneric(0xb7, src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMulSliceAssign(b *testing.B) {
+	for _, n := range kernBenchSizes {
+		src, dst := benchSrcDst(n)
+		b.Run(fmt.Sprintf("kernel=%s/n=%d", KernelName(), n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSliceAssign(0xb7, src, dst)
+			}
+		})
+		b.Run(fmt.Sprintf("kernel=generic/n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				mulSliceAssignGeneric(0xb7, src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkXorSliceKernel(b *testing.B) {
+	for _, n := range kernBenchSizes {
+		src, dst := benchSrcDst(n)
+		b.Run(fmt.Sprintf("kernel=%s/n=%d", KernelName(), n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				XorSlice(src, dst)
+			}
+		})
+		b.Run(fmt.Sprintf("kernel=generic/n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				xorSliceGeneric(src, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkMulSliceQuad measures the fused four-source kernel that
+// MulBlocksInto leans on: one destination pass per four coefficients. The
+// `unfused` sub applies the same four coefficients through four separate
+// MulSlice passes — the difference is what fusion buys.
+func BenchmarkMulSliceQuad(b *testing.B) {
+	const n = 1500
+	srcs := make([][]byte, 4)
+	for i := range srcs {
+		srcs[i], _ = benchSrcDst(n)
+	}
+	dst := make([]byte, n)
+	coeffs := [4]byte{0x02, 0x53, 0x8e, 0xb7}
+	b.Run(fmt.Sprintf("kernel=%s/n=%d", KernelName(), n), func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			mulSliceQuad(coeffs[0], coeffs[1], coeffs[2], coeffs[3],
+				srcs[0], srcs[1], srcs[2], srcs[3], dst, true)
+		}
+	})
+	b.Run(fmt.Sprintf("unfused/n=%d", n), func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			MulSliceAssign(coeffs[0], srcs[0], dst)
+			MulSlice(coeffs[1], srcs[1], dst)
+			MulSlice(coeffs[2], srcs[2], dst)
+			MulSlice(coeffs[3], srcs[3], dst)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+// Portable no-op dispatch: selected on platforms without a SIMD kernel and
+// whenever the noasm build tag forces the scalar path. Every *Fast wrapper
+// reports zero bytes handled, so the public kernels run their generic loops
+// over the whole slice.
+
+//go:build noasm || (!amd64 && !arm64)
+
+package gf
+
+func kernelName() string { return "generic" }
+
+func xorSliceFast(src, dst []byte) int { return 0 }
+
+func mulSliceFast(c byte, src, dst []byte) int { return 0 }
+
+func mulSliceAssignFast(c byte, src, dst []byte) int { return 0 }
+
+func mulSlicePairFast(c1, c2 byte, s1, s2, dst []byte, assign bool) int { return 0 }
+
+func mulSliceQuadFast(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) int {
+	return 0
+}

@@ -1,0 +1,198 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The SIMD kernels must be bit-identical to the scalar reference on every
+// coefficient, every length (especially the 0..64-byte tails the asm hands
+// back to the generic code), and every src/dst alignment. The reference is
+// the per-byte field arithmetic itself, not the scalar table walks, so a
+// shared table-generation bug cannot hide.
+
+func refMulAcc(c byte, src, dst []byte) {
+	for i := range dst {
+		dst[i] ^= Mul(c, src[i])
+	}
+}
+
+func refMulAssign(c byte, src, dst []byte) {
+	for i := range dst {
+		dst[i] = Mul(c, src[i])
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestKernelAllCoefficients pins MulSlice/MulSliceAssign against per-byte
+// field arithmetic for every one of the 256 coefficients at a length that
+// exercises both the vector body and a ragged tail.
+func TestKernelAllCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1500 // 46 vectors + 28-byte tail on AVX2
+	src := randBytes(rng, n)
+	base := randBytes(rng, n)
+	for c := 0; c < Order; c++ {
+		dst := append([]byte(nil), base...)
+		want := append([]byte(nil), base...)
+		MulSlice(byte(c), src, dst)
+		refMulAcc(byte(c), src, want)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulSlice(c=%#02x) kernel %q diverges from reference", c, KernelName())
+		}
+		dst = append(dst[:0], base...)
+		want = append(want[:0], base...)
+		MulSliceAssign(byte(c), src, dst)
+		refMulAssign(byte(c), src, want)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulSliceAssign(c=%#02x) kernel %q diverges from reference", c, KernelName())
+		}
+	}
+}
+
+// TestKernelTailLengths sweeps every length 0..96: below, at, and across the
+// 16- and 32-byte vector widths, so the fast-path cut and the generic tail
+// are both exercised at every split.
+func TestKernelTailLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	coeffs := []byte{0, 1, 2, 0x1d, 0x80, 0xff}
+	for n := 0; n <= 96; n++ {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		for _, c := range coeffs {
+			dst := append([]byte(nil), base...)
+			want := append([]byte(nil), base...)
+			MulSlice(c, src, dst)
+			refMulAcc(c, src, want)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice(c=%#02x, len=%d) diverges", c, n)
+			}
+			dst = append(dst[:0], base...)
+			want = append(want[:0], base...)
+			MulSliceAssign(c, src, dst)
+			refMulAssign(c, src, want)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSliceAssign(c=%#02x, len=%d) diverges", c, n)
+			}
+		}
+		xdst := append([]byte(nil), base...)
+		xwant := append([]byte(nil), base...)
+		XorSlice(src, xdst)
+		for i := range xwant {
+			xwant[i] ^= src[i]
+		}
+		if !bytes.Equal(xdst, xwant) {
+			t.Fatalf("XorSlice(len=%d) diverges", n)
+		}
+	}
+}
+
+// TestKernelUnaligned slides src and dst across all 8×8 byte-offset
+// combinations inside padded backing arrays and checks the guard bytes
+// around dst stay untouched — unaligned loads/stores must neither fault nor
+// spill outside the slice.
+func TestKernelUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100 // vectors + tail at every offset
+	const pad = 16
+	for so := 0; so < 8; so++ {
+		for do := 0; do < 8; do++ {
+			sbuf := randBytes(rng, n+so+pad)
+			dbuf := randBytes(rng, n+do+pad)
+			snap := append([]byte(nil), dbuf...)
+			src := sbuf[so : so+n]
+			dst := dbuf[do : do+n]
+			want := append([]byte(nil), dst...)
+			MulSlice(0x53, src, dst)
+			refMulAcc(0x53, src, want)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice src+%d dst+%d diverges", so, do)
+			}
+			if !bytes.Equal(dbuf[:do], snap[:do]) || !bytes.Equal(dbuf[do+n:], snap[do+n:]) {
+				t.Fatalf("MulSlice src+%d dst+%d wrote outside dst", so, do)
+			}
+		}
+	}
+}
+
+// TestKernelFusedPairQuad pins the fused 2-/4-source kernels (the
+// MulBlocksInto inner loops) against composing the single-source kernel.
+func TestKernelFusedPairQuad(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 1500} {
+		srcs := make([][]byte, 4)
+		for i := range srcs {
+			srcs[i] = randBytes(rng, n)
+		}
+		base := randBytes(rng, n)
+		coeffs := []byte{0x02, 0x00, 0x8e, 0x01} // includes the 0/1 specials
+		for _, assign := range []bool{false, true} {
+			dst := append([]byte(nil), base...)
+			want := append([]byte(nil), base...)
+			mulSlicePair(coeffs[0], coeffs[1], srcs[0], srcs[1], dst, assign)
+			if assign {
+				refMulAssign(coeffs[0], srcs[0], want)
+			} else {
+				refMulAcc(coeffs[0], srcs[0], want)
+			}
+			refMulAcc(coeffs[1], srcs[1], want)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulSlicePair(len=%d, assign=%v) diverges", n, assign)
+			}
+
+			dst = append(dst[:0], base...)
+			want = append(want[:0], base...)
+			mulSliceQuad(coeffs[0], coeffs[1], coeffs[2], coeffs[3],
+				srcs[0], srcs[1], srcs[2], srcs[3], dst, assign)
+			if assign {
+				refMulAssign(coeffs[0], srcs[0], want)
+			} else {
+				refMulAcc(coeffs[0], srcs[0], want)
+			}
+			refMulAcc(coeffs[1], srcs[1], want)
+			refMulAcc(coeffs[2], srcs[2], want)
+			refMulAcc(coeffs[3], srcs[3], want)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulSliceQuad(len=%d, assign=%v) diverges", n, assign)
+			}
+		}
+	}
+}
+
+// FuzzMulSlice lets the fuzzer pick coefficient, payload, and an alignment
+// nudge; the asm and the per-byte reference must agree exactly.
+func FuzzMulSlice(f *testing.F) {
+	f.Add(byte(2), byte(1), []byte("seed corpus payload for the kernels!"))
+	f.Add(byte(0xff), byte(7), bytes.Repeat([]byte{0xa5}, 97))
+	f.Add(byte(0), byte(0), []byte{})
+	f.Fuzz(func(t *testing.T, c byte, off byte, data []byte) {
+		o := int(off % 8)
+		if o > len(data) {
+			o = len(data)
+		}
+		src := data[o:]
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 7)
+		}
+		want := append([]byte(nil), dst...)
+		MulSlice(c, src, dst)
+		refMulAcc(c, src, want)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulSlice(c=%#02x, len=%d, off=%d) diverges from reference", c, len(src), o)
+		}
+		adst := make([]byte, len(src))
+		MulSliceAssign(c, src, adst)
+		awant := make([]byte, len(src))
+		refMulAssign(c, src, awant)
+		if !bytes.Equal(adst, awant) {
+			t.Fatalf("MulSliceAssign(c=%#02x, len=%d, off=%d) diverges from reference", c, len(src), o)
+		}
+	})
+}

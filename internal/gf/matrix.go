@@ -229,8 +229,23 @@ func (m *Matrix) MulBlocksInto(blocks, out [][]byte) {
 }
 
 // mulSliceQuad computes dst = c1*s1 ^ c2*s2 ^ c3*s3 ^ c4*s4 (assign) or
-// dst ^= ... (not assign) in a single pass.
+// dst ^= ... (not assign) in a single pass: the bulk through the fused
+// four-source platform kernel (each destination vector is loaded and stored
+// once per group of four coefficients), the tail through the scalar fused
+// loop.
 func mulSliceQuad(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) {
+	s1 = s1[:len(dst)]
+	s2 = s2[:len(dst)]
+	s3 = s3[:len(dst)]
+	s4 = s4[:len(dst)]
+	n := mulSliceQuadFast(c1, c2, c3, c4, s1, s2, s3, s4, dst, assign)
+	mulSliceQuadGeneric(c1, c2, c3, c4, s1[n:], s2[n:], s3[n:], s4[n:], dst[n:], assign)
+}
+
+// mulSliceQuadGeneric is the portable fused four-source kernel: four table
+// lookups, one store per byte. mulTable[0] is all zeros and mulTable[1] the
+// identity, so no per-coefficient special cases are needed.
+func mulSliceQuadGeneric(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) {
 	t1, t2, t3, t4 := &mulTable[c1], &mulTable[c2], &mulTable[c3], &mulTable[c4]
 	s1 = s1[:len(dst)]
 	s2 = s2[:len(dst)]
@@ -248,9 +263,17 @@ func mulSliceQuad(c1, c2, c3, c4 byte, s1, s2, s3, s4, dst []byte, assign bool) 
 }
 
 // mulSlicePair computes dst = c1*s1 ^ c2*s2 (assign) or dst ^= ... (not
-// assign) in a single pass. mulTable[0] is all zeros and mulTable[1] the
-// identity, so no per-coefficient special cases are needed.
+// assign) in a single pass, bulk through the fused two-source platform
+// kernel.
 func mulSlicePair(c1, c2 byte, s1, s2, dst []byte, assign bool) {
+	s1 = s1[:len(dst)]
+	s2 = s2[:len(dst)]
+	n := mulSlicePairFast(c1, c2, s1, s2, dst, assign)
+	mulSlicePairGeneric(c1, c2, s1[n:], s2[n:], dst[n:], assign)
+}
+
+// mulSlicePairGeneric is the portable fused two-source kernel.
+func mulSlicePairGeneric(c1, c2 byte, s1, s2, dst []byte, assign bool) {
 	t1, t2 := &mulTable[c1], &mulTable[c2]
 	s1 = s1[:len(dst)]
 	s2 = s2[:len(dst)]

@@ -2,6 +2,7 @@ package relay
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -128,6 +129,90 @@ func BenchmarkForwardDataPacket(b *testing.B) {
 			b.StopTimer()
 			if want := int64(b.N * len(info.DataMap)); tr.sent < want {
 				b.Fatalf("forwarded %d packets, want >= %d", tr.sent, want)
+			}
+		})
+	}
+}
+
+// BenchmarkForwardBurst measures what burst draining amortizes: the same
+// single-parent forward path driven one packet at a time (the pre-burst shard
+// loop) versus through processBurst at the default burst bound — per-burst
+// parse batch, one lock acquisition, one done-check, one stats flush. Each
+// packet is its own round, so every packet pays the full forward cost and
+// the delta is pure per-packet overhead.
+func BenchmarkForwardBurst(b *testing.B) {
+	for _, k := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("burst=%d", k), func(b *testing.B) {
+			tr := &countingTransport{}
+			n, err := New(1, tr, Config{Rng: rand.New(rand.NewSource(1)), Burst: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer n.Close()
+
+			const d = 2
+			const flow = wire.FlowID(7)
+			const parent = wire.NodeID(100)
+			info := &wire.PerNodeInfo{
+				Children:   []wire.NodeID{2},
+				ChildFlows: []wire.FlowID{55},
+				DataMap:    []wire.DataForward{{Parent: parent, Child: 0}},
+			}
+			fs := &flowState{
+				setupPkts:  make(map[wire.NodeID]*wire.Packet),
+				ownByD:     make(map[int][]code.Slice),
+				geomByD:    make(map[int][2]int),
+				rounds:     make(map[uint32]*round),
+				chunks:     make(map[uint32][]byte),
+				seen:       make(map[wire.NodeID]bool),
+				info:       info,
+				parents:    map[wire.NodeID]bool{parent: true},
+				d:          d,
+				lastActive: time.Now(),
+			}
+			sh := n.shardFor(flow)
+			sh.mu.Lock()
+			sh.flows[flow] = fs
+			sh.mu.Unlock()
+			n.flowCount.Add(1)
+
+			rng := rand.New(rand.NewSource(2))
+			enc, err := code.NewEncoder(d, d, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunk := make([]byte, 1200*d)
+			rng.Read(chunk)
+			slices, err := enc.Encode(chunk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One pre-framed buffer per burst slot: headers for the whole
+			// burst are parsed before dispatch, so slots cannot share bytes.
+			s := slices[0]
+			slotLen := len(s.Coeff) + len(s.Payload) + 4
+			burst := make([]inPkt, k)
+			for j := range burst {
+				buf := wire.AppendPacketHeader(nil, wire.MsgData, flow, 0, d, uint16(slotLen), 1)
+				burst[j] = inPkt{from: parent, data: wire.AppendSlot(buf, s)}
+			}
+			parsed := make([]*wire.Packet, 0, k)
+			b.SetBytes(int64(k * len(burst[0].data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Each iteration is one full burst of k packets, every packet its
+			// own round (seq strictly increasing).
+			for i := 0; i < b.N; i++ {
+				for j := range burst {
+					binary.BigEndian.PutUint32(burst[j].data[9:], uint32(i*k+j))
+				}
+				parsed = n.processBurst(sh, burst, parsed[:0])
+			}
+			b.StopTimer()
+			perPkt := float64(b.Elapsed().Nanoseconds()) / float64(b.N*k)
+			b.ReportMetric(perPkt, "ns/pkt")
+			if want := int64(b.N * k); tr.sent != want {
+				b.Fatalf("forwarded %d packets, want %d", tr.sent, want)
 			}
 		})
 	}

@@ -1,0 +1,243 @@
+package relay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"infoslicing/internal/code"
+	"infoslicing/internal/wire"
+)
+
+// Regression tests for burst-mode shard processing: draining the queue in
+// bursts must not change any observable behavior — forwarding stays
+// exactly-once, drop accounting stays exact, shutdown still returns every
+// queued clock hold, and outcomes are independent of the burst size.
+
+func dataFrame(flow wire.FlowID, seq uint32, d int, sl code.Slice) []byte {
+	slotLen := len(sl.Coeff) + len(sl.Payload) + 4
+	buf := wire.AppendPacketHeader(nil, wire.MsgData, flow, seq, uint8(d), uint16(slotLen), 1)
+	return wire.AppendSlot(buf, sl)
+}
+
+// TestBurstExactlyOnceForwarding processes one burst containing a duplicate
+// slice (same parent, same round) and a garbage datagram alongside the two
+// legitimate slices: the round must forward exactly once per data-map entry,
+// the duplicate must still be counted inbound, and the garbage must vanish
+// without disturbing the rest of the burst.
+func TestBurstExactlyOnceForwarding(t *testing.T) {
+	const (
+		flow   = wire.FlowID(0xb0057)
+		p1, p2 = wire.NodeID(11), wire.NodeID(12)
+		chld   = wire.NodeID(21)
+	)
+	s, n := virtualNode(t, 1, Config{})
+	for _, id := range []wire.NodeID{p1, p2, chld} {
+		if err := s.Net.Attach(id, func(wire.NodeID, []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	injectFlowAt(n, flow, &wire.PerNodeInfo{
+		Children:   []wire.NodeID{chld},
+		ChildFlows: []wire.FlowID{0xc0},
+		Key:        testKey(0x31),
+		DataMap: []wire.DataForward{
+			{Parent: p1, Child: 0}, {Parent: p2, Child: 0},
+		},
+	}, s.Clk.Now())
+
+	rng := rand.New(rand.NewSource(9))
+	enc, err := code.NewEncoder(2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 600)
+	rng.Read(chunk)
+	slices, err := enc.Encode(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sh := n.shards[0]
+	released := 0
+	rel := func() { released++ }
+	burst := []inPkt{
+		{from: p1, data: dataFrame(flow, 0, 2, slices[0]), release: rel},
+		{from: 99, data: []byte{0xff}, release: rel},                     // garbage: parse fails
+		{from: p1, data: dataFrame(flow, 0, 2, slices[0]), release: rel}, // duplicate
+		{from: p2, data: dataFrame(flow, 0, 2, slices[1]), release: rel},
+	}
+	n.processBurst(sh, burst, nil)
+	for i := range burst {
+		burst[i].release()
+	}
+
+	st := n.Stats()
+	if st.DataPacketsIn != 3 {
+		t.Fatalf("DataPacketsIn = %d, want 3 (duplicate counts inbound)", st.DataPacketsIn)
+	}
+	if st.PacketsOut != 2 {
+		t.Fatalf("PacketsOut = %d, want 2 (one per data-map entry, exactly once)", st.PacketsOut)
+	}
+	if released != 4 {
+		t.Fatalf("released %d holds, want 4", released)
+	}
+}
+
+// TestBurstQueueDropAccounting overfills a shard queue: every packet beyond
+// the queue depth must be counted in queueDrops and have its clock hold
+// released immediately, and nothing may be double-counted when the excess
+// arrives while a burst is outstanding (the queue is never drained here, as
+// if the worker were mid-burst the whole time).
+func TestBurstQueueDropAccounting(t *testing.T) {
+	sh := &shard{in: make(chan inPkt, 4)}
+	released := 0
+	for i := 0; i < 10; i++ {
+		sh.enqueue(7, []byte{byte(i)}, func() { released++ })
+	}
+	if got := sh.queueDrops.Load(); got != 6 {
+		t.Fatalf("queueDrops = %d, want 6", got)
+	}
+	if released != 6 {
+		t.Fatalf("released %d holds at enqueue, want 6 (dropped packets only)", released)
+	}
+	if len(sh.in) != 4 {
+		t.Fatalf("queue holds %d packets, want 4", len(sh.in))
+	}
+}
+
+// TestBurstShutdownReleasesHolds closes the node while its worker is blocked
+// mid-burst on the shard lock with more packets still queued: every clock
+// hold — from the partially drained burst and from the untouched backlog —
+// must come back, or a virtual-time run would hang forever; and none of the
+// packets may be processed after the done-check.
+func TestBurstShutdownReleasesHolds(t *testing.T) {
+	const flow = wire.FlowID(0xdead)
+	s, n := virtualNode(t, 1, Config{Burst: 4, QueueDepth: 64})
+	sh := n.shards[0]
+
+	rng := rand.New(rand.NewSource(5))
+	enc, err := code.NewEncoder(2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 200)
+	rng.Read(chunk)
+	slices, err := enc.Encode(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the worker: it will pick up a burst, parse it, and block on
+	// sh.mu; the rest of the backlog stays queued.
+	sh.mu.Lock()
+	for i := 0; i < 12; i++ {
+		sh.enqueue(wire.NodeID(11), dataFrame(flow, uint32(i), 2, slices[0]), s.Clk.Hold())
+	}
+	closed := make(chan struct{})
+	go func() {
+		n.Close()
+		close(closed)
+	}()
+	// Close signals shutdown before it touches any shard lock; release the
+	// worker only once the signal is visible so no packet can slip through.
+	<-n.done
+	sh.mu.Unlock()
+	<-closed
+
+	// Every hold must be back: a virtual clock step blocks until the
+	// universe quiesces, so a leaked hold turns into a hang.
+	quiesced := make(chan struct{})
+	go func() {
+		s.Clk.RunFor(0)
+		close(quiesced)
+	}()
+	select {
+	case <-quiesced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("virtual clock never quiesced: shutdown leaked queued clock holds")
+	}
+	if got := n.Stats().DataPacketsIn; got != 0 {
+		t.Fatalf("%d packets processed after close", got)
+	}
+	if got := n.flowTableSize(); got != 0 {
+		t.Fatalf("shutdown burst resurrected %d flow(s)", got)
+	}
+}
+
+// TestBurstSizeInvariance runs the same 40-round virtual-time scenario at
+// burst sizes 1, 4, and 64 (and the same size twice): every run must produce
+// identical stats — burst draining amortizes overhead but must never change
+// what is processed, forwarded, or regenerated.
+func TestBurstSizeInvariance(t *testing.T) {
+	run := func(burst int) Stats {
+		const (
+			flow       = wire.FlowID(0xabc)
+			p1, p2, p3 = wire.NodeID(11), wire.NodeID(12), wire.NodeID(13)
+			chld       = wire.NodeID(21)
+		)
+		s, n := virtualNode(t, 1, Config{Burst: burst, RoundWait: 5 * time.Millisecond})
+		for _, id := range []wire.NodeID{p1, p2, p3, chld} {
+			if err := s.Net.Attach(id, func(wire.NodeID, []byte) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		injectFlowAt(n, flow, &wire.PerNodeInfo{
+			Children:   []wire.NodeID{chld},
+			ChildFlows: []wire.FlowID{0xc1},
+			Key:        testKey(0x42),
+			Recode:     true,
+			DataMap: []wire.DataForward{
+				{Parent: p1, Child: 0}, {Parent: p2, Child: 0}, {Parent: p3, Child: 0},
+			},
+		}, s.Clk.Now())
+
+		// d=2 split carried by three parents: losing one still leaves a
+		// decodable pair, so the lost redundancy is regenerated (§4.4.1).
+		rng := rand.New(rand.NewSource(17))
+		enc, err := code.NewEncoder(2, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := make([]byte, 600)
+		for i := 0; i < 40; i++ {
+			rng.Read(chunk)
+			slices, err := enc.Encode(chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := uint32(i)
+			f1 := dataFrame(flow, seq, 2, slices[0])
+			f2 := dataFrame(flow, seq, 2, slices[1])
+			f3 := dataFrame(flow, seq, 2, slices[2])
+			at := time.Duration(i) * time.Millisecond
+			s.At(at, func() {
+				s.Net.Send(p1, 1, f1)
+				s.Net.Send(p2, 1, f2)
+				if seq%5 != 4 { // every fifth round loses p3's slice
+					s.Net.Send(p3, 1, f3)
+				}
+			})
+		}
+		s.Run(200 * time.Millisecond)
+		st := n.Stats()
+		n.Close()
+		return st
+	}
+
+	base := run(4)
+	if base.DataPacketsIn == 0 || base.PacketsOut == 0 {
+		t.Fatalf("scenario processed nothing: %+v", base)
+	}
+	if base.Regenerated == 0 {
+		t.Fatalf("scenario never regenerated despite lost slices: %+v", base)
+	}
+	if again := run(4); again != base {
+		t.Fatalf("same seed, same burst, different outcomes:\n%+v\n%+v", again, base)
+	}
+	for _, b := range []int{1, 64} {
+		if got := run(b); got != base {
+			t.Fatalf("burst=%d changed outcomes:\nburst=4: %+v\nburst=%d: %+v", b, base, b, got)
+		}
+	}
+}
