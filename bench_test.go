@@ -346,6 +346,46 @@ func BenchmarkTCPLoopback(b *testing.B) {
 	}
 }
 
+// BenchmarkUDPLoopback is the datagram twin of BenchmarkTCPLoopback: the
+// same flows × relay-pool experiment over real loopback UDP through the
+// congestion-controlled peer layer (frames packed whole into sendmmsg'd
+// datagrams, CUBIC windows paced by the ack/echo channel, recvmmsg reader
+// slabs). The acceptance bar is parity: flows=8 throughput within 20% of
+// the TCP run at zero loss, with the steady-state send path allocating
+// nothing per frame (gated by bench_baseline.json, like TCP).
+func BenchmarkUDPLoopback(b *testing.B) {
+	for _, flows := range []int{1, 8} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			b.ReportAllocs()
+			var res perf.RelayScalingResult
+			var delivered int
+			var elapsed time.Duration
+			var lat []float64
+			for i := 0; i < b.N; i++ {
+				r, err := perf.UDPLoopback(perf.RelayScalingParams{
+					Flows: flows, L: 2, D: 2,
+					Messages: 128, MessageBytes: 512, Window: 16,
+					Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Transport.Retransmissions != 0 {
+					b.Fatalf("datagram transport retransmitted: %+v", r.Transport)
+				}
+				res = r
+				delivered += r.Delivered
+				elapsed += r.Elapsed
+				lat = append(lat, r.LatencySamples...)
+			}
+			b.ReportMetric(float64(delivered)/elapsed.Seconds(), "msgs/s")
+			b.ReportMetric(res.AggregateMbps, "Mbps-total")
+			b.ReportMetric(metrics.Percentile(lat, 50)*1e6, "p50-µs")
+			b.ReportMetric(metrics.Percentile(lat, 99)*1e6, "p99-µs")
+		})
+	}
+}
+
 // --- Fig. 14: LAN setup time vs path length and split factor -----------------
 
 func BenchmarkFig14SetupLAN(b *testing.B) {

@@ -18,8 +18,9 @@
 //
 // -id accepts a comma-separated list so one process can host several
 // relays (a deployment packing more than one overlay identity per host);
-// all of them share one StaticTCP transport — and therefore one TCP
-// connection per remote host, the peer model of internal/transport.
+// all of them share one transport — and therefore one connection (TCP) or
+// one paced datagram peer (UDP, -transport=udp) per remote host, the peer
+// model of internal/transport.
 package main
 
 import (
@@ -30,7 +31,6 @@ import (
 	"os/signal"
 	"syscall"
 
-	"infoslicing/internal/overlay"
 	"infoslicing/internal/relay"
 
 	"infoslicing/cmd/internal/book"
@@ -40,6 +40,7 @@ func main() {
 	ids := flag.String("id", "", "this process's overlay id(s), comma-separated (each must appear in the book)")
 	bookPath := flag.String("book", "overlay.book", "address book file: lines of 'id host:port'")
 	outPath := flag.String("out", "", "append received message payloads to this file (default: print them)")
+	transportKind := flag.String("transport", "tcp", "wire transport: tcp (stream, reconnecting) or udp (congestion-controlled datagrams; loss absorbed by slicing redundancy, never retransmitted)")
 	flag.Parse()
 	if *ids == "" {
 		log.Fatal("slicenode: -id is required")
@@ -60,7 +61,10 @@ func main() {
 		}
 		defer out.Close()
 	}
-	tr := overlay.NewStaticTCP(addrs)
+	tr, err := book.NewTransport(*transportKind, addrs)
+	if err != nil {
+		log.Fatalf("slicenode: %v", err)
+	}
 	defer tr.Close()
 
 	// All relays of this process feed one delivery channel.

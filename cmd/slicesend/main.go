@@ -31,7 +31,6 @@ import (
 	"time"
 
 	"infoslicing/internal/core"
-	"infoslicing/internal/overlay"
 	"infoslicing/internal/simnet"
 	"infoslicing/internal/source"
 	"infoslicing/internal/wire"
@@ -55,6 +54,7 @@ func main() {
 	resetup := flag.Duration("resetup", 0, "re-inject the setup wave at this interval during the transfer (0 = off)")
 	estTimeout := flag.Duration("establish-timeout", 10*time.Second, "how long to wait for the establishment ack")
 	seed := flag.Int64("seed", 0, "rng seed (0 = process base seed, printed for replay)")
+	transportKind := flag.String("transport", "tcp", "wire transport: tcp (stream, reconnecting) or udp (congestion-controlled datagrams; loss absorbed by slicing redundancy, never retransmitted)")
 	flag.Parse()
 
 	if *dp == 0 {
@@ -98,7 +98,10 @@ func main() {
 	// transfer, corrupt output — is replayable with -seed.
 	log.Printf("slicesend: seed %d", *seed)
 
-	tr := overlay.NewStaticTCP(addrs)
+	tr, err := book.NewTransport(*transportKind, addrs)
+	if err != nil {
+		log.Fatalf("slicesend: %v", err)
+	}
 	defer tr.Close()
 	// The endpoints listen: the destination's establishment ack (and, were
 	// repair enabled, failure reports) come back to them hop by hop.

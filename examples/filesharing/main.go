@@ -62,11 +62,11 @@ func main() {
 		if !bytes.Equal(got, file) {
 			log.Fatal("transfer corrupted")
 		}
-		pkts, bytesSent, lost := nw.Stats()
+		st := nw.Stats()
 		fmt.Printf("256 KB delivered intact in %v (%.2f Mb/s goodput)\n",
 			el.Round(time.Millisecond), float64(len(file))*8/el.Seconds()/1e6)
 		fmt.Printf("overlay moved %d packets / %.1f MB, %d dropped at failed relays\n",
-			pkts, float64(bytesSent)/(1<<20), lost)
+			st.Packets, float64(st.Bytes)/(1<<20), st.Lost)
 	case <-time.After(60 * time.Second):
 		log.Fatal("transfer did not survive the churn")
 	}

@@ -60,29 +60,28 @@ var (
 	Unshaped = overlay.Unshaped
 )
 
-// transport is what the facade needs from its overlay network: the relay
-// transport plus churn injection and counters. ChanNetwork (wall clock) and
-// simnet.SimNet (virtual time) both satisfy it.
-type transport interface {
+// TransportStats re-exports the unified transport counter vocabulary.
+type TransportStats = overlay.TransportStats
+
+// bookTransport is the shared surface of the address-book socket
+// transports (StaticTCP, StaticUDP): the full overlay.Transport plus the
+// dynamic-attach escape hatch the facade needs for relays grown on the fly.
+type bookTransport interface {
 	overlay.Transport
-	Fail(id wire.NodeID)
-	Revive(id wire.NodeID)
-	Down(id wire.NodeID) bool
-	Stats() (pkts, bytes, lost int64)
-	Close()
+	AttachDynamic(id wire.NodeID, h overlay.Handler) error
 }
 
-// staticFacade adapts overlay.StaticTCP to the facade's transport: node
-// ids with a book entry bind their pre-agreed address, everything else —
-// relays grown on the fly, transient source endpoints — binds a fresh
-// loopback port that stays resolvable inside this process.
-type staticFacade struct{ *overlay.StaticTCP }
+// staticFacade adapts a book transport to the facade: node ids with a book
+// entry bind their pre-agreed address, everything else — relays grown on
+// the fly, transient source endpoints — binds a fresh loopback port that
+// stays resolvable inside this process.
+type staticFacade struct{ bookTransport }
 
 func (s staticFacade) Attach(id wire.NodeID, h overlay.Handler) error {
-	if err := s.StaticTCP.Attach(id, h); err == nil || !errors.Is(err, overlay.ErrUnknownNode) {
+	if err := s.bookTransport.Attach(id, h); err == nil || !errors.Is(err, overlay.ErrUnknownNode) {
 		return err
 	}
-	return s.StaticTCP.AttachDynamic(id, h)
+	return s.bookTransport.AttachDynamic(id, h)
 }
 
 // Network is an in-process information-slicing overlay: a transport plus a
@@ -90,7 +89,7 @@ func (s staticFacade) Attach(id wire.NodeID, h overlay.Handler) error {
 type Network struct {
 	cfg config
 	rng *rand.Rand
-	chn transport
+	chn overlay.Transport
 
 	mu      sync.Mutex
 	nodes   map[NodeID]*relay.Node
@@ -102,15 +101,27 @@ type Network struct {
 	closed  bool
 }
 
+// transportKind enumerates the substrates WithTransport can select.
+type transportKind int
+
+const (
+	chanKind    transportKind = iota // in-memory ChanNetwork (default)
+	tcpKind                          // StaticTCP over real sockets
+	udpKind                          // StaticUDP, congestion-controlled datagrams
+	virtualKind                      // simnet.SimNet on a virtual clock
+)
+
 type config struct {
 	profile       Profile
 	seed          int64
 	relayCfg      relay.Config
 	hasRelayCfg   bool
 	ctrlHeartbeat time.Duration
-	vclk          *simnet.VirtualClock
-	tcpBook       map[NodeID]string
-	useStaticTCP  bool
+
+	kind    transportKind
+	vclk    *simnet.VirtualClock
+	book    map[NodeID]string
+	udpLoss float64
 }
 
 // clock returns the network's time source: the injected virtual clock, or
@@ -144,31 +155,93 @@ func WithControlPlane(heartbeat time.Duration) Option {
 	return func(c *config) { c.ctrlHeartbeat = heartbeat }
 }
 
-// WithStaticTCP runs the overlay over real TCP sockets instead of the
-// in-memory transport: every relay (and every transient source endpoint)
-// listens on a loopback socket, and all slices cross the OS network stack
-// through the production peer layer (internal/transport: per-peer bounded
-// queues, batched writev writers, reconnect with backoff). book may pin
-// listen addresses for specific node ids — the paper's pre-agreed address
-// book (§7.1) — and may be nil or partial: ids without an entry bind a
-// fresh loopback port, which in-process senders resolve transparently.
-//
-// Traffic shaping (WithProfile) is not emulated over real sockets, and
-// WithVirtualTime is incompatible with real I/O (New panics if both are
-// set). For multi-process overlays use cmd/slicenode and cmd/slicesend
-// with a shared book file instead of the facade.
-func WithStaticTCP(book map[NodeID]string) Option {
-	return func(c *config) { c.useStaticTCP = true; c.tcpBook = book }
+// TransportSpec selects the overlay substrate a Network runs on. Exactly
+// one substrate is active per Network; passing several WithTransport
+// options is not an error — the last one wins (there is no panic-based
+// exclusivity anymore). The zero default, with no WithTransport at all, is
+// the in-memory ChanNetwork shaped by WithProfile.
+type TransportSpec interface {
+	apply(*config)
 }
 
-// WithVirtualTime runs the whole network — transport, relay timers,
-// heartbeats, repair loops — on the given virtual clock instead of the wall
-// clock. The caller drives the universe by stepping the clock (RunFor,
+// TCPSpec runs the overlay over real TCP sockets through the production
+// peer layer (internal/transport: per-peer bounded queues, batched writev
+// writers, reconnect with backoff). Book may pin listen addresses for
+// specific node ids — the paper's pre-agreed address book (§7.1) — and may
+// be nil or partial: ids without an entry bind a fresh loopback port,
+// which in-process senders resolve transparently.
+//
+// Traffic shaping (WithProfile) is not emulated over real sockets. For
+// multi-process overlays use cmd/slicenode and cmd/slicesend with a shared
+// book file instead of the facade.
+type TCPSpec struct {
+	Book map[NodeID]string
+}
+
+func (s TCPSpec) apply(c *config) {
+	c.kind, c.book, c.vclk, c.udpLoss = tcpKind, s.Book, nil, 0
+}
+
+// UDPSpec runs the overlay over congestion-controlled UDP datagrams: the
+// same peer core as TCPSpec, but frames pack whole into datagrams sent
+// with sendmmsg under a per-destination CUBIC window paced by the
+// transport's ack/echo channel. Lost datagrams are never retransmitted —
+// the slicing redundancy (d' > d) absorbs loss, and persistent loss beyond
+// the budget is escalated to splice repair on flows dialed with Repair.
+//
+// Loss injects an independent drop probability on every endpoint's inbound
+// datagrams (a socket-level netem shim for experiments); zero for none.
+type UDPSpec struct {
+	Book map[NodeID]string
+	Loss float64
+}
+
+func (s UDPSpec) apply(c *config) {
+	c.kind, c.book, c.vclk, c.udpLoss = udpKind, s.Book, nil, s.Loss
+}
+
+// VirtualSpec runs the whole network — transport, relay timers,
+// heartbeats, repair loops — on a virtual clock instead of the wall clock.
+// The caller drives the universe by stepping the clock (RunFor,
 // AwaitCond); combined with WithSeed the network becomes fully
-// deterministic. Bandwidth shaping and CPU-delay emulation of the profile
-// are not modeled under virtual time (latency and loss are).
+// deterministic. A nil Clock gets a fresh one, reachable via
+// Network.VirtualClock. Bandwidth shaping and CPU-delay emulation of the
+// profile are not modeled under virtual time (latency and loss are).
+type VirtualSpec struct {
+	Clock *simnet.VirtualClock
+}
+
+func (s VirtualSpec) apply(c *config) {
+	vc := s.Clock
+	if vc == nil {
+		vc = simnet.NewVirtualClock()
+	}
+	c.kind, c.vclk, c.book, c.udpLoss = virtualKind, vc, nil, 0
+}
+
+// WithTransport selects the overlay substrate (see TransportSpec). It is
+// the single construction path for every transport flavour; a nil spec
+// keeps the default in-memory network.
+func WithTransport(spec TransportSpec) Option {
+	return func(c *config) {
+		if spec != nil {
+			spec.apply(c)
+		}
+	}
+}
+
+// WithStaticTCP runs the overlay over real TCP sockets.
+//
+// Deprecated: use WithTransport(TCPSpec{Book: book}).
+func WithStaticTCP(book map[NodeID]string) Option {
+	return WithTransport(TCPSpec{Book: book})
+}
+
+// WithVirtualTime runs the network on the given virtual clock.
+//
+// Deprecated: use WithTransport(VirtualSpec{Clock: vc}).
 func WithVirtualTime(vc *simnet.VirtualClock) Option {
-	return func(c *config) { c.vclk = vc }
+	return WithTransport(VirtualSpec{Clock: vc})
 }
 
 // New creates an empty overlay network. Without WithSeed the seed derives
@@ -187,19 +260,21 @@ func New(opts ...Option) *Network {
 	if err != nil {
 		panic(err) // parameters are constants; unreachable
 	}
-	var tr transport
-	switch {
-	case cfg.vclk != nil:
-		if cfg.useStaticTCP {
-			panic("infoslicing: WithStaticTCP and WithVirtualTime are incompatible (virtual time cannot drive real sockets)")
-		}
+	var tr overlay.Transport
+	switch cfg.kind {
+	case virtualKind:
 		tr = simnet.NewSimNet(cfg.vclk, cfg.seed+1, simnet.LinkProfile{
 			Delay:  cfg.profile.LatencyMin,
 			Jitter: cfg.profile.LatencyMax - cfg.profile.LatencyMin,
 			Loss:   cfg.profile.Loss,
 		})
-	case cfg.useStaticTCP:
-		tr = staticFacade{overlay.NewStaticTCP(cfg.tcpBook)}
+	case tcpKind:
+		tr = staticFacade{overlay.NewStaticTCP(cfg.book)}
+	case udpKind:
+		tr = staticFacade{overlay.NewStaticUDP(cfg.book, overlay.UDPOptions{
+			Loss: cfg.udpLoss,
+			Seed: cfg.seed + 3,
+		})}
 	default:
 		tr = overlay.NewChanNetwork(cfg.profile, rand.New(rand.NewSource(cfg.seed+1)))
 	}
@@ -308,8 +383,13 @@ func (nw *Network) Fail(id NodeID) { nw.chn.Fail(id) }
 // Revive restores a failed relay.
 func (nw *Network) Revive(id NodeID) { nw.chn.Revive(id) }
 
-// Stats returns transport counters: packets, bytes, lost.
-func (nw *Network) Stats() (pkts, bytes, lost int64) { return nw.chn.Stats() }
+// Stats returns the transport's cumulative counters.
+func (nw *Network) Stats() TransportStats { return nw.chn.Stats() }
+
+// VirtualClock returns the network's virtual clock, or nil when it runs on
+// the wall clock (useful with VirtualSpec{Clock: nil}, where the facade
+// creates the clock).
+func (nw *Network) VirtualClock() *simnet.VirtualClock { return nw.cfg.vclk }
 
 // Close shuts down every relay and the transport.
 func (nw *Network) Close() {
@@ -371,12 +451,13 @@ type DialSpec struct {
 // Conn is one established anonymous flow from this process to a hidden
 // destination relay.
 type Conn struct {
-	nw     *Network
-	sender *source.Sender
-	graph  *core.Graph
-	dest   *relay.Node
-	srcs   []NodeID          // transient source-endpoint attachments
-	eps    *source.Endpoints // non-nil when Repair is on
+	nw      *Network
+	sender  *source.Sender
+	graph   *core.Graph
+	dest    *relay.Node
+	srcs    []NodeID          // transient source-endpoint attachments
+	eps     *source.Endpoints // non-nil when Repair is on
+	unwatch func()            // removes the transport loss watcher, if any
 
 	recv     chan []byte
 	done     chan struct{}
@@ -560,6 +641,21 @@ func (nw *Network) Dial(spec DialSpec) (*Conn, error) {
 			detachSrcs()
 			return nil, err
 		}
+		// Loss-measuring transports (UDP) feed the repair loop a second
+		// failure signal: persistent per-destination datagram loss beyond
+		// the slicing redundancy budget (d'−d)/d' cannot be absorbed by
+		// coding, so it is escalated exactly like a ParentDown report — the
+		// flow splices around the lossy node rather than retransmitting.
+		// Loss within the budget never fires (redundancy absorbs it).
+		if lr, ok := nw.chn.(overlay.LossReporter); ok {
+			threshold := float64(spec.DPrime-spec.D) / float64(spec.DPrime)
+			if threshold < 0.02 {
+				threshold = 0.02 // d'=d: any persistent loss is fatal, but debounce noise
+			}
+			c.unwatch = lr.AddLossWatcher(threshold, func(to NodeID, rate float64) {
+				eps.InjectTransportDown(to)
+			})
+		}
 	}
 
 	// Demultiplex the destination relay's deliveries for this flow.
@@ -612,6 +708,9 @@ func (c *Conn) Close() { c.stop() }
 func (c *Conn) stop() {
 	c.stopOnce.Do(func() {
 		close(c.done)
+		if c.unwatch != nil {
+			c.unwatch()
+		}
 		c.sender.StopRepair()
 		if c.eps != nil {
 			c.eps.Close()

@@ -210,7 +210,7 @@ func TestFailReviveRoundTrip(t *testing.T) {
 	defer conn.Close()
 	conn.Send([]byte("revived"))
 	recvOne(t, conn, 10*time.Second)
-	if pkts, _, _ := nw.Stats(); pkts == 0 {
+	if nw.Stats().Packets == 0 {
 		t.Fatal("no packets counted")
 	}
 }

@@ -50,7 +50,17 @@ var counterStripes = 4 * runtime.GOMAXPROCS(0)
 // can satisfy Transport without importing it.
 type Handler = func(from wire.NodeID, data []byte)
 
-// Transport moves opaque datagrams between overlay nodes.
+// TransportStats is the unified counter vocabulary every transport reports
+// (it is wire.TransportStats, aliased so transports below this package can
+// share it). It replaces the old per-transport tuple returns.
+type TransportStats = wire.TransportStats
+
+// Transport moves opaque datagrams between overlay nodes. This is the ONE
+// transport contract in the codebase — the in-memory ChanNetwork, the
+// virtual-time SimNet, the TCP and UDP socket transports, and every test
+// fake all satisfy it (fakes embed TransportBase for the parts they don't
+// care about). The former three-way split (core sends, failure injection,
+// stats as separate ad-hoc interfaces) is gone.
 type Transport interface {
 	// Attach registers a node and its packet handler.
 	Attach(id wire.NodeID, h Handler) error
@@ -71,6 +81,45 @@ type Transport interface {
 	// which data-path callers count (relay Stats.SendDrops) and nothing
 	// retries — redundancy, not retransmission, is the protocol's answer.
 	Send(from, to wire.NodeID, data []byte) error
+	// Fail crashes a node (churn injection): it stops receiving and
+	// sending but stays attached. Revive restores it; Down reports it.
+	Fail(id wire.NodeID)
+	Revive(id wire.NodeID)
+	Down(id wire.NodeID) bool
+	// Stats reports cumulative transport counters.
+	Stats() TransportStats
+	// Close stops the transport and releases its resources.
+	Close()
+}
+
+// TransportBase is an embeddable no-op implementation of everything in
+// Transport beyond Attach/Detach/Send — test fakes and minimal transports
+// embed it and override what they model.
+type TransportBase struct{}
+
+func (TransportBase) Fail(wire.NodeID)      {}
+func (TransportBase) Revive(wire.NodeID)    {}
+func (TransportBase) Down(wire.NodeID) bool { return false }
+func (TransportBase) Stats() TransportStats { return TransportStats{} }
+func (TransportBase) Close()                {}
+
+// CongestionAdvisor is optionally implemented by congestion-controlled
+// transports (the UDP transport). SendDelay estimates how long a sender
+// should hold its next burst of n bytes toward a node — zero when the
+// path's window has room. Sources consult it to pace their round loop;
+// it is advisory (the transport gates hard regardless).
+type CongestionAdvisor interface {
+	SendDelay(to wire.NodeID, bytes int) time.Duration
+}
+
+// LossReporter is optionally implemented by transports that measure
+// per-destination wire loss (the UDP transport). AddLossWatcher registers
+// f to be called — rate-limited, off the data path — whenever the smoothed
+// loss rate toward a destination exceeds threshold; the returned func
+// removes the watcher. The facade escalates persistent loss beyond the
+// slicing redundancy budget to splice repair through this hook.
+type LossReporter interface {
+	AddLossWatcher(threshold float64, f func(to wire.NodeID, rate float64)) (remove func())
 }
 
 // Errors.
@@ -332,8 +381,12 @@ func (n *ChanNetwork) dropPacket() bool {
 }
 
 // Stats reports cumulative network counters.
-func (n *ChanNetwork) Stats() (pkts, bytes, lost int64) {
-	return n.pktsSent.Value(), n.bytesSent.Value(), n.pktsLost.Value()
+func (n *ChanNetwork) Stats() TransportStats {
+	return TransportStats{
+		Packets: n.pktsSent.Value(),
+		Bytes:   n.bytesSent.Value(),
+		Lost:    n.pktsLost.Value(),
+	}
 }
 
 // Close stops delivering packets and waits for in-flight deliveries.

@@ -217,8 +217,7 @@ func TestChanNetworkLoss(t *testing.T) {
 	if s.count() != 0 {
 		t.Fatalf("loss=1.0 delivered %d packets", s.count())
 	}
-	_, _, lost := n.Stats()
-	if lost != 50 {
+	if lost := n.Stats().Lost; lost != 50 {
 		t.Fatalf("lost counter %d", lost)
 	}
 }
@@ -231,9 +230,8 @@ func TestChanNetworkStats(t *testing.T) {
 	n.Attach(2, func(wire.NodeID, []byte) {})
 	n.Send(2, 1, make([]byte, 100))
 	s.waitFor(t, 1, time.Second)
-	pkts, bytes_, _ := n.Stats()
-	if pkts != 1 || bytes_ != 100 {
-		t.Fatalf("stats: %d pkts %d bytes", pkts, bytes_)
+	if st := n.Stats(); st.Packets != 1 || st.Bytes != 100 {
+		t.Fatalf("stats: %d pkts %d bytes", st.Packets, st.Bytes)
 	}
 }
 

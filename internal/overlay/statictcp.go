@@ -176,7 +176,15 @@ func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 	s.mu.RLock()
 	_, known := s.book[to]
 	isDown := s.down[from]
+	closed := s.closed
 	s.mu.RUnlock()
+	if closed {
+		// Racing Network.Close: the peer set is tearing down (or already
+		// gone). A datagram into the void, not congestion — callers must
+		// not count it toward SendDrops, and the peer core's dead-then-reap
+		// ordering guarantees nothing we enqueued past this point strands.
+		return nil
+	}
 	if isDown {
 		return fmt.Errorf("%w: %d", ErrNodeDown, from)
 	}
@@ -201,6 +209,12 @@ func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 		return nil
 	}
 	if !p.Enqueue(from, data) {
+		s.mu.RLock()
+		closed = s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil // the queue "filled" because Close reaped it
+		}
 		return ErrSendQueueFull
 	}
 	return nil
@@ -209,11 +223,17 @@ func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 // PeerStats reports aggregate outbound peer counters.
 func (s *StaticTCP) PeerStats() transport.Stats { return s.peers.Stats() }
 
-// Stats reports cumulative counters in the facade's shape: packets sent,
-// bytes sent, packets lost (queue drops and failed flushes).
-func (s *StaticTCP) Stats() (pkts, bytes, lost int64) {
+// Stats implements Transport with the unified counter vocabulary: frames
+// out, bytes out, frames lost (queue drops and failed flushes).
+func (s *StaticTCP) Stats() TransportStats {
 	st := s.peers.Stats()
-	return st.FramesOut, st.BytesOut, st.Dropped
+	return TransportStats{
+		Packets:      st.FramesOut,
+		Bytes:        st.BytesOut,
+		Lost:         st.Dropped,
+		SendFailures: st.SendFailures,
+		Reconnects:   st.Reconnects,
+	}
 }
 
 // Close shuts down peers (draining queued frames briefly) and the

@@ -1,0 +1,364 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"infoslicing/internal/simnet"
+	"infoslicing/internal/transport"
+	"infoslicing/internal/wire"
+)
+
+// StaticUDP is the datagram twin of StaticTCP: a cross-process UDP
+// transport over a pre-agreed address book, riding the congestion-
+// controlled datagram peer layer (internal/transport UDPPeer/UDPAcceptor:
+// per-host bounded queues, sendmmsg-batched writers paced by a CUBIC
+// window over the transport's ack/echo channel, recvmmsg-batched readers).
+// Framing inside each datagram matches the TCP stream byte-for-byte; a
+// frame never splits across datagrams.
+//
+// Loss is handled by the slicing protocol, not the transport: a lost
+// datagram is never retransmitted. What the transport contributes is
+// MEASUREMENT — per-destination smoothed loss rates from the ack channel —
+// surfaced through AddLossWatcher so the facade can escalate persistent
+// loss beyond the redundancy budget to splice repair.
+type StaticUDP struct {
+	mu     sync.RWMutex
+	book   map[wire.NodeID]string
+	local  map[wire.NodeID]*staticUDPEndpoint
+	down   map[wire.NodeID]bool
+	peers  *transport.PeerSet
+	ucfg   transport.UDPConfig
+	closed bool
+
+	watchMu  sync.Mutex
+	watchSeq int
+	watchers map[int]lossWatcher
+}
+
+type lossWatcher struct {
+	threshold float64
+	f         func(to wire.NodeID, rate float64)
+}
+
+type staticUDPEndpoint struct {
+	acc     *transport.UDPAcceptor
+	addr    string
+	dynamic bool
+}
+
+// UDPOptions tunes a StaticUDP / UDPNetwork beyond the address book.
+type UDPOptions struct {
+	// Loss injects an independent drop probability on every endpoint's
+	// inbound datagrams (data and acks): a socket-level netem shim for
+	// loss experiments. Zero means no injected loss.
+	Loss float64
+	// Seed seeds the injected-loss RNG (0: derived from the process base
+	// seed via simnet, so failing runs replay).
+	Seed int64
+	// Config overrides the datagram peer/acceptor tuning; zero values keep
+	// the defaults. RxDrop and OnLoss are owned by the transport and
+	// ignored here.
+	Config transport.UDPConfig
+}
+
+// NewStaticUDP creates a transport over the given id→address book.
+func NewStaticUDP(book map[wire.NodeID]string, opts UDPOptions) *StaticUDP {
+	b := make(map[wire.NodeID]string, len(book))
+	for id, addr := range book {
+		b[id] = addr
+	}
+	ucfg := opts.Config
+	ucfg.RxDrop = nil
+	ucfg.OnLoss = nil
+	lossy := opts.Loss > 0
+	if lossy {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = simnet.NextSeed()
+		}
+		var rngMu sync.Mutex
+		rng := rand.New(rand.NewSource(seed))
+		loss := opts.Loss
+		ucfg.RxDrop = func() bool {
+			rngMu.Lock()
+			drop := rng.Float64() < loss
+			rngMu.Unlock()
+			return drop
+		}
+	}
+	s := &StaticUDP{
+		book:     b,
+		local:    make(map[wire.NodeID]*staticUDPEndpoint),
+		down:     make(map[wire.NodeID]bool),
+		ucfg:     ucfg,
+		watchers: make(map[int]lossWatcher),
+	}
+	s.peers = transport.NewLinkSet(func(to wire.NodeID, resolve func() (string, bool)) transport.Link {
+		cfg := transport.Config{}
+		if lossy {
+			// The shim rolls the Bernoulli die once per datagram, so run
+			// one frame per datagram while it is active: that makes the
+			// injected loss independent per slice, matching a WAN where
+			// distinct senders' slices arrive in distinct datagrams. With
+			// normal batching a multi-attach loopback run would coalesce
+			// several senders' slices of the same round into one datagram
+			// and a single drop could erase more redundancy than the d'−d
+			// budget is sized for. Lossless runs keep full batching.
+			cfg.MaxBatch = 1
+		}
+		pucfg := s.ucfg
+		pucfg.OnLoss = func(rate float64) { s.reportLoss(to, rate) }
+		return transport.NewUDPPeer(resolve, cfg, pucfg)
+	})
+	return s
+}
+
+// AddLossWatcher implements LossReporter: f fires (rate-limited by the
+// peer layer, off the data path) whenever the smoothed datagram loss rate
+// toward some destination exceeds threshold. The returned func removes the
+// watcher.
+func (s *StaticUDP) AddLossWatcher(threshold float64, f func(to wire.NodeID, rate float64)) (remove func()) {
+	s.watchMu.Lock()
+	s.watchSeq++
+	id := s.watchSeq
+	s.watchers[id] = lossWatcher{threshold: threshold, f: f}
+	s.watchMu.Unlock()
+	return func() {
+		s.watchMu.Lock()
+		delete(s.watchers, id)
+		s.watchMu.Unlock()
+	}
+}
+
+func (s *StaticUDP) reportLoss(to wire.NodeID, rate float64) {
+	s.watchMu.Lock()
+	var fire []func(to wire.NodeID, rate float64)
+	for _, w := range s.watchers {
+		if rate > w.threshold {
+			fire = append(fire, w.f)
+		}
+	}
+	s.watchMu.Unlock()
+	for _, f := range fire {
+		f(to, rate)
+	}
+}
+
+// Attach implements Transport: it binds the node's UDP socket at its book
+// address.
+func (s *StaticUDP) Attach(id wire.NodeID, h Handler) error {
+	s.mu.RLock()
+	addr, ok := s.book[id]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d not in address book", ErrUnknownNode, id)
+	}
+	return s.attach(id, addr, false, h)
+}
+
+// AttachDynamic binds the node to a fresh loopback port and records the
+// address in this process's book (see StaticTCP.AttachDynamic).
+func (s *StaticUDP) AttachDynamic(id wire.NodeID, h Handler) error {
+	return s.attach(id, "127.0.0.1:0", true, h)
+}
+
+func (s *StaticUDP) attach(id wire.NodeID, addr string, dynamic bool, h Handler) error {
+	la, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("overlay: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return fmt.Errorf("overlay: %w", err)
+	}
+	ep := &staticUDPEndpoint{addr: conn.LocalAddr().String(), dynamic: dynamic}
+	ep.acc = transport.NewUDPAcceptor(conn, transport.DefaultMaxFrame, s.ucfg,
+		func(from wire.NodeID, data []byte) bool {
+			s.mu.RLock()
+			cur := s.local[id]
+			isDown := s.down[id] || s.down[from]
+			s.mu.RUnlock()
+			if cur != ep {
+				return false // detached or superseded: stop delivering
+			}
+			if isDown {
+				return true // crashed receiver or sender: discarded
+			}
+			h(from, data)
+			return true
+		})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ep.acc.Close()
+		return ErrNodeDown
+	}
+	if _, dup := s.local[id]; dup {
+		s.mu.Unlock()
+		ep.acc.Close()
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	s.local[id] = ep
+	s.book[id] = ep.addr
+	s.mu.Unlock()
+	// Read only after the endpoint is published (the attach race, same as
+	// StaticTCP): the first inbound datagram must find the liveness check
+	// already true.
+	ep.acc.Start()
+	return nil
+}
+
+// Addr returns a node's listen address (see StaticTCP.Addr).
+func (s *StaticUDP) Addr(id wire.NodeID) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ep, ok := s.local[id]; ok {
+		return ep.addr, true
+	}
+	addr, ok := s.book[id]
+	return addr, ok
+}
+
+// Detach implements Transport.
+func (s *StaticUDP) Detach(id wire.NodeID) {
+	s.mu.Lock()
+	ep := s.local[id]
+	delete(s.local, id)
+	if ep != nil && ep.dynamic {
+		delete(s.book, id)
+	}
+	s.mu.Unlock()
+	s.peers.Drop(func(to wire.NodeID) bool { return to == id })
+	if ep != nil {
+		ep.acc.Close()
+	}
+}
+
+// Fail crashes a local node (churn injection, see StaticTCP.Fail).
+func (s *StaticUDP) Fail(id wire.NodeID) {
+	s.mu.Lock()
+	s.down[id] = true
+	s.mu.Unlock()
+}
+
+// Revive restores a failed node.
+func (s *StaticUDP) Revive(id wire.NodeID) {
+	s.mu.Lock()
+	delete(s.down, id)
+	s.mu.Unlock()
+}
+
+// Down reports whether the node is marked failed in this process.
+func (s *StaticUDP) Down(id wire.NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down[id]
+}
+
+// Send implements Transport: same shape and contract as StaticTCP.Send —
+// never blocks, never dials on this path, full queue drops with the
+// advisory ErrSendQueueFull.
+func (s *StaticUDP) Send(from, to wire.NodeID, data []byte) error {
+	s.mu.RLock()
+	_, known := s.book[to]
+	isDown := s.down[from]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil // datagram into the void, not congestion
+	}
+	if isDown {
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if !known {
+		return nil
+	}
+	p := s.peers.Lookup(to)
+	if p == nil {
+		p = s.peers.Get(to, func() (string, bool) {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			addr, ok := s.book[to]
+			return addr, ok
+		})
+	}
+	if p == nil {
+		return nil
+	}
+	if !p.Enqueue(from, data) {
+		s.mu.RLock()
+		closed = s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil // the queue "filled" because Close reaped it
+		}
+		return ErrSendQueueFull
+	}
+	return nil
+}
+
+// SendDelay implements CongestionAdvisor: the destination peer's estimate
+// of how long to hold the next burst (zero when its window has room or the
+// peer does not exist yet).
+func (s *StaticUDP) SendDelay(to wire.NodeID, bytes int) time.Duration {
+	p, _ := s.peers.Lookup(to).(*transport.UDPPeer)
+	if p == nil {
+		return 0
+	}
+	return p.SendDelay(bytes)
+}
+
+// PeerStats reports aggregate outbound peer counters.
+func (s *StaticUDP) PeerStats() transport.Stats { return s.peers.Stats() }
+
+// UDPStats sums the datagram-specific counters over every live peer
+// (Window is summed; SRTT and LossRate are the per-peer maxima).
+func (s *StaticUDP) UDPStats() transport.UDPPeerStats {
+	var tot transport.UDPPeerStats
+	s.peers.Each(func(_ wire.NodeID, p transport.Link) {
+		if up, ok := p.(*transport.UDPPeer); ok {
+			st := up.UDPStats()
+			tot.Add(st)
+		}
+	})
+	return tot
+}
+
+// Stats implements Transport with the unified counter vocabulary. Lost
+// counts frames shed locally (full queues, drain cutoffs) — wire loss
+// lives in UDPStats().DatagramsLost, measured in datagrams.
+// Retransmissions is structurally zero: this transport never retransmits.
+func (s *StaticUDP) Stats() TransportStats {
+	st := s.peers.Stats()
+	return TransportStats{
+		Packets:      st.FramesOut,
+		Bytes:        st.BytesOut,
+		Lost:         st.Dropped,
+		SendFailures: st.SendFailures,
+		Reconnects:   st.Reconnects,
+	}
+}
+
+// Close shuts down peers (draining briefly) and this process's sockets.
+func (s *StaticUDP) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	eps := make([]*staticUDPEndpoint, 0, len(s.local))
+	for _, ep := range s.local {
+		eps = append(eps, ep)
+	}
+	s.local = map[wire.NodeID]*staticUDPEndpoint{}
+	s.mu.Unlock()
+	s.peers.Close()
+	for _, ep := range eps {
+		ep.acc.Close()
+	}
+}

@@ -283,8 +283,8 @@ func TestStaticTCPFacadeLifecycle(t *testing.T) {
 	}) {
 		t.Fatal("no delivery after Revive")
 	}
-	if pk, by, _ := s.Stats(); pk == 0 || by == 0 {
-		t.Fatalf("Stats() = %d pkts %d bytes, want nonzero", pk, by)
+	if st := s.Stats(); st.Packets == 0 || st.Bytes == 0 {
+		t.Fatalf("Stats() = %d pkts %d bytes, want nonzero", st.Packets, st.Bytes)
 	}
 }
 

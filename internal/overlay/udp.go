@@ -1,0 +1,34 @@
+package overlay
+
+import (
+	"infoslicing/internal/wire"
+)
+
+// UDPNetwork runs the overlay over real loopback UDP sockets: StaticUDP
+// with an empty address book where every node binds an ephemeral port on
+// Attach — the datagram twin of TCPNetwork, riding the congestion-
+// controlled peer layer (sendmmsg/recvmmsg batching, CUBIC-paced writers,
+// ack/echo loss measurement) with the identical frame format inside each
+// datagram.
+type UDPNetwork struct {
+	*StaticUDP
+}
+
+// NewUDPNetwork creates an empty UDP overlay.
+func NewUDPNetwork(opts UDPOptions) *UDPNetwork {
+	return &UDPNetwork{StaticUDP: NewStaticUDP(nil, opts)}
+}
+
+// Attach implements Transport: it binds a loopback UDP socket for the node.
+func (n *UDPNetwork) Attach(id wire.NodeID, h Handler) error {
+	return n.AttachDynamic(id, h)
+}
+
+// Down reports whether the node is currently failed or not attached (see
+// TCPNetwork.Down).
+func (n *UDPNetwork) Down(id wire.NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.local[id]
+	return !ok || n.down[id]
+}

@@ -143,6 +143,66 @@ func TestTCPLoopbackSmoke(t *testing.T) {
 	}
 }
 
+// Smoke-test the loopback-UDP variant: the congestion-controlled datagram
+// transport under the same harness, lossless. Every message must arrive and
+// the transport must never retransmit (it structurally cannot).
+func TestUDPLoopbackSmoke(t *testing.T) {
+	res, err := UDPLoopback(RelayScalingParams{
+		Flows: 2, L: 2, D: 2, PoolSize: 8,
+		Messages: 8, MessageBytes: 512, Window: 4, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2*8 {
+		t.Fatalf("delivered %d messages, want %d", res.Delivered, 2*8)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lossless run wrote off %d messages", res.Lost)
+	}
+	if res.Transport.Packets == 0 {
+		t.Fatalf("transport counters did not move: %+v", res.Transport)
+	}
+	if res.Transport.Retransmissions != 0 {
+		t.Fatalf("datagram transport retransmitted: %+v", res.Transport)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyP99 {
+		t.Fatalf("latency percentiles disordered: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+}
+
+// The loss acceptance run (scaled down for CI): 2% uniform datagram loss on
+// every endpoint with d'=d+1 redundancy. The paper's transport claim in one
+// assertion: ≥99% of messages deliver, restored by coding redundancy and
+// in-network regeneration — the transport retransmits nothing.
+func TestUDPLoopbackLossRedundancyAbsorbs(t *testing.T) {
+	// The write-off deadline separates "erasures exceeded the redundancy
+	// budget" from "still in flight". Under the race detector everything in
+	// flight is 5-20× slower — a spurious RTO collapses the window and backs
+	// off for seconds — so the deadline scales with it; the delivery bar
+	// does not.
+	msgTimeout := 3 * time.Second
+	if raceEnabled {
+		msgTimeout = 20 * time.Second
+	}
+	res, err := UDPLoopback(RelayScalingParams{
+		Flows: 2, L: 2, D: 2, DPrime: 3, PoolSize: 12,
+		Messages: 25, MessageBytes: 1024, Window: 2,
+		Loss: 0.02, MessageTimeout: msgTimeout, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 2 * 25
+	if res.Delivered < total*99/100 {
+		t.Fatalf("delivered %d/%d under 2%% loss with d'=d+1; redundancy should absorb it (lost %d)",
+			res.Delivered, total, res.Lost)
+	}
+	if res.Transport.Retransmissions != 0 {
+		t.Fatalf("loss papered over by retransmission: %+v", res.Transport)
+	}
+}
+
 func TestScalingTwoFlows(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling test is slow")

@@ -1,0 +1,8 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports whether the race detector is compiled in. Its ~5-20×
+// slowdown inflates real-socket RTTs enough to fire spurious RTOs (window
+// collapse + backoff), so wall-clock delivery bars scale with it.
+const raceEnabled = true

@@ -33,6 +33,18 @@ type RelayScalingParams struct {
 	ChunkPayload int // per-round plaintext (default 1200·D)
 	Window       int // messages in flight per flow (default 1: latency-bound)
 
+	// Loss injects an independent drop probability on every inbound
+	// datagram — the socket-level netem shim of the UDP transport.
+	// UDPLoopback only; the other substrates ignore it.
+	Loss float64
+
+	// MessageTimeout bounds the wait for one message on a lossy run before
+	// it is written off as lost (default 5s). A round that lost more than
+	// d'−d slices at some stage is gone for good — the transport never
+	// retransmits — so the experiment counts it rather than failing.
+	// Ignored when Loss is zero: an undelivered message there is an error.
+	MessageTimeout time.Duration
+
 	Seed int64
 }
 
@@ -61,6 +73,12 @@ func (p *RelayScalingParams) normalize() error {
 	if p.Window == 0 {
 		p.Window = 1
 	}
+	if p.MessageTimeout == 0 {
+		p.MessageTimeout = 5 * time.Second
+	}
+	if p.Loss < 0 || p.Loss >= 1 {
+		return fmt.Errorf("perf: loss %v out of [0,1)", p.Loss)
+	}
 	need := p.L * p.DPrime
 	if p.PoolSize == 0 {
 		p.PoolSize = 4 * need
@@ -81,6 +99,16 @@ type RelayScalingResult struct {
 	Delivered     int       // messages delivered (Flows·Messages on success)
 	MsgsPerSec    float64   // delivered messages over the data-phase window
 	Elapsed       time.Duration
+
+	// Lost counts messages written off after MessageTimeout on lossy runs:
+	// rounds whose erasures exceeded the d'−d redundancy budget. Always
+	// zero when Loss is zero (an undelivered message is an error there).
+	Lost int
+
+	// Transport snapshots the transport's cumulative counters over the
+	// whole run — the unified vocabulary, so lossy UDP runs can assert
+	// Retransmissions == 0 while DatagramsLost grows.
+	Transport overlay.TransportStats
 
 	// Per-message delivery latency (source hand-off to destination decode),
 	// pooled across flows.
@@ -115,6 +143,32 @@ func TCPLoopback(p RelayScalingParams) (RelayScalingResult, error) {
 		return RelayScalingResult{}, err
 	}
 	net := overlay.NewTCPNetwork()
+	defer net.Close()
+	return runScaling(net, p)
+}
+
+// UDPLoopback is the datagram twin of TCPLoopback: every relay binds a real
+// 127.0.0.1 UDP socket and all slices cross loopback datagrams through the
+// congestion-controlled peer layer (sendmmsg batching, CUBIC windows,
+// ack-derived loss measurement). With Params.Loss set, every endpoint drops
+// inbound datagrams at that rate — the socket-level netem shim — and the
+// run demonstrates the paper's core transport claim: delivery is restored
+// by d'−d coding redundancy and in-network regeneration, never by
+// transport retransmission (Result.Transport.Retransmissions is
+// structurally zero). This is the honest-WAN harness behind the Figs.
+// 12/15 loss columns in EXPERIMENTS.md.
+func UDPLoopback(p RelayScalingParams) (RelayScalingResult, error) {
+	if err := p.normalize(); err != nil {
+		return RelayScalingResult{}, err
+	}
+	opts := overlay.UDPOptions{Loss: p.Loss, Seed: p.Seed + 11}
+	// The RTO's 10s default ceiling is a WAN safety net; on loopback it
+	// turns a run of backed-off timeouts into a multi-second stall on one
+	// peer link, staggering a round's slices far enough apart that relays
+	// forward partial rounds (RoundWait) and late slices die on arrival.
+	// Cap it at the scale of actual loopback round trips.
+	opts.Config.MaxRTO = time.Second
+	net := overlay.NewUDPNetwork(opts)
 	defer net.Close()
 	return runScaling(net, p)
 }
@@ -207,13 +261,24 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 		if err := snd.Establish(); err != nil {
 			return res, err
 		}
-		var dest *relay.Node
+		byID := make(map[wire.NodeID]*relay.Node, len(nodes))
 		for _, n := range nodes {
-			if n.ID() == g.Dest {
-				dest = n
-			}
+			byID[n.ID()] = n
 		}
 		destFlow := g.Flows[g.Dest]
+		// Destination decode alone is not enough on a lossy substrate: the
+		// receiver can establish over d of d' columns while a relay on the
+		// remaining column never decodes its routing block. That relay then
+		// buffers data forever, silently burning the d'−d loss budget for
+		// the whole run.
+		established := func() bool {
+			for _, id := range relaysF {
+				if n := byID[id]; n == nil || !n.Established(g.Flows[id]) {
+					return false
+				}
+			}
+			return true
+		}
 		// Sized for the whole run: the dispatcher drops on a full inbox
 		// (channel-full = slow consumer), which a pipelined window must
 		// never trip.
@@ -221,8 +286,18 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 		dmu.Lock()
 		deliveries[destFlow] = inbox
 		dmu.Unlock()
-		if !pollUntil(experimentTimeout, func() bool { return dest.Established(destFlow) }) {
-			return res, fmt.Errorf("%w: flow %d setup", ErrTimeout, f)
+		// Setup datagrams are as lossy as data ones and carry no transport
+		// reliability, so a wave that lost a needed slice would strand the
+		// flow: re-inject it (idempotent at the relays) until the
+		// destination decodes or the experiment deadline passes.
+		estDeadline := time.Now().Add(experimentTimeout)
+		for !pollUntil(2*time.Second, established) {
+			if time.Now().After(estDeadline) {
+				return res, fmt.Errorf("%w: flow %d setup", ErrTimeout, f)
+			}
+			if err := snd.Establish(); err != nil {
+				return res, err
+			}
 		}
 		runs[f] = flowRun{snd: snd, inbox: inbox}
 	}
@@ -238,8 +313,10 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 		latSec   []float64
 		perFlow  = make([]float64, p.Flows)
 		nDeliver int
+		nLost    int
 		firstErr error
 	)
+	lossy := p.Loss > 0
 	start := time.Now()
 	for f := 0; f < p.Flows; f++ {
 		wg.Add(1)
@@ -275,10 +352,18 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 					}
 				}
 			}()
+			localLost := 0
+			timeout := experimentTimeout
+			if lossy {
+				timeout = p.MessageTimeout
+			}
 			for m := 0; m < p.Messages; m++ {
 				select {
 				case got := <-run.inbox:
-					<-window
+					select {
+					case <-window:
+					default:
+					}
 					if len(got.Data) != p.MessageBytes {
 						recordErr(&mu, &firstErr, fmt.Errorf("perf: flow %d message %d corrupted", f, m))
 						return
@@ -287,16 +372,33 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 				case err := <-sendErr:
 					recordErr(&mu, &firstErr, err)
 					return
-				case <-time.After(experimentTimeout):
+				case <-time.After(timeout):
+					if lossy {
+						// A round lost more than d'−d slices at some stage:
+						// the message is gone for good (the transport never
+						// retransmits). Write it off — drain its send stamp,
+						// free its window slot — and keep streaming.
+						select {
+						case <-sentAt:
+						default:
+						}
+						select {
+						case <-window:
+						default:
+						}
+						localLost++
+						continue
+					}
 					recordErr(&mu, &firstErr, fmt.Errorf("%w: flow %d message %d", ErrTimeout, f, m))
 					return
 				}
 			}
-			bps := float64(p.Messages*p.MessageBytes) * 8 / time.Since(t0).Seconds()
+			bps := float64(len(local)*p.MessageBytes) * 8 / time.Since(t0).Seconds()
 			mu.Lock()
 			latSec = append(latSec, local...)
 			perFlow[f] = bps / 1e6
 			nDeliver += len(local)
+			nLost += localLost
 			mu.Unlock()
 		}(f)
 	}
@@ -304,6 +406,8 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 	res.Elapsed = time.Since(start)
 	res.PerFlowMbps = perFlow
 	res.Delivered = nDeliver
+	res.Lost = nLost
+	res.Transport = net.Stats()
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.MsgsPerSec = float64(nDeliver) / secs
 	}

@@ -15,6 +15,7 @@ import (
 // countingTransport swallows sends so the benchmark measures only the relay
 // data path, not a transport.
 type countingTransport struct {
+	overlay.TransportBase
 	handler overlay.Handler
 	sent    int64
 	bytes   int64

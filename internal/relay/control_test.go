@@ -16,6 +16,7 @@ import (
 
 // rawTransport records every send verbatim for control-plane assertions.
 type rawTransport struct {
+	overlay.TransportBase
 	mu    sync.Mutex
 	sends []rawSend
 }

@@ -54,6 +54,12 @@ type Config struct {
 	// RoundWait bounds how long a relay waits for a data round to complete
 	// before forwarding (and, if possible, regenerating) what it has.
 	RoundWait time.Duration
+	// GapWait bounds how long a receiver's reassembly stream stalls on a
+	// missing round while later rounds are already decoded. When it expires
+	// the hole is written off — the transport never retransmits, so a round
+	// that lost more than d'−d slices at some stage is gone for good — and
+	// delivery resumes at the next decoded round. Defaults to 2×RoundWait.
+	GapWait time.Duration
 	// FlowTTL evicts flows with no traffic for this long.
 	FlowTTL time.Duration
 	// GCInterval is how often the flow table is swept.
@@ -107,6 +113,9 @@ func (c *Config) fillDefaults() {
 	if c.RoundWait == 0 {
 		c.RoundWait = 300 * time.Millisecond
 	}
+	if c.GapWait == 0 {
+		c.GapWait = 2 * c.RoundWait
+	}
 	if c.FlowTTL == 0 {
 		c.FlowTTL = 2 * time.Minute
 	}
@@ -159,6 +168,8 @@ type Stats struct {
 	Regenerated       int64 // slices recreated via network coding
 	FlowsEstablished  int64
 	MessagesDelivered int64
+	RoundsSkipped     int64 // receiver rounds written off after GapWait
+	StreamResyncs     int64 // reassembly re-alignments after a skip
 	Dropped           int64 // undeliverable app messages (channel full)
 	QueueDrops        int64 // packets dropped at a full shard queue
 	SendDrops         int64 // packets shed at a full transport peer queue
@@ -178,6 +189,8 @@ func (s *Stats) add(o Stats) {
 	s.Regenerated += o.Regenerated
 	s.FlowsEstablished += o.FlowsEstablished
 	s.MessagesDelivered += o.MessagesDelivered
+	s.RoundsSkipped += o.RoundsSkipped
+	s.StreamResyncs += o.StreamResyncs
 	s.Dropped += o.Dropped
 	s.QueueDrops += o.QueueDrops
 	s.SendDrops += o.SendDrops
@@ -272,9 +285,16 @@ type flowState struct {
 	// Data phase.
 	rounds      map[uint32]*round
 	pendingData []pendingPacket
-	// deadParents marks parents that missed a full round; later rounds stop
-	// waiting for them (they are unmarked the moment they speak again).
+	// deadParents marks parents that missed deadParentStreak consecutive
+	// rounds; later rounds stop waiting for them (they are unmarked the
+	// moment they speak again). missStreak counts the consecutive misses:
+	// requiring more than one keeps a single dropped datagram — routine on
+	// a lossy substrate — from lowering the forward threshold, where the
+	// next round would forward the instant the surviving parent spoke and
+	// discard the marked parent's microseconds-late slice, re-marking it
+	// in a self-sustaining loop that sheds redundancy for many rounds.
 	deadParents map[wire.NodeID]bool
+	missStreak  map[wire.NodeID]int
 
 	// Control plane (live churn repair; populated only when the node runs
 	// with Config.Heartbeat > 0, except lastHeard which is cheap enough to
@@ -295,10 +315,22 @@ type flowState struct {
 	// are dropped so the newest routing state always wins.
 	spliceSeq uint64
 
-	// Receiver-side reassembly.
-	nextSeq uint32
-	chunks  map[uint32][]byte
-	stream  []byte
+	// Receiver-side reassembly. nextSeq is the round the stream is waiting
+	// on; decoded rounds ahead of it buffer in chunks. gapTimer arms while a
+	// hole blocks buffered rounds (gapSeq records which hole, so a firing
+	// timer can tell progress from a stall); resync marks that the byte
+	// stream lost framing to a skipped round and must re-align on a message
+	// boundary before delivering again.
+	// tainted marks that the stream's framing derives from a resync guess
+	// rather than an unbroken chunk sequence; it gates the length sanity
+	// check in drainStreamLocked and clears once a message authenticates.
+	nextSeq  uint32
+	chunks   map[uint32][]byte
+	stream   []byte
+	gapTimer simnet.Timer
+	gapSeq   uint32
+	resync   bool
+	tainted  bool
 
 	// ackSent dedupes the establishment acknowledgment that travels hop by
 	// hop back to the source endpoints (§7.4 measures setup latency with
@@ -325,6 +357,12 @@ type round struct {
 // grow relay memory without limit (the flip side of the paper's "small
 // state on overlay nodes" claim, §9.2).
 const maxLiveRounds = 8192
+
+// deadParentStreak is how many consecutive rounds a parent must miss before
+// it is presumed down. One round is too trigger-happy on a datagram
+// substrate: a single 2%-loss drop would shed redundancy for a stretch of
+// following rounds (see flowState.missStreak).
+const deadParentStreak = 2
 
 // pruneRounds drops rounds far behind the current sequence number; handled
 // rounds go first, but anything older than a full window is reaped even if
@@ -478,6 +516,9 @@ func (n *Node) Close() {
 func (fs *flowState) stopTimers() {
 	if fs.setupTimer != nil {
 		fs.setupTimer.Stop()
+	}
+	if fs.gapTimer != nil {
+		fs.gapTimer.Stop()
 	}
 	for _, r := range fs.rounds {
 		if r.timer != nil {
@@ -976,6 +1017,9 @@ func (n *Node) handleData(sh *shard, f wire.FlowID, fs *flowState, from wire.Nod
 	if fs.deadParents[from] {
 		delete(fs.deadParents, from)
 	}
+	if fs.missStreak[from] != 0 {
+		delete(fs.missStreak, from)
+	}
 
 	if fs.info.Receiver && !r.decoded {
 		n.tryDeliverLocked(sh, f, fs, pkt.Seq, r)
@@ -1010,14 +1054,22 @@ func (n *Node) forwardRoundLocked(sh *shard, f wire.FlowID, fs *flowState, seq u
 	if r.timer != nil {
 		r.timer.Stop()
 	}
-	// Parents silent this whole round are presumed down; stop stalling
-	// future rounds on them.
+	// Parents silent for deadParentStreak whole rounds in a row are
+	// presumed down; stop stalling future rounds on them.
 	if fs.deadParents == nil {
 		fs.deadParents = make(map[wire.NodeID]bool)
 	}
+	if fs.missStreak == nil {
+		fs.missStreak = make(map[wire.NodeID]int)
+	}
 	for p := range fs.parents {
 		if _, ok := r.slices[p]; !ok {
-			fs.deadParents[p] = true
+			fs.missStreak[p]++
+			if fs.missStreak[p] >= deadParentStreak {
+				fs.deadParents[p] = true
+			}
+		} else {
+			delete(fs.missStreak, p)
 		}
 	}
 	pi := fs.info
@@ -1068,10 +1120,20 @@ func (sh *shard) gatherLocked(r *round) []code.Slice {
 	return sh.gather
 }
 
+// maxSealedLen bounds a single sealed message on the reassembly stream. It
+// doubles as the resync filter's plausibility test: after a skipped round
+// the first four bytes of a candidate chunk are AEAD ciphertext — uniform
+// random — unless the chunk really starts a message, so a parsed length
+// above the bound rejects a mid-message chunk with probability 1−2^-12.
+const maxSealedLen = 1 << 20
+
 // tryDeliverLocked decodes a round and advances the receiver's reassembly
 // stream: [4-byte sealed length ‖ sealed bytes ‖ next message ...], each
 // chunk independently length-prefixed by the coding layer.
 func (n *Node) tryDeliverLocked(sh *shard, f wire.FlowID, fs *flowState, seq uint32, r *round) {
+	if seq < fs.nextSeq {
+		return // already delivered or written off; late slices are moot
+	}
 	all := sh.gatherLocked(r)
 	if !code.Decodable(fs.d, all) {
 		return
@@ -1082,6 +1144,14 @@ func (n *Node) tryDeliverLocked(sh *shard, f wire.FlowID, fs *flowState, seq uin
 	}
 	r.decoded = true
 	fs.chunks[seq] = chunk
+	n.spliceChunksLocked(sh, f, fs)
+	n.watchGapLocked(sh, f, fs)
+}
+
+// spliceChunksLocked appends consecutively-decoded rounds to the byte
+// stream and parses out completed messages. While resyncing after a skip it
+// discards chunks until one passes the message-head plausibility test.
+func (n *Node) spliceChunksLocked(sh *shard, f wire.FlowID, fs *flowState) {
 	for {
 		c, ok := fs.chunks[fs.nextSeq]
 		if !ok {
@@ -1089,9 +1159,85 @@ func (n *Node) tryDeliverLocked(sh *shard, f wire.FlowID, fs *flowState, seq uin
 		}
 		delete(fs.chunks, fs.nextSeq)
 		fs.nextSeq++
+		if fs.resync {
+			if len(c) < 4 {
+				continue
+			}
+			total := int(uint32(c[0])<<24 | uint32(c[1])<<16 |
+				uint32(c[2])<<8 | uint32(c[3]))
+			if total > maxSealedLen {
+				continue // mid-message ciphertext, not a length prefix
+			}
+			fs.resync = false
+		}
 		fs.stream = append(fs.stream, c...)
 	}
 	n.drainStreamLocked(sh, f, fs)
+}
+
+// watchGapLocked arms the gap timer while decoded rounds sit buffered
+// behind a missing one, and disarms it once the stream is contiguous. The
+// timer, not round arrival, drives the write-off: the hole round may never
+// reach this node at all.
+func (n *Node) watchGapLocked(sh *shard, f wire.FlowID, fs *flowState) {
+	if len(fs.chunks) == 0 {
+		if fs.gapTimer != nil {
+			fs.gapTimer.Stop()
+			fs.gapTimer = nil
+		}
+		return
+	}
+	if fs.gapTimer != nil && fs.gapSeq == fs.nextSeq {
+		return // already watching this hole
+	}
+	if fs.gapTimer != nil {
+		fs.gapTimer.Stop()
+	}
+	fs.gapSeq = fs.nextSeq
+	fs.gapTimer = n.clk.AfterFunc(n.cfg.GapWait, func() {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if cur := sh.flows[f]; cur != fs {
+			return
+		}
+		n.skipGapLocked(sh, f, fs)
+	})
+}
+
+// skipGapLocked writes off the missing rounds the reassembly stream has
+// been parked on for a full GapWait. The transport never retransmits, so a
+// round still absent after that long lost more than d'−d slices at some
+// stage and is gone for good; skipping it trades those messages — already
+// lost — for the rest of the flow, which would otherwise head-of-line
+// block forever. Any partial message in the stream lost its continuation
+// with the hole, so the buffered bytes are dropped and the resync filter
+// re-aligns delivery on the next plausible message boundary.
+func (n *Node) skipGapLocked(sh *shard, f wire.FlowID, fs *flowState) {
+	fs.gapTimer = nil
+	if len(fs.chunks) == 0 {
+		return
+	}
+	if fs.nextSeq != fs.gapSeq {
+		n.watchGapLocked(sh, f, fs) // progress since arming; watch the new hole
+		return
+	}
+	next := fs.nextSeq
+	first := true
+	for s := range fs.chunks {
+		if first || s < next {
+			next, first = s, false
+		}
+	}
+	sh.stats.RoundsSkipped += int64(next - fs.nextSeq)
+	if len(fs.stream) > 0 || !fs.resync {
+		fs.stream = fs.stream[:0]
+		fs.resync = true
+		fs.tainted = true
+		sh.stats.StreamResyncs++
+	}
+	fs.nextSeq = next
+	n.spliceChunksLocked(sh, f, fs)
+	n.watchGapLocked(sh, f, fs)
 }
 
 func (n *Node) drainStreamLocked(sh *shard, f wire.FlowID, fs *flowState) {
@@ -1101,6 +1247,16 @@ func (n *Node) drainStreamLocked(sh *shard, f wire.FlowID, fs *flowState) {
 		}
 		total := int(uint32(fs.stream[0])<<24 | uint32(fs.stream[1])<<16 |
 			uint32(fs.stream[2])<<8 | uint32(fs.stream[3]))
+		if fs.tainted && total > maxSealedLen {
+			// Framing lost (a resync accepted ciphertext that happened to
+			// parse as a plausible length). Drop the stream and re-align at
+			// the next chunk boundary. An unbroken chunk sequence is never
+			// second-guessed: legitimate messages may exceed the cap.
+			fs.stream = fs.stream[:0]
+			fs.resync = true
+			sh.stats.StreamResyncs++
+			return
+		}
 		if len(fs.stream) < 4+total {
 			return
 		}
@@ -1112,6 +1268,7 @@ func (n *Node) drainStreamLocked(sh *shard, f wire.FlowID, fs *flowState) {
 		if err != nil {
 			continue // corrupted message; skip
 		}
+		fs.tainted = false // authenticated: framing provably re-aligned
 		sh.stats.MessagesDelivered++
 		select {
 		case n.received <- Message{Flow: f, Data: plain}:

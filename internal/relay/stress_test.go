@@ -16,6 +16,7 @@ import (
 // stress test can assert exactly-once forwarding. Shard workers call Send
 // concurrently, so it locks.
 type recordTransport struct {
+	overlay.TransportBase
 	mu    sync.Mutex
 	sends map[[2]uint64]int // (to, seq) -> count
 	total int64

@@ -91,7 +91,7 @@ var (
 // fixes every loss/jitter/duplicate draw of the run.
 //
 // Delivery tracing starts disabled — an unbounded per-packet log is wrong
-// for long-lived networks (the facade's WithVirtualTime mode, soak
+// for long-lived networks (the facade's VirtualSpec mode, soak
 // experiments). Scenario tooling that wants the replayable trace turns it
 // on with EnableTrace; NewScript does so for every scripted scenario.
 func NewSimNet(clk *VirtualClock, seed int64, def LinkProfile) *SimNet {
@@ -310,12 +310,12 @@ func (n *SimNet) deliverFn(from, to wire.NodeID, dst *simEndpoint, epoch uint64,
 	}
 }
 
-// Stats reports cumulative counters: packets sent, bytes sent, packets lost
-// (same shape as overlay.ChanNetwork.Stats).
-func (n *SimNet) Stats() (pkts, bytes, lost int64) {
+// Stats reports cumulative counters in the unified transport vocabulary
+// (wire.TransportStats, aliased as overlay.TransportStats).
+func (n *SimNet) Stats() wire.TransportStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.pkts, n.bytes, n.lost
+	return wire.TransportStats{Packets: n.pkts, Bytes: n.bytes, Lost: n.lost}
 }
 
 // Close stops all future deliveries.

@@ -36,10 +36,17 @@ type Endpoints struct {
 // the sealed body only the source can open (by trial-decrypting with the
 // graph's per-node keys, which doubles as authentication and identifies the
 // reporter).
+//
+// Transport, when non-zero, marks a locally-originated report instead: the
+// transport's own loss measurement (persistent datagram loss beyond the
+// slicing redundancy budget) naming the lossy node directly. Such reports
+// carry no Sealed body — they were observed by this process, so they are
+// authenticated by construction and skip trial decryption.
 type DownReport struct {
-	Flow   wire.FlowID
-	Nonce  uint64
-	Sealed []byte
+	Flow      wire.FlowID
+	Nonce     uint64
+	Sealed    []byte
+	Transport wire.NodeID
 }
 
 // ErrAckTimeout reports that no establishment ack arrived in time.
@@ -77,6 +84,27 @@ func (e *Endpoints) Acks() <-chan wire.FlowID { return e.acks }
 // channel simply fills and further reports are dropped, which is safe —
 // relays re-report while a parent stays dead.
 func (e *Endpoints) Reports() <-chan DownReport { return e.reports }
+
+// InjectTransportDown feeds the repair machinery a locally-observed
+// failure: the transport measured persistent loss toward node beyond what
+// the flow's redundancy can absorb. The report takes the same path as a
+// relayed ParentDown — synchronous handler if one is registered, else the
+// Reports channel — so splice repair, not transport retransmission, is
+// what restores delivery.
+func (e *Endpoints) InjectTransportDown(node wire.NodeID) {
+	r := DownReport{Transport: node}
+	e.repMu.Lock()
+	h := e.onReport
+	e.repMu.Unlock()
+	if h != nil {
+		h(r)
+		return
+	}
+	select {
+	case e.reports <- r:
+	default:
+	}
+}
 
 // Close detaches all endpoints.
 func (e *Endpoints) Close() {

@@ -172,32 +172,42 @@ func (s *Sender) handleReport(st *repairState, eps *Endpoints, cfg RepairConfig,
 		// splice the graph or grow its published counters.
 		return
 	}
-	if st.seen[r.Nonce] {
-		return
-	}
-	if len(st.seen) >= 1024 {
-		st.seen = make(map[uint64]bool)
-	}
-	st.seen[r.Nonce] = true
 	g := s.graph
 
 	var reporter wire.NodeID
 	var dead wire.NodeID
-	authenticated := false
-	for id, key := range g.Keys {
-		plain, err := key.Open(r.Sealed)
-		if err != nil {
-			continue
+	if r.Transport != 0 {
+		// Locally-observed transport loss (Endpoints.InjectTransportDown):
+		// authenticated by construction — this process measured the loss
+		// itself — so there is no sealed body to open and no flood nonce to
+		// dedup. Idempotence comes from the stage check below: once the
+		// node is spliced out, StageOf goes 0 and re-reports are stale
+		// no-ops (reporter stays 0, so nothing is even re-sent).
+		dead = r.Transport
+	} else {
+		if st.seen[r.Nonce] {
+			return
 		}
-		d, err := wire.UnmarshalDownReport(plain)
-		if err != nil {
-			return // authenticated but malformed: a bug, not an attack; drop
+		if len(st.seen) >= 1024 {
+			st.seen = make(map[uint64]bool)
 		}
-		reporter, dead, authenticated = id, d, true
-		break
-	}
-	if !authenticated {
-		return // not sealed by any graph member: forged or stale, drop
+		st.seen[r.Nonce] = true
+		authenticated := false
+		for id, key := range g.Keys {
+			plain, err := key.Open(r.Sealed)
+			if err != nil {
+				continue
+			}
+			d, err := wire.UnmarshalDownReport(plain)
+			if err != nil {
+				return // authenticated but malformed: a bug, not an attack; drop
+			}
+			reporter, dead, authenticated = id, d, true
+			break
+		}
+		if !authenticated {
+			return // not sealed by any graph member: forged or stale, drop
+		}
 	}
 	st.reports.Add(1)
 

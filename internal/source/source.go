@@ -62,6 +62,14 @@ type Sender struct {
 	clk   simnet.Clock
 	rng   *rand.Rand
 
+	// adv is the transport's congestion advisor, when it has one (the UDP
+	// transport does): before each round the pacer asks it how long the
+	// most-backlogged stage-1 destination wants the source to hold off, so
+	// the plaintext rate adapts to the measured per-destination windows
+	// instead of overrunning them. Nil for transports without congestion
+	// state; independent of RateBps.
+	adv overlay.CongestionAdvisor
+
 	// mu guards this flow's round pipeline only. It is held across
 	// sendRound (so the encoder and framing scratch can be reused round
 	// after round) but never across pacing sleeps, and never by any other
@@ -110,7 +118,8 @@ func New(tr overlay.Transport, g *core.Graph, cfg Config, rng *rand.Rand) *Sende
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &Sender{tr: tr, graph: g, cfg: cfg, clk: cfg.Clock, rng: rng}
+	adv, _ := tr.(overlay.CongestionAdvisor)
+	return &Sender{tr: tr, graph: g, cfg: cfg, clk: cfg.Clock, rng: rng, adv: adv}
 }
 
 // Graph exposes the underlying forwarding graph (the source knows it all).
@@ -186,10 +195,33 @@ func (s *Sender) Send(msg []byte) error {
 // cannot classify; virtual scenarios pace by scheduling their sends at
 // spaced virtual instants instead.
 func (s *Sender) pace(bytes int) {
-	if s.cfg.RateBps <= 0 {
+	if s.clk != simnet.Wall {
 		return
 	}
-	if s.clk != simnet.Wall {
+	if s.adv != nil {
+		// Congestion gate, independent of RateBps: each round multicasts a
+		// slice to every stage-1 relay, so the round can go no faster than
+		// its slowest destination's window allows. Ask the advisor for each
+		// destination's suggested hold-off and sleep the maximum. Per-slice
+		// bytes approximate the per-destination load of the round.
+		s.mu.Lock()
+		stage1 := append([]wire.NodeID(nil), s.graph.Stages[0]...)
+		s.mu.Unlock()
+		per := bytes
+		if n := len(stage1); n > 0 {
+			per = bytes/n + 64 // slice payload + header overhead, roughly
+		}
+		var worst time.Duration
+		for _, v := range stage1 {
+			if d := s.adv.SendDelay(v, per); d > worst {
+				worst = d
+			}
+		}
+		if worst > 0 {
+			s.clk.Sleep(worst)
+		}
+	}
+	if s.cfg.RateBps <= 0 {
 		return
 	}
 	cost := time.Duration(float64(bytes) * 8 / float64(s.cfg.RateBps) * float64(time.Second))

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"math"
+	"time"
+)
+
+// cubicWindow is a CUBIC congestion window (RFC 8312 shape, in the style of
+// receiver-driven fetchers like ndn-dpdk's fetch-algo) counting datagrams
+// in flight toward one peer. It is a pure unit over an injected notion of
+// now — every method takes the current time — so the growth and shrink
+// curves are testable deterministically against a virtual clock.
+//
+// Slow start doubles the window per RTT up to ssthresh; above it the
+// window follows W(t) = C·(t−K)³ + Wmax, the concave-then-convex cubic
+// anchored at the last loss event's window Wmax. A loss event multiplies
+// the window by β (0.7) and restarts the epoch; a timeout collapses to the
+// initial window. At most one loss event is charged per round trip — a
+// burst of losses from one congestion signal must not multiply the
+// decrease (the caller passes its SRTT as the guard interval).
+type cubicWindow struct {
+	cwnd     float64
+	wMax     float64
+	ssthresh float64
+	minW     float64
+	maxW     float64
+
+	epochStart time.Time // zero: no cubic epoch in progress
+	k          float64   // time (seconds) for the cubic to return to wMax
+	lastLoss   time.Time
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+func newCubicWindow(initial, max float64) cubicWindow {
+	if initial <= 0 {
+		initial = 16
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	return cubicWindow{
+		cwnd:     initial,
+		minW:     2,
+		maxW:     max,
+		ssthresh: max,
+	}
+}
+
+// Window returns the current window in whole datagrams (at least 1).
+func (c *cubicWindow) Window() int {
+	if c.cwnd < 1 {
+		return 1
+	}
+	return int(c.cwnd)
+}
+
+// OnAck grows the window for acked datagrams arriving at time now.
+func (c *cubicWindow) OnAck(now time.Time, acked int) {
+	if acked <= 0 {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		// Slow start: one window increment per acked datagram.
+		c.cwnd += float64(acked)
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+	} else {
+		if c.epochStart.IsZero() {
+			// First congestion-avoidance ack of this epoch: anchor the
+			// cubic. With no prior loss, wMax is the current window.
+			c.epochStart = now
+			if c.wMax < c.cwnd {
+				c.wMax = c.cwnd
+			}
+			c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+		}
+		t := now.Sub(c.epochStart).Seconds()
+		target := cubicC*math.Pow(t-c.k, 3) + c.wMax
+		if target > c.cwnd {
+			// Approach the cubic target over roughly the next RTT's acks
+			// rather than jumping: per-ack increment proportional to the
+			// remaining gap spread across the current window.
+			c.cwnd += (target - c.cwnd) / c.cwnd * float64(acked)
+		} else {
+			// At or past the target (TCP-friendly floor): creep linearly.
+			c.cwnd += 0.01 * float64(acked)
+		}
+	}
+	if c.cwnd > c.maxW {
+		c.cwnd = c.maxW
+	}
+}
+
+// OnLoss applies the multiplicative decrease for a loss event observed at
+// time now. Events within guard of the previous one are attributed to the
+// same congestion signal and ignored (one decrease per RTT).
+func (c *cubicWindow) OnLoss(now time.Time, guard time.Duration) {
+	if !c.lastLoss.IsZero() && now.Sub(c.lastLoss) < guard {
+		return
+	}
+	c.lastLoss = now
+	c.wMax = c.cwnd
+	c.cwnd *= cubicBeta
+	if c.cwnd < c.minW {
+		c.cwnd = c.minW
+	}
+	c.ssthresh = c.cwnd
+	c.epochStart = time.Time{} // next CA ack re-anchors the cubic at wMax
+}
+
+// OnTimeout collapses the window after an RTO expiry (the whole flight is
+// presumed lost): back to the minimum, with ssthresh at β·cwnd so the
+// subsequent slow start hands over to cubic growth near the old rate.
+func (c *cubicWindow) OnTimeout(now time.Time) {
+	c.lastLoss = now
+	c.wMax = c.cwnd
+	c.ssthresh = c.cwnd * cubicBeta
+	if c.ssthresh < c.minW {
+		c.ssthresh = c.minW
+	}
+	c.cwnd = c.minW
+	c.epochStart = time.Time{}
+}

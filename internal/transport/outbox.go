@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// outbox is the transport-agnostic half of a peer: the bounded outbound
+// frame queue, the freelist of frame buffers, and the shutdown lifecycle
+// (graceful drain vs immediate kill). The TCP Peer and the UDPPeer embed it
+// and add only their wire I/O — stream writev on one side, congestion-
+// controlled sendmmsg on the other — so Enqueue semantics, drop accounting,
+// and Close behaviour are identical across transports by construction.
+type outbox struct {
+	cfg Config
+
+	out  chan []byte // framed (header‖payload) buffers awaiting the writer
+	free chan []byte // recycled frame buffers
+
+	// closed signals shutdown (writer drains then exits); killed is the
+	// immediate variant (CloseNow) that also interrupts backoff sleeps.
+	closed    chan struct{}
+	killed    chan struct{}
+	closeOnce sync.Once
+	killOnce  sync.Once
+	immediate atomic.Bool
+	// dead is set by the writer just before its final queue reap, and
+	// checked by Enqueue after a successful send: a frame that slips into
+	// the queue while the writer is exiting is reaped by whichever side
+	// observes it last, so no frame is ever stranded (see Enqueue).
+	dead atomic.Bool
+	done chan struct{}
+
+	// drainBy is writer-goroutine-only: the drain deadline, armed by
+	// whichever writer code path first observes a graceful close — the
+	// run loop, a dial-retry loop, or a backoff sleep — so frames in hand
+	// when Close lands keep flushing (and dialing) for the full grace.
+	drainBy time.Time
+
+	enqueued     atomic.Int64
+	dropped      atomic.Int64
+	sendFailures atomic.Int64
+	flushes      atomic.Int64
+	framesOut    atomic.Int64
+	bytesOut     atomic.Int64
+	dials        atomic.Int64
+	reconnects   atomic.Int64
+}
+
+func newOutbox(cfg Config) outbox {
+	return outbox{
+		cfg:    cfg,
+		out:    make(chan []byte, cfg.QueueDepth),
+		free:   make(chan []byte, cfg.QueueDepth+cfg.MaxBatch),
+		closed: make(chan struct{}),
+		killed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Enqueue frames data (header ‖ payload, stamped with the sending node)
+// into the outbound queue. It never blocks: a full queue — or a closed peer
+// — drops the frame, counts it, and returns false. data is copied before
+// return and may be reused by the caller immediately.
+func (o *outbox) Enqueue(from wire.NodeID, data []byte) bool {
+	if len(data) > o.cfg.MaxFrame || o.isClosed() {
+		o.dropped.Add(1)
+		return false
+	}
+	var buf []byte
+	select {
+	case buf = <-o.free:
+	default:
+	}
+	var hdr [HeaderLen]byte
+	putHeader(hdr[:], from, len(data))
+	buf = append(buf[:0], hdr[:]...)
+	buf = append(buf, data...)
+	select {
+	case o.out <- buf:
+		o.enqueued.Add(1)
+		if o.dead.Load() {
+			// Lost the race with the writer's exit. The writer sets dead
+			// strictly before its final reap, so either that reap already
+			// drained this frame or this discard will: nothing strands,
+			// and the frame is counted dropped instead of claimed sent.
+			o.discardQueue()
+			return false
+		}
+		return true
+	default:
+		o.recycle(buf)
+		o.dropped.Add(1)
+		return false
+	}
+}
+
+// QueueLen reports how many frames are currently queued (diagnostics).
+func (o *outbox) QueueLen() int { return len(o.out) }
+
+// Stats snapshots the peer's counters.
+func (o *outbox) Stats() Stats {
+	return Stats{
+		Enqueued:     o.enqueued.Load(),
+		Dropped:      o.dropped.Load(),
+		SendFailures: o.sendFailures.Load(),
+		Flushes:      o.flushes.Load(),
+		FramesOut:    o.framesOut.Load(),
+		BytesOut:     o.bytesOut.Load(),
+		Dials:        o.dials.Load(),
+		Reconnects:   o.reconnects.Load(),
+	}
+}
+
+func (o *outbox) isClosed() bool {
+	select {
+	case <-o.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// armDrain returns the drain deadline, starting the grace window on first
+// call. Writer-goroutine only; callers have already observed o.closed.
+func (o *outbox) armDrain() time.Time {
+	if o.drainBy.IsZero() {
+		o.drainBy = time.Now().Add(o.cfg.DrainTimeout)
+	}
+	return o.drainBy
+}
+
+func (o *outbox) recycle(buf []byte) {
+	select {
+	case o.free <- buf:
+	default:
+	}
+}
+
+func (o *outbox) recycleBatch(batch [][]byte) {
+	for i, f := range batch {
+		o.recycle(f)
+		batch[i] = nil
+	}
+}
+
+// sleepBackoff sleeps the current backoff (±50% jitter, so a fleet of
+// peers re-dialing a restarted node does not thundering-herd it), then
+// doubles it up to BackoffMax. Returns false if the peer was killed.
+// During a drain the sleep is clamped to the drain deadline; outside one,
+// a graceful Close wakes the sleep early (once — the caller re-evaluates
+// and enters drain mode) so shutdown never waits out a full backoff.
+func (o *outbox) sleepBackoff(rng *lazyRand, backoff *time.Duration) bool {
+	d := *backoff
+	d = d/2 + time.Duration(rng.Int63n(int64(d)))
+	*backoff *= 2
+	if *backoff > o.cfg.BackoffMax {
+		*backoff = o.cfg.BackoffMax
+	}
+	draining := o.isClosed()
+	if draining {
+		if rem := time.Until(o.armDrain()); rem < d {
+			d = rem
+		}
+		if d <= 0 {
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if draining {
+		// closed is already readable; selecting on it would busy-spin.
+		select {
+		case <-t.C:
+			return true
+		case <-o.killed:
+			return false
+		}
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-o.closed:
+		return true
+	case <-o.killed:
+		return false
+	}
+}
+
+// discardQueue empties the outbound queue, counting everything as dropped.
+func (o *outbox) discardQueue() {
+	for {
+		select {
+		case f := <-o.out:
+			o.recycle(f)
+			o.dropped.Add(1)
+		default:
+			return
+		}
+	}
+}

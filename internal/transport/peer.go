@@ -4,11 +4,9 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"infoslicing/internal/simnet"
-	"infoslicing/internal/wire"
 )
 
 // Peer is one remote overlay host: a single TCP connection carrying frames
@@ -20,42 +18,19 @@ import (
 // senders through one queue is also what makes frames coalesce: the writer
 // batches whatever has accumulated — across flows and senders — into one
 // writev.
+//
+// The queue, freelist, and shutdown lifecycle live in the embedded outbox,
+// shared with the datagram peer (UDPPeer); Peer adds only the TCP side:
+// lazy dial with jittered backoff, writev batching, idle teardown.
 type Peer struct {
+	outbox
 	resolve func() (string, bool)
-	cfg     Config
 
-	out  chan []byte // framed (header‖payload) buffers awaiting the writer
-	free chan []byte // recycled frame buffers
-
-	// closed signals shutdown (writer drains then exits); killed is the
-	// immediate variant (CloseNow) that also interrupts backoff sleeps.
-	closed    chan struct{}
-	killed    chan struct{}
-	closeOnce sync.Once
-	killOnce  sync.Once
-	immediate atomic.Bool
-	done      chan struct{}
-
-	connMu sync.Mutex
-	cur    net.Conn
+	connHolder
 
 	// lastDeadline is writer-goroutine-only: when the write deadline was
 	// last pushed out, so steady flushes skip the per-flush timer update.
 	lastDeadline time.Time
-	// drainBy is writer-goroutine-only: the drain deadline, armed by
-	// whichever writer code path first observes a graceful close — the
-	// run loop, a dial-retry loop, or a backoff sleep — so frames in hand
-	// when Close lands keep flushing (and dialing) for the full grace.
-	drainBy time.Time
-
-	enqueued     atomic.Int64
-	dropped      atomic.Int64
-	sendFailures atomic.Int64
-	flushes      atomic.Int64
-	framesOut    atomic.Int64
-	bytesOut     atomic.Int64
-	dials        atomic.Int64
-	reconnects   atomic.Int64
 }
 
 // NewPeer creates a peer and starts its writer. resolve is called on the
@@ -65,71 +40,11 @@ type Peer struct {
 func NewPeer(resolve func() (string, bool), cfg Config) *Peer {
 	cfg.fillDefaults()
 	p := &Peer{
+		outbox:  newOutbox(cfg),
 		resolve: resolve,
-		cfg:     cfg,
-		out:     make(chan []byte, cfg.QueueDepth),
-		free:    make(chan []byte, cfg.QueueDepth+cfg.MaxBatch),
-		closed:  make(chan struct{}),
-		killed:  make(chan struct{}),
-		done:    make(chan struct{}),
 	}
 	go p.run(simnet.NextSeed())
 	return p
-}
-
-// Enqueue frames data (header ‖ payload, stamped with the sending node)
-// into the outbound queue. It never blocks: a full queue — or a closed peer
-// — drops the frame, counts it, and returns false. data is copied before
-// return and may be reused by the caller immediately.
-func (p *Peer) Enqueue(from wire.NodeID, data []byte) bool {
-	if len(data) > p.cfg.MaxFrame || p.isClosed() {
-		p.dropped.Add(1)
-		return false
-	}
-	var buf []byte
-	select {
-	case buf = <-p.free:
-	default:
-	}
-	var hdr [HeaderLen]byte
-	putHeader(hdr[:], from, len(data))
-	buf = append(buf[:0], hdr[:]...)
-	buf = append(buf, data...)
-	select {
-	case p.out <- buf:
-		p.enqueued.Add(1)
-		select {
-		case <-p.done:
-			// Lost the race with the writer's exit: nobody will ever
-			// flush this frame (or anything else that slipped in), so
-			// reap it here and report the drop.
-			p.discardQueue()
-			return false
-		default:
-		}
-		return true
-	default:
-		p.recycle(buf)
-		p.dropped.Add(1)
-		return false
-	}
-}
-
-// QueueLen reports how many frames are currently queued (diagnostics).
-func (p *Peer) QueueLen() int { return len(p.out) }
-
-// Stats snapshots the peer's counters.
-func (p *Peer) Stats() Stats {
-	return Stats{
-		Enqueued:     p.enqueued.Load(),
-		Dropped:      p.dropped.Load(),
-		SendFailures: p.sendFailures.Load(),
-		Flushes:      p.flushes.Load(),
-		FramesOut:    p.framesOut.Load(),
-		BytesOut:     p.bytesOut.Load(),
-		Dials:        p.dials.Load(),
-		Reconnects:   p.reconnects.Load(),
-	}
 }
 
 // Close shuts the peer down gracefully: queued frames keep flushing (and
@@ -165,57 +80,32 @@ func (p *Peer) CloseNow() {
 	<-p.done
 }
 
-func (p *Peer) isClosed() bool {
-	select {
-	case <-p.closed:
-		return true
-	default:
-		return false
-	}
+// connHolder holds a peer's current connection under its own lock, shared
+// by the writer (dial, drop) and the shutdown paths (sever, deadline).
+type connHolder struct {
+	connMu sync.Mutex
+	cur    net.Conn
 }
 
-// armDrain returns the drain deadline, starting the grace window on first
-// call. Writer-goroutine only; callers have already observed p.closed.
-func (p *Peer) armDrain() time.Time {
-	if p.drainBy.IsZero() {
-		p.drainBy = time.Now().Add(p.cfg.DrainTimeout)
-	}
-	return p.drainBy
+func (h *connHolder) conn() net.Conn {
+	h.connMu.Lock()
+	defer h.connMu.Unlock()
+	return h.cur
 }
 
-func (p *Peer) conn() net.Conn {
-	p.connMu.Lock()
-	defer p.connMu.Unlock()
-	return p.cur
+func (h *connHolder) setConn(c net.Conn) {
+	h.connMu.Lock()
+	h.cur = c
+	h.connMu.Unlock()
 }
 
-func (p *Peer) setConn(c net.Conn) {
-	p.connMu.Lock()
-	p.cur = c
-	p.connMu.Unlock()
-}
-
-func (p *Peer) dropConn() {
-	p.connMu.Lock()
-	c := p.cur
-	p.cur = nil
-	p.connMu.Unlock()
+func (h *connHolder) dropConn() {
+	h.connMu.Lock()
+	c := h.cur
+	h.cur = nil
+	h.connMu.Unlock()
 	if c != nil {
 		c.Close()
-	}
-}
-
-func (p *Peer) recycle(buf []byte) {
-	select {
-	case p.free <- buf:
-	default:
-	}
-}
-
-func (p *Peer) recycleBatch(batch [][]byte) {
-	for i, f := range batch {
-		p.recycle(f)
-		batch[i] = nil
 	}
 }
 
@@ -224,13 +114,17 @@ func (p *Peer) recycleBatch(batch [][]byte) {
 // writev batch per wakeup (up to MaxBatch), so a burst of n frames costs
 // ~n/MaxBatch syscalls instead of n.
 func (p *Peer) run(jitterSeed int64) {
-	defer close(p.done)
-	// Final reap before done closes (defers run LIFO): a frame enqueued
-	// between the drain loop's last empty-queue check and this point is
-	// counted dropped instead of stranded. Enqueue's own post-send check
-	// on p.done covers the instruction-wide remainder of the window.
-	defer p.discardQueue()
-	defer p.dropConn()
+	defer func() {
+		// dead-then-reap, strictly in this order: Enqueue's post-send
+		// check on dead guarantees a frame that slips in during exit is
+		// discarded by one side or the other, never stranded (the old
+		// done-based check left an instruction-wide strand window between
+		// the final reap and close(done) — the Close-race test pins this).
+		p.dead.Store(true)
+		p.dropConn()
+		p.discardQueue()
+		close(p.done)
+	}()
 	var (
 		batch = make([][]byte, 0, p.cfg.MaxBatch)
 		nb    = new(net.Buffers)
@@ -399,60 +293,4 @@ func (l *lazyRand) Int63n(n int64) int64 {
 		l.rng = rand.New(rand.NewSource(l.seed))
 	}
 	return l.rng.Int63n(n)
-}
-
-// sleepBackoff sleeps the current backoff (±50% jitter, so a fleet of
-// peers re-dialing a restarted node does not thundering-herd it), then
-// doubles it up to BackoffMax. Returns false if the peer was killed.
-// During a drain the sleep is clamped to the drain deadline; outside one,
-// a graceful Close wakes the sleep early (once — the caller re-evaluates
-// and enters drain mode) so shutdown never waits out a full backoff.
-func (p *Peer) sleepBackoff(rng *lazyRand, backoff *time.Duration) bool {
-	d := *backoff
-	d = d/2 + time.Duration(rng.Int63n(int64(d)))
-	*backoff *= 2
-	if *backoff > p.cfg.BackoffMax {
-		*backoff = p.cfg.BackoffMax
-	}
-	draining := p.isClosed()
-	if draining {
-		if rem := time.Until(p.armDrain()); rem < d {
-			d = rem
-		}
-		if d <= 0 {
-			return false
-		}
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	if draining {
-		// closed is already readable; selecting on it would busy-spin.
-		select {
-		case <-t.C:
-			return true
-		case <-p.killed:
-			return false
-		}
-	}
-	select {
-	case <-t.C:
-		return true
-	case <-p.closed:
-		return true
-	case <-p.killed:
-		return false
-	}
-}
-
-// discardQueue empties the outbound queue, counting everything as dropped.
-func (p *Peer) discardQueue() {
-	for {
-		select {
-		case f := <-p.out:
-			p.recycle(f)
-			p.dropped.Add(1)
-		default:
-			return
-		}
-	}
 }

@@ -6,32 +6,54 @@ import (
 	"infoslicing/internal/wire"
 )
 
+// Link is what a PeerSet needs from one outbound peer, satisfied by both
+// the stream Peer and the datagram UDPPeer: the non-blocking enqueue, the
+// counters, and the two shutdown flavours.
+type Link interface {
+	Enqueue(from wire.NodeID, data []byte) bool
+	Stats() Stats
+	Close()
+	CloseNow()
+}
+
 // PeerSet owns every peer of one transport, keyed by the remote node and
 // created on first use. One peer per remote host — not per (sender,
 // receiver) pair — matches the paper's one-daemon-per-host deployment and
 // is what makes write batching effective: every local node's frames toward
-// a host funnel through one queue and coalesce into shared writev calls
-// (each frame names its sender in its header). Get is on the data path
-// (one read-locked map lookup); everything else is control-plane.
+// a host funnel through one queue and coalesce into shared writev (or
+// sendmmsg) calls — each frame names its sender in its header. Get is on
+// the data path (one read-locked map lookup); everything else is
+// control-plane. The make hook decides which peer flavour a miss creates,
+// so the TCP and UDP transports share this set unchanged.
 type PeerSet struct {
-	cfg Config
+	make func(to wire.NodeID, resolve func() (string, bool)) Link
 
 	mu     sync.RWMutex
-	peers  map[wire.NodeID]*Peer
+	peers  map[wire.NodeID]Link
 	closed bool
 }
 
-// NewPeerSet creates an empty peer set with the given per-peer config.
+// NewPeerSet creates an empty peer set whose misses create stream (TCP)
+// peers with the given per-peer config.
 func NewPeerSet(cfg Config) *PeerSet {
 	cfg.fillDefaults()
-	return &PeerSet{cfg: cfg, peers: make(map[wire.NodeID]*Peer)}
+	return NewLinkSet(func(_ wire.NodeID, resolve func() (string, bool)) Link {
+		return NewPeer(resolve, cfg)
+	})
+}
+
+// NewLinkSet creates an empty peer set over an arbitrary peer constructor;
+// the hook also receives the remote node, so flavours that keep per-
+// destination state (the UDP peer's loss watcher) can bind it at creation.
+func NewLinkSet(make func(to wire.NodeID, resolve func() (string, bool)) Link) *PeerSet {
+	return &PeerSet{make: make, peers: map[wire.NodeID]Link{}}
 }
 
 // Lookup returns the existing peer for the remote node, or nil. It is the
 // steady-state data path: callers hit it first so the resolver closure
 // Get takes — which escapes, costing one allocation — is only ever built
 // on the miss path that creates the peer.
-func (ps *PeerSet) Lookup(to wire.NodeID) *Peer {
+func (ps *PeerSet) Lookup(to wire.NodeID) Link {
 	ps.mu.RLock()
 	p := ps.peers[to]
 	ps.mu.RUnlock()
@@ -40,7 +62,7 @@ func (ps *PeerSet) Lookup(to wire.NodeID) *Peer {
 
 // Get returns the peer for the remote node, creating it — with the given
 // address resolver — on first use. Returns nil after Close.
-func (ps *PeerSet) Get(to wire.NodeID, resolve func() (string, bool)) *Peer {
+func (ps *PeerSet) Get(to wire.NodeID, resolve func() (string, bool)) Link {
 	ps.mu.RLock()
 	p, closed := ps.peers[to], ps.closed
 	ps.mu.RUnlock()
@@ -55,7 +77,7 @@ func (ps *PeerSet) Get(to wire.NodeID, resolve func() (string, bool)) *Peer {
 	if p = ps.peers[to]; p != nil {
 		return p
 	}
-	p = NewPeer(resolve, ps.cfg)
+	p = ps.make(to, resolve)
 	ps.peers[to] = p
 	return p
 }
@@ -66,7 +88,7 @@ func (ps *PeerSet) Get(to wire.NodeID, resolve func() (string, bool)) *Peer {
 // resolves the node's fresh address.
 func (ps *PeerSet) Drop(match func(to wire.NodeID) bool) {
 	ps.mu.Lock()
-	var victims []*Peer
+	var victims []Link
 	for to, p := range ps.peers {
 		if match(to) {
 			victims = append(victims, p)
@@ -79,21 +101,30 @@ func (ps *PeerSet) Drop(match func(to wire.NodeID) bool) {
 	}
 }
 
+// Each calls f for every live peer (diagnostics and per-flavour stats
+// aggregation; f must not call back into the set).
+func (ps *PeerSet) Each(f func(to wire.NodeID, p Link)) {
+	ps.mu.RLock()
+	type entry struct {
+		to wire.NodeID
+		p  Link
+	}
+	snap := make([]entry, 0, len(ps.peers))
+	for to, p := range ps.peers {
+		snap = append(snap, entry{to, p})
+	}
+	ps.mu.RUnlock()
+	for _, e := range snap {
+		f(e.to, e.p)
+	}
+}
+
 // Stats sums the counters of every live peer. Peers removed by Drop or
 // Close stop contributing, so long-lived transports should read stats
 // before tearing down.
 func (ps *PeerSet) Stats() Stats {
-	ps.mu.RLock()
-	peers := make([]*Peer, 0, len(ps.peers))
-	for _, p := range ps.peers {
-		peers = append(peers, p)
-	}
-	ps.mu.RUnlock()
 	var tot Stats
-	for _, p := range peers {
-		s := p.Stats()
-		tot.add(s)
-	}
+	ps.Each(func(_ wire.NodeID, p Link) { tot.add(p.Stats()) })
 	return tot
 }
 
@@ -107,16 +138,16 @@ func (ps *PeerSet) Close() {
 		return
 	}
 	ps.closed = true
-	peers := make([]*Peer, 0, len(ps.peers))
+	peers := make([]Link, 0, len(ps.peers))
 	for _, p := range ps.peers {
 		peers = append(peers, p)
 	}
-	ps.peers = map[wire.NodeID]*Peer{}
+	ps.peers = map[wire.NodeID]Link{}
 	ps.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, p := range peers {
 		wg.Add(1)
-		go func(p *Peer) {
+		go func(p Link) {
 			defer wg.Done()
 			p.Close()
 		}(p)

@@ -1,0 +1,875 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoslicing/internal/simnet"
+	"infoslicing/internal/wire"
+)
+
+// This file is the datagram half of the peer layer: UDPPeer (sender) and
+// UDPAcceptor (receiver), sharing the outbox core with the TCP Peer. The
+// wire unit is a datagram carrying whole frames — a frame is never split
+// across datagrams, so a lost datagram costs exactly the frames packed into
+// it and nothing has to be reassembled:
+//
+//	datagram  = magic(4) ‖ kind(1) ‖ seq(4) ‖ frame*     (kind = data)
+//	frame     = length(4) ‖ sender(4) ‖ payload           (same as TCP)
+//	ack       = magic(4) ‖ kind(1) ‖ seq(4) ‖ count(8)    (kind = ack)
+//
+// The ack is the transport's only feedback and it carries no payload
+// semantics: after each receive batch the acceptor echoes, per source
+// socket, the highest data seq it has seen and its cumulative datagram
+// count. The sender derives everything from that pair — RTT samples (seq
+// echo vs. the outstanding probe's send time, Karn-filtered), loss (seq
+// advance minus count advance), and window occupancy (seq advance). Lost
+// datagrams are NEVER retransmitted; the coding layer's redundancy and
+// splice repair own reliability, and the transport's job is only to pace
+// itself (CUBIC window, RTO backoff) and to report persistent loss upward.
+const (
+	dgHdrLen   = 9  // magic(4) + kind(1) + seq(4)
+	udpAckLen  = 17 // magic(4) + kind(1) + seq(4) + count(8)
+	dgKindData = 0x01
+	dgKindAck  = 0x02
+
+	// MaxUDPPayload is the largest UDP payload the sockets API accepts
+	// (65535 minus IP and UDP headers); frames above it cannot ride this
+	// transport at all and are dropped at Enqueue.
+	MaxUDPPayload = 65507
+)
+
+var dgMagic = [4]byte{'i', 'S', 'U', '1'}
+
+// UDPConfig tunes the datagram peer and acceptor. The zero value is usable.
+type UDPConfig struct {
+	// MaxDatagram is the packing budget: the writer packs queued frames
+	// into datagrams up to this size (default 9000, a jumbo-frame-ish
+	// sweet spot for ~1500-byte slices). A single frame larger than the
+	// budget still travels whole, in its own oversized datagram, up to
+	// MaxUDPPayload.
+	MaxDatagram int
+	// RecvBatch is how many datagrams one recvmmsg call can drain
+	// (default 8). Each vector holds a MaxUDPPayload-sized staging buffer.
+	RecvBatch int
+	// InitialWindow / MaxWindow bound the CUBIC congestion window, in
+	// datagrams in flight (defaults 16 / 1024).
+	InitialWindow int
+	MaxWindow     int
+	// MinRTO / MaxRTO clamp the RTO (defaults 20ms / 10s).
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// RxDrop, when set, is consulted once per inbound datagram (data and
+	// ack alike) and drops it when true: a socket-level netem-style loss
+	// shim for experiments. Dropped datagrams are never counted received,
+	// so the ack channel exposes them to the sender as wire loss.
+	RxDrop func() bool
+	// OnLoss, when set, is called (rate-limited, off the ack lock) with
+	// the smoothed loss rate toward this peer whenever it is materially
+	// non-zero; the overlay layer fans it into per-destination loss
+	// watchers that escalate persistent loss to splice repair.
+	OnLoss func(rate float64)
+}
+
+func (c *UDPConfig) fillDefaults() {
+	if c.MaxDatagram <= 0 {
+		c.MaxDatagram = 9000
+	}
+	if c.MaxDatagram > MaxUDPPayload {
+		c.MaxDatagram = MaxUDPPayload
+	}
+	if c.RecvBatch <= 0 {
+		c.RecvBatch = 8
+	}
+	if c.InitialWindow <= 0 {
+		c.InitialWindow = 16
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 1024
+	}
+}
+
+// UDPPeerStats snapshots the datagram-specific counters of one peer (or,
+// summed, of a transport).
+type UDPPeerStats struct {
+	DatagramsOut  int64         // data datagrams written
+	DatagramsLost int64         // datagrams the ack channel proved (or RTO presumed) lost
+	AcksIn        int64         // transport acks processed
+	Retransmitted int64         // always 0: the transport never retransmits
+	SRTT          time.Duration // smoothed RTT (zero before the first sample)
+	Window        int           // current congestion window, datagrams
+	LossRate      float64       // smoothed loss rate toward this peer
+}
+
+// Add folds another peer's snapshot into this one (counters sum; SRTT and
+// LossRate take the maximum — the weakest path dominates escalation).
+func (s *UDPPeerStats) Add(o UDPPeerStats) {
+	s.DatagramsOut += o.DatagramsOut
+	s.DatagramsLost += o.DatagramsLost
+	s.AcksIn += o.AcksIn
+	s.Window += o.Window
+	if o.SRTT > s.SRTT {
+		s.SRTT = o.SRTT
+	}
+	if o.LossRate > s.LossRate {
+		s.LossRate = o.LossRate
+	}
+}
+
+// UDPPeer is one remote overlay host over a connected UDP socket: the same
+// bounded queue, freelist, and writer-goroutine shape as the TCP Peer (the
+// shared outbox), but the writer packs frames into datagrams, sends them
+// with sendmmsg, and paces itself with a CUBIC window over the ack/echo
+// channel instead of trusting a stream's backpressure.
+type UDPPeer struct {
+	outbox
+	resolve func() (string, bool)
+	ucfg    UDPConfig
+
+	connMu sync.Mutex
+	cur    *net.UDPConn
+
+	// Congestion state, guarded by ackMu (shared by the writer stamping
+	// seqs and the ack-reader goroutine).
+	ackMu          sync.Mutex
+	est            rttEstimator
+	win            cubicWindow
+	nextSeq        uint32 // next datagram seq to stamp
+	ackSeq         uint32 // highest acked seq
+	ackCount       uint64 // receiver's cumulative datagram count at last ack
+	probeSeq       uint32
+	probeAt        time.Time
+	probeOut       bool
+	lossEWMA       float64
+	lastLossReport time.Time
+
+	ackSignal chan struct{} // capacity 1: the writer's window-open wakeup
+
+	datagramsOut  atomic.Int64
+	datagramsLost atomic.Int64
+	acksIn        atomic.Int64
+}
+
+// NewUDPPeer creates a datagram peer and starts its writer. resolve is
+// called at (re)dial time on the writer goroutine, exactly as for the TCP
+// peer.
+func NewUDPPeer(resolve func() (string, bool), cfg Config, ucfg UDPConfig) *UDPPeer {
+	cfg.fillDefaults()
+	ucfg.fillDefaults()
+	if maxPayload := MaxUDPPayload - dgHdrLen - HeaderLen; cfg.MaxFrame > maxPayload {
+		cfg.MaxFrame = maxPayload
+	}
+	p := &UDPPeer{
+		outbox:    newOutbox(cfg),
+		resolve:   resolve,
+		ucfg:      ucfg,
+		est:       newRTTEstimator(ucfg.MinRTO, ucfg.MaxRTO),
+		win:       newCubicWindow(float64(ucfg.InitialWindow), float64(ucfg.MaxWindow)),
+		ackSignal: make(chan struct{}, 1),
+	}
+	go p.run(simnet.NextSeed())
+	return p
+}
+
+// Close drains queued frames (bounded by DrainTimeout) and shuts the
+// writer down; CloseNow drops everything immediately. Like the TCP peer,
+// a one-shot timer severs a socket wedged past the drain deadline (a full
+// send buffer can park the writer in sendmmsg).
+func (p *UDPPeer) Close() {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		time.AfterFunc(p.cfg.DrainTimeout, func() {
+			p.connMu.Lock()
+			if p.cur != nil {
+				p.cur.SetWriteDeadline(time.Now()) //nolint:errcheck
+			}
+			p.connMu.Unlock()
+		})
+	})
+	<-p.done
+}
+
+// CloseNow shuts the peer down immediately, dropping queued frames and
+// interrupting any window wait or backoff sleep.
+func (p *UDPPeer) CloseNow() {
+	p.immediate.Store(true)
+	p.killOnce.Do(func() {
+		close(p.killed)
+		p.dropConn()
+	})
+	p.closeOnce.Do(func() { close(p.closed) })
+	<-p.done
+}
+
+// UDPStats snapshots the datagram-specific counters.
+func (p *UDPPeer) UDPStats() UDPPeerStats {
+	p.ackMu.Lock()
+	srtt := p.est.SRTT()
+	win := p.win.Window()
+	loss := p.lossEWMA
+	p.ackMu.Unlock()
+	return UDPPeerStats{
+		DatagramsOut:  p.datagramsOut.Load(),
+		DatagramsLost: p.datagramsLost.Load(),
+		AcksIn:        p.acksIn.Load(),
+		SRTT:          srtt,
+		Window:        win,
+		LossRate:      loss,
+	}
+}
+
+// SendDelay estimates how long a congestion-aware sender should hold its
+// next burst of n bytes toward this peer: zero while the window has room,
+// otherwise roughly the fraction of an RTT it will take the window to open
+// by the current overshoot. It is advisory pacing for the source's round
+// loop — the writer gates hard on the window regardless.
+func (p *UDPPeer) SendDelay(bytes int) time.Duration {
+	p.ackMu.Lock()
+	win := p.win.Window()
+	inflight := int(int32(p.nextSeq - p.ackSeq))
+	srtt := p.est.SRTT()
+	p.ackMu.Unlock()
+	over := inflight + p.QueueLen() - win
+	if over <= 0 {
+		return 0
+	}
+	if srtt <= 0 {
+		srtt = 5 * time.Millisecond
+	}
+	d := time.Duration(float64(srtt) * float64(over) / float64(win))
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+func (p *UDPPeer) conn() *net.UDPConn {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.cur
+}
+
+func (p *UDPPeer) setConn(c *net.UDPConn) {
+	p.connMu.Lock()
+	p.cur = c
+	p.connMu.Unlock()
+}
+
+func (p *UDPPeer) dropConn() {
+	p.connMu.Lock()
+	c := p.cur
+	p.cur = nil
+	p.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// run is the writer: the only goroutine that dials, packs, or sends. The
+// shutdown ladder is identical to the TCP peer's (drain on Close, reap on
+// kill, dead-then-discard so no frame strands); only the flush differs.
+func (p *UDPPeer) run(jitterSeed int64) {
+	defer func() {
+		p.dead.Store(true)
+		p.dropConn()
+		p.discardQueue()
+		close(p.done)
+	}()
+	var (
+		batch   = make([][]byte, 0, p.cfg.MaxBatch)
+		dgs     = make([][]byte, 0, p.cfg.MaxBatch)
+		dgPool  [][]byte
+		bs      batchSender
+		rng     = &lazyRand{seed: jitterSeed}
+		backoff = p.cfg.BackoffMin
+	)
+	for {
+		var first []byte
+		if p.isClosed() {
+			if p.immediate.Load() {
+				p.discardQueue()
+				return
+			}
+			drainDeadline := p.armDrain()
+			select {
+			case first = <-p.out:
+			default:
+				return // queue drained; graceful exit
+			}
+			if time.Now().After(drainDeadline) {
+				p.recycle(first)
+				p.dropped.Add(1)
+				p.discardQueue()
+				return
+			}
+		} else {
+			select {
+			case first = <-p.out:
+			case <-p.closed:
+				continue
+			}
+		}
+		batch = append(batch[:0], first)
+	fill:
+		for len(batch) < p.cfg.MaxBatch {
+			select {
+			case f := <-p.out:
+				batch = append(batch, f)
+			default:
+				break fill
+			}
+		}
+		dgs = p.pack(batch, dgs[:0], &dgPool)
+		p.recycleBatch(batch)
+		p.flushDatagrams(dgs, &bs, rng, &backoff)
+		for _, dg := range dgs {
+			dgPool = append(dgPool, dg)
+		}
+	}
+}
+
+// pack copies the batch's frames into datagram buffers: whole frames only,
+// greedily filling each datagram up to the MaxDatagram budget. A frame
+// that alone exceeds the budget gets its own oversized datagram (Enqueue
+// already guarantees it fits MaxUDPPayload). The 9-byte datagram header is
+// laid down with a zero seq; stamping happens at send time, after the
+// window gate, so seqs stay contiguous with what actually hits the wire.
+func (p *UDPPeer) pack(batch [][]byte, dgs [][]byte, pool *[][]byte) [][]byte {
+	budget := p.ucfg.MaxDatagram
+	var cur []byte
+	open := func() {
+		if n := len(*pool); n > 0 {
+			cur = (*pool)[n-1][:0]
+			*pool = (*pool)[:n-1]
+		} else {
+			cur = make([]byte, 0, budget)
+		}
+		cur = append(cur, dgMagic[:]...)
+		cur = append(cur, dgKindData, 0, 0, 0, 0)
+	}
+	for _, f := range batch {
+		if cur != nil && len(cur)+len(f) > budget {
+			dgs = append(dgs, cur)
+			cur = nil
+		}
+		if cur == nil {
+			open()
+		}
+		cur = append(cur, f...)
+	}
+	if cur != nil {
+		dgs = append(dgs, cur)
+	}
+	return dgs
+}
+
+// flushDatagrams sends the packed datagrams, gating on the congestion
+// window: at most cwnd − inflight datagrams go out per sendmmsg, and when
+// the window is shut the writer parks until an ack opens it or the RTO
+// expires (which backs the RTO off, collapses the window, and writes the
+// flight off as lost — never retransmitted).
+func (p *UDPPeer) flushDatagrams(dgs [][]byte, bs *batchSender, rng *lazyRand, backoff *time.Duration) {
+	if len(dgs) == 0 {
+		return
+	}
+	c := p.ensureConn(bs, rng, backoff)
+	if c == nil {
+		p.dropped.Add(p.countFrames(dgs))
+		return
+	}
+	i := 0
+	for i < len(dgs) {
+		room := p.windowRoom()
+		if room <= 0 {
+			if !p.awaitWindow() {
+				p.dropped.Add(p.countFrames(dgs[i:]))
+				return
+			}
+			continue
+		}
+		n := len(dgs) - i
+		if n > room {
+			n = room
+		}
+		p.stampSeqs(dgs[i : i+n])
+		sent, err := bs.send(c, dgs[i:i+n])
+		if sent > 0 {
+			p.flushes.Add(1)
+			p.datagramsOut.Add(int64(sent))
+			var frames, bytes int64
+			for _, dg := range dgs[i : i+n][:sent] {
+				frames += framesIn(dg)
+				bytes += int64(len(dg) - dgHdrLen)
+			}
+			p.framesOut.Add(frames)
+			p.bytesOut.Add(bytes)
+		}
+		if stamped := n - sent; stamped > 0 {
+			// Seqs consumed but never on the wire: the ack channel will
+			// see them as loss, which is the honest account of a local
+			// send failure.
+			p.datagramsLost.Add(int64(stamped))
+		}
+		i += sent
+		if err != nil {
+			p.sendFailures.Add(1)
+			p.dropped.Add(p.countFrames(dgs[i:]))
+			p.dropConn()
+			// A connected UDP socket fails sends with ECONNREFUSED while
+			// the remote listener is down; back off like a failed dial so
+			// a dead peer is not hammered at line rate.
+			p.sleepBackoff(rng, backoff)
+			return
+		}
+	}
+}
+
+func (p *UDPPeer) countFrames(dgs [][]byte) int64 {
+	var n int64
+	for _, dg := range dgs {
+		n += framesIn(dg)
+	}
+	return n
+}
+
+// framesIn counts the frames packed in one datagram buffer.
+func framesIn(dg []byte) int64 {
+	var n int64
+	rest := dg[dgHdrLen:]
+	for len(rest) >= HeaderLen {
+		size := int(binary.BigEndian.Uint32(rest))
+		if HeaderLen+size > len(rest) {
+			break
+		}
+		rest = rest[HeaderLen+size:]
+		n++
+	}
+	return n
+}
+
+func (p *UDPPeer) windowRoom() int {
+	p.ackMu.Lock()
+	room := p.win.Window() - int(int32(p.nextSeq-p.ackSeq))
+	p.ackMu.Unlock()
+	return room
+}
+
+// stampSeqs assigns contiguous seqs to the datagrams about to be sent and
+// arms the RTT probe: one unacked probe at a time, re-armed (with a Karn
+// backoff, since the old probe is now ambiguous) if the outstanding one
+// has been quiet past the RTO.
+func (p *UDPPeer) stampSeqs(dgs [][]byte) {
+	now := time.Now()
+	p.ackMu.Lock()
+	if p.probeOut && now.Sub(p.probeAt) > p.est.RTO() {
+		p.est.Backoff()
+		p.probeOut = false
+	}
+	for _, dg := range dgs {
+		binary.BigEndian.PutUint32(dg[5:9], p.nextSeq)
+		if !p.probeOut {
+			p.probeOut = true
+			p.probeSeq = p.nextSeq
+			p.probeAt = now
+		}
+		p.nextSeq++
+	}
+	p.ackMu.Unlock()
+}
+
+// awaitWindow parks the writer until an ack opens the window, the RTO
+// expires (timeout handling: Karn backoff, window collapse, flight written
+// off), or shutdown interrupts the wait. Returns false when the writer
+// must stop sending (killed, or drain deadline passed).
+func (p *UDPPeer) awaitWindow() bool {
+	p.ackMu.Lock()
+	rto := p.est.RTO()
+	p.ackMu.Unlock()
+	var closedCh <-chan struct{}
+	if p.isClosed() {
+		if rem := time.Until(p.armDrain()); rem <= 0 {
+			return false
+		} else if rem < rto {
+			rto = rem
+		}
+	} else {
+		// Wake when Close lands mid-wait so the drain clamp above takes
+		// over on the next pass (nil channel if already closed: selecting
+		// on a closed channel would busy-spin).
+		closedCh = p.closed
+	}
+	t := time.NewTimer(rto)
+	defer t.Stop()
+	select {
+	case <-p.ackSignal:
+		return true
+	case <-closedCh:
+		return true
+	case <-p.killed:
+		return false
+	case <-t.C:
+		p.onRTO()
+		return true
+	}
+}
+
+// onRTO handles a retransmission-timeout expiry without the retransmission:
+// the in-flight datagrams are written off as lost (redundancy upstream owns
+// recovery), the window collapses, the RTO backs off per Karn, and the
+// outstanding probe is invalidated so no sample is taken from the ambiguous
+// exchange.
+func (p *UDPPeer) onRTO() {
+	now := time.Now()
+	p.ackMu.Lock()
+	if inflight := int32(p.nextSeq - p.ackSeq); inflight > 0 {
+		p.datagramsLost.Add(int64(inflight))
+		p.ackSeq = p.nextSeq
+	}
+	p.est.Backoff()
+	p.win.OnTimeout(now)
+	p.probeOut = false
+	p.ackMu.Unlock()
+}
+
+// ensureConn returns the live socket, dialing if there is none. UDP
+// "dialing" is address resolution plus socket setup — it only fails when
+// the peer's address is unknown, so the backoff loop is really a resolver
+// retry loop. A fresh socket gets a fresh ack-reader goroutine.
+func (p *UDPPeer) ensureConn(bs *batchSender, rng *lazyRand, backoff *time.Duration) *net.UDPConn {
+	if c := p.conn(); c != nil {
+		return c
+	}
+	hadConn := p.dials.Load() > 0
+	for {
+		if p.immediate.Load() {
+			return nil
+		}
+		if p.isClosed() && time.Now().After(p.armDrain()) {
+			return nil
+		}
+		if addr, ok := p.resolve(); ok {
+			if c, err := dialUDP(addr); err == nil {
+				bs.reset(p.cfg.MaxBatch)
+				p.setConn(c)
+				p.dials.Add(1)
+				if hadConn {
+					p.reconnects.Add(1)
+				}
+				*backoff = p.cfg.BackoffMin
+				if p.immediate.Load() {
+					p.dropConn()
+					return nil
+				}
+				go p.readAcks(c)
+				return c
+			}
+		}
+		if !p.sleepBackoff(rng, backoff) {
+			return nil
+		}
+	}
+}
+
+func dialUDP(addr string) (*net.UDPConn, error) {
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUDP("udp", nil, ra)
+}
+
+// readAcks consumes transport acks on one socket until it is closed or
+// replaced. Acks are tiny and rare (one per receive batch per source), so
+// a plain read loop is enough here — the batching lives on the data path.
+func (p *UDPPeer) readAcks(c *net.UDPConn) {
+	buf := make([]byte, 64)
+	for {
+		n, err := c.Read(buf)
+		if err != nil {
+			return
+		}
+		if p.ucfg.RxDrop != nil && p.ucfg.RxDrop() {
+			continue
+		}
+		if n < udpAckLen || [4]byte(buf[:4]) != dgMagic || buf[4] != dgKindAck {
+			continue
+		}
+		p.handleAck(binary.BigEndian.Uint32(buf[5:9]), binary.BigEndian.Uint64(buf[9:17]))
+	}
+}
+
+// handleAck folds one ack into the congestion state. seq advance tells how
+// many datagram serials the receiver has moved past; count advance tells
+// how many actually arrived; the difference is wire loss, charged to the
+// CUBIC window at most once per RTT. The seq echo against the outstanding
+// probe yields the RTT sample (Karn: the probe was invalidated if any
+// timeout made it ambiguous).
+func (p *UDPPeer) handleAck(seq uint32, count uint64) {
+	now := time.Now()
+	p.acksIn.Add(1)
+	p.ackMu.Lock()
+	newly := int64(int32(seq - p.ackSeq))
+	if newly <= 0 {
+		if d := int64(count - p.ackCount); d > 0 {
+			p.ackCount = count // stale seq but fresher count: absorb
+		}
+		p.ackMu.Unlock()
+		p.signalWindow()
+		return
+	}
+	recvDelta := int64(count - p.ackCount)
+	if recvDelta < 0 {
+		recvDelta = 0
+	}
+	if recvDelta > newly {
+		recvDelta = newly
+	}
+	lost := newly - recvDelta
+	p.ackSeq = seq
+	if int64(count-p.ackCount) > 0 {
+		p.ackCount = count
+	}
+	if p.probeOut && int32(seq-p.probeSeq) >= 0 {
+		p.est.Observe(now.Sub(p.probeAt))
+		p.probeOut = false
+	}
+	guard := p.est.SRTT()
+	if guard <= 0 {
+		guard = 20 * time.Millisecond
+	}
+	if lost > 0 {
+		p.datagramsLost.Add(lost)
+		p.win.OnLoss(now, guard)
+	}
+	if acked := newly - lost; acked > 0 {
+		p.win.OnAck(now, int(acked))
+	}
+	p.lossEWMA = 0.8*p.lossEWMA + 0.2*float64(lost)/float64(newly)
+	report := 0.0
+	if cb := p.ucfg.OnLoss; cb != nil && p.lossEWMA > 0.01 &&
+		now.Sub(p.lastLossReport) >= time.Second {
+		p.lastLossReport = now
+		report = p.lossEWMA
+	}
+	p.ackMu.Unlock()
+	p.signalWindow()
+	if report > 0 {
+		p.ucfg.OnLoss(report)
+	}
+}
+
+func (p *UDPPeer) signalWindow() {
+	select {
+	case p.ackSignal <- struct{}{}:
+	default:
+	}
+}
+
+// UDPAcceptor owns one listening UDP socket: the batched read loop, frame
+// parsing, and the ack/echo bookkeeping per source socket. The recvmmsg
+// staging buffers are reused every batch — they are STAGING ONLY, never
+// handed out — and each frame's payload is copied into a rolling delivery
+// slab whose regions the handlers own outright (buffer-ownership rule 2),
+// exactly the contract the TCP reader's slabs give.
+type UDPAcceptor struct {
+	conn     *net.UDPConn
+	maxFrame int
+	deliver  Deliver
+	ucfg     UDPConfig
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	framesIn    atomic.Int64
+	bytesIn     atomic.Int64
+	datagramsIn atomic.Int64
+	acksOut     atomic.Int64
+	rxDropped   atomic.Int64 // injected by the RxDrop shim
+}
+
+// rxSource is the acceptor's per-source-socket ack state.
+type rxSource struct {
+	count   uint64 // datagrams received (post-shim) from this source
+	high    uint32 // highest data seq seen
+	started bool
+}
+
+// NewUDPAcceptor wraps an already-bound UDP socket without reading yet;
+// Start launches the read loop (the same two-phase shape as the TCP
+// Acceptor, closing the attach race).
+func NewUDPAcceptor(conn *net.UDPConn, maxFrame int, ucfg UDPConfig, deliver Deliver) *UDPAcceptor {
+	ucfg.fillDefaults()
+	if maxFrame <= 0 || maxFrame > MaxUDPPayload {
+		maxFrame = MaxUDPPayload
+	}
+	return &UDPAcceptor{
+		conn:     conn,
+		maxFrame: maxFrame,
+		ucfg:     ucfg,
+		deliver:  deliver,
+	}
+}
+
+// ListenUDP binds addr and returns a started acceptor.
+func ListenUDP(addr string, maxFrame int, ucfg UDPConfig, deliver Deliver) (*UDPAcceptor, error) {
+	la, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, err
+	}
+	a := NewUDPAcceptor(c, maxFrame, ucfg, deliver)
+	a.Start()
+	return a, nil
+}
+
+// Start launches the read loop. Call exactly once.
+func (a *UDPAcceptor) Start() {
+	a.wg.Add(1)
+	go a.readLoop()
+}
+
+// Addr returns the bound address.
+func (a *UDPAcceptor) Addr() string { return a.conn.LocalAddr().String() }
+
+// FramesIn reports frames and payload bytes delivered so far.
+func (a *UDPAcceptor) FramesIn() (frames, bytes int64) {
+	return a.framesIn.Load(), a.bytesIn.Load()
+}
+
+// DatagramsIn reports datagrams accepted and datagrams the RxDrop shim ate.
+func (a *UDPAcceptor) DatagramsIn() (accepted, shimDropped int64) {
+	return a.datagramsIn.Load(), a.rxDropped.Load()
+}
+
+// Close stops the socket and waits for the read loop to exit.
+func (a *UDPAcceptor) Close() {
+	a.closeOnce.Do(func() { a.conn.Close() })
+	a.wg.Wait()
+}
+
+// recvSlabs recycles receive staging slabs across socket lifetimes. The
+// staging footprint is RecvBatch×MaxUDPPayload per socket — harnesses that
+// churn endpoints by the dozen would otherwise spend their time zeroing
+// half-megabyte slabs the reader immediately overwrites.
+var recvSlabs sync.Pool
+
+func getRecvSlab(n int) []byte {
+	if v := recvSlabs.Get(); v != nil {
+		if s := *(v.(*[]byte)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putRecvSlab(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	recvSlabs.Put(&s)
+}
+
+func (a *UDPAcceptor) readLoop() {
+	defer a.wg.Done()
+	br := newBatchReceiver(a.conn, a.ucfg.RecvBatch)
+	defer br.free()
+	srcs := make(map[netip.AddrPort]*rxSource)
+	seen := make([]netip.AddrPort, 0, a.ucfg.RecvBatch)
+	var slab []byte
+	var ackBuf [udpAckLen]byte
+	copy(ackBuf[:4], dgMagic[:])
+	ackBuf[4] = dgKindAck
+	for {
+		n, err := br.recv()
+		seen = seen[:0]
+		for i := 0; i < n; i++ {
+			a.handleDatagram(br.bufs[i][:br.lens[i]], br.addrs[i], srcs, &seen, &slab)
+		}
+		// Echo one ack per source socket per batch: highest seq seen plus
+		// cumulative count, from which the sender reconstructs delivery,
+		// loss, and RTT. Coalescing to the batch keeps the ack rate at
+		// most one per recvmmsg per source.
+		for _, ap := range seen {
+			src := srcs[ap]
+			binary.BigEndian.PutUint32(ackBuf[5:9], src.high)
+			binary.BigEndian.PutUint64(ackBuf[9:17], src.count)
+			if _, err := a.conn.WriteToUDPAddrPort(ackBuf[:], ap); err == nil {
+				a.acksOut.Add(1)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (a *UDPAcceptor) handleDatagram(b []byte, from netip.AddrPort,
+	srcs map[netip.AddrPort]*rxSource, seen *[]netip.AddrPort, slab *[]byte) {
+	if len(b) < dgHdrLen || [4]byte(b[:4]) != dgMagic || b[4] != dgKindData {
+		return
+	}
+	if a.ucfg.RxDrop != nil && a.ucfg.RxDrop() {
+		// Emulated wire loss: the datagram never existed as far as the ack
+		// state is concerned, so the sender sees it as a seq/count gap.
+		a.rxDropped.Add(1)
+		return
+	}
+	src := srcs[from]
+	if src == nil {
+		src = &rxSource{}
+		srcs[from] = src
+	}
+	fresh := true
+	for _, ap := range *seen {
+		if ap == from {
+			fresh = false
+			break
+		}
+	}
+	if fresh {
+		*seen = append(*seen, from)
+	}
+	src.count++
+	seq := binary.BigEndian.Uint32(b[5:9])
+	if !src.started || int32(seq-src.high) > 0 {
+		src.high = seq
+		src.started = true
+	}
+	a.datagramsIn.Add(1)
+	rest := b[dgHdrLen:]
+	for len(rest) >= HeaderLen {
+		size := int(binary.BigEndian.Uint32(rest))
+		if size > a.maxFrame || HeaderLen+size > len(rest) {
+			return // malformed tail: drop the rest of the datagram
+		}
+		sender := wire.NodeID(binary.BigEndian.Uint32(rest[4:8]))
+		// Copy the payload out of the staging buffer into the delivery
+		// slab (staging is reused next batch; delivered views must live
+		// forever). The slab amortizes the allocation across ~64KB of
+		// frames, like the TCP reader's slabs.
+		if len(*slab)+size > cap(*slab) {
+			c := 64 << 10
+			if size > c {
+				c = size
+			}
+			*slab = make([]byte, 0, c)
+		}
+		off := len(*slab)
+		*slab = append(*slab, rest[HeaderLen:HeaderLen+size]...)
+		payload := (*slab)[off : off+size : off+size]
+		rest = rest[HeaderLen+size:]
+		a.framesIn.Add(1)
+		a.bytesIn.Add(int64(size))
+		if !a.deliver(sender, payload) {
+			return
+		}
+	}
+}

@@ -1,0 +1,209 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// Batched datagram I/O on Linux: sendmmsg/recvmmsg through the runtime
+// poller via syscall.RawConn, so one syscall moves a whole batch while the
+// sockets stay in the netpoller's non-blocking regime (EAGAIN from the raw
+// call parks the goroutine exactly like a plain Read/Write would). The
+// stdlib syscall package predates sendmmsg, so its number comes from the
+// per-arch sysnum files; recvmmsg is defined there too for symmetry.
+//
+// mmsghdr is struct mmsghdr from <sys/socket.h> on 64-bit Linux: a msghdr
+// plus the per-message byte count the kernel fills in, padded to 8 bytes.
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+	_      [4]byte
+}
+
+// batchSender holds the reusable sendmmsg scratch for one peer's writer.
+// The zero value is ready; reset re-sizes it (and forgets the cached
+// socket) across redials.
+type batchSender struct {
+	c    *net.UDPConn
+	rc   syscall.RawConn
+	msgs []mmsghdr
+	iovs []syscall.Iovec
+}
+
+func (s *batchSender) reset(maxBatch int) {
+	s.c, s.rc = nil, nil
+	if maxBatch > len(s.msgs) {
+		s.msgs = make([]mmsghdr, maxBatch)
+		s.iovs = make([]syscall.Iovec, maxBatch)
+	}
+}
+
+// send writes the datagrams to the connected socket with one sendmmsg per
+// poller wakeup, returning how many were fully sent. A short count is not
+// an error — the caller re-gates on its window and continues.
+func (s *batchSender) send(c *net.UDPConn, dgs [][]byte) (int, error) {
+	if s.c != c {
+		rc, err := c.SyscallConn()
+		if err != nil {
+			return 0, err
+		}
+		s.c, s.rc = c, rc
+	}
+	n := len(dgs)
+	if n > len(s.msgs) {
+		s.msgs = make([]mmsghdr, n)
+		s.iovs = make([]syscall.Iovec, n)
+	}
+	for i, dg := range dgs {
+		s.iovs[i].Base = &dg[0]
+		s.iovs[i].SetLen(len(dg))
+		s.msgs[i] = mmsghdr{}
+		s.msgs[i].hdr.Iov = &s.iovs[i]
+		s.msgs[i].hdr.Iovlen = 1
+	}
+	var sent int
+	var opErr error
+	err := s.rc.Write(func(fd uintptr) bool {
+		r, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&s.msgs[0])), uintptr(n), 0, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // poller waits for writability, then retries
+		}
+		if errno != 0 {
+			opErr = errno
+		} else {
+			sent = int(r)
+		}
+		return true
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, opErr
+}
+
+// batchReceiver drains up to `batch` datagrams per recvmmsg into reusable
+// staging buffers. After recv returns n, bufs[i][:lens[i]] and addrs[i]
+// describe datagram i until the next recv call — staging only, the caller
+// copies out what must survive.
+type batchReceiver struct {
+	c     *net.UDPConn
+	rc    syscall.RawConn
+	slab  []byte // pooled backing store carved into bufs
+	bufs  [][]byte
+	lens  []int
+	addrs []netip.AddrPort
+	iovs  []syscall.Iovec
+	msgs  []mmsghdr
+	names []syscall.RawSockaddrAny
+}
+
+func newBatchReceiver(c *net.UDPConn, batch int) *batchReceiver {
+	if batch <= 0 {
+		batch = 1
+	}
+	r := &batchReceiver{
+		c:     c,
+		slab:  getRecvSlab(batch * MaxUDPPayload),
+		bufs:  make([][]byte, batch),
+		lens:  make([]int, batch),
+		addrs: make([]netip.AddrPort, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		msgs:  make([]mmsghdr, batch),
+		names: make([]syscall.RawSockaddrAny, batch),
+	}
+	rc, err := c.SyscallConn()
+	if err != nil {
+		// No raw access (exotic socket): recv degrades to one-at-a-time
+		// reads through the net package.
+		rc = nil
+	}
+	r.rc = rc
+	for i := range r.bufs {
+		b := r.slab[i*MaxUDPPayload : (i+1)*MaxUDPPayload : (i+1)*MaxUDPPayload]
+		r.bufs[i] = b
+		r.iovs[i].Base = &b[0]
+		r.iovs[i].SetLen(MaxUDPPayload)
+	}
+	return r
+}
+
+// free returns the staging slab to the pool; the receiver is dead after.
+func (r *batchReceiver) free() {
+	putRecvSlab(r.slab)
+	r.slab, r.bufs = nil, nil
+}
+
+func (r *batchReceiver) recv() (int, error) {
+	if r.rc == nil {
+		return r.recvOne()
+	}
+	vlen := len(r.msgs)
+	for i := 0; i < vlen; i++ {
+		r.msgs[i] = mmsghdr{}
+		r.msgs[i].hdr.Iov = &r.iovs[i]
+		r.msgs[i].hdr.Iovlen = 1
+		r.msgs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+		r.msgs[i].hdr.Namelen = uint32(unsafe.Sizeof(r.names[i]))
+	}
+	var n int
+	var opErr error
+	err := r.rc.Read(func(fd uintptr) bool {
+		// Non-blocking fd: recvmmsg returns whatever is queued (up to
+		// vlen) or EAGAIN, never blocks for a full vector.
+		v, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&r.msgs[0])), uintptr(vlen), 0, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false
+		}
+		if errno != 0 {
+			opErr = errno
+		} else {
+			n = int(v)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if opErr != nil {
+		return 0, opErr
+	}
+	for i := 0; i < n; i++ {
+		r.lens[i] = int(r.msgs[i].msgLen)
+		r.addrs[i] = sockaddrToAddrPort(&r.names[i])
+	}
+	return n, nil
+}
+
+func (r *batchReceiver) recvOne() (int, error) {
+	n, ap, err := r.c.ReadFromUDPAddrPort(r.bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	r.lens[0] = n
+	r.addrs[0] = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	return 1, nil
+}
+
+func sockaddrToAddrPort(sa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		p := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		pb := (*[2]byte)(unsafe.Pointer(&p.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(p.Addr),
+			uint16(pb[0])<<8|uint16(pb[1]))
+	case syscall.AF_INET6:
+		p := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		pb := (*[2]byte)(unsafe.Pointer(&p.Port))
+		// Unmap 4-in-6 so a dual-stack listener keys the same source the
+		// same way regardless of which family the kernel reported.
+		return netip.AddrPortFrom(netip.AddrFrom16(p.Addr).Unmap(),
+			uint16(pb[0])<<8|uint16(pb[1]))
+	}
+	return netip.AddrPort{}
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// sendmmsg postdates the stdlib syscall table's freeze, so its number is
+// spelled here; recvmmsg (syscall.SYS_RECVMMSG exists on this arch) is
+// duplicated for symmetry with the arm64 file.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

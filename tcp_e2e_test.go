@@ -17,12 +17,12 @@ import (
 	"infoslicing/internal/wire"
 )
 
-// The facade over real sockets: WithStaticTCP swaps the in-memory channel
-// transport for loopback TCP through the production peer layer, and the
-// public API must behave identically — grow, dial, send, receive, churn.
+// The facade over real sockets: WithTransport(TCPSpec) swaps the in-memory
+// channel transport for loopback TCP through the production peer layer, and
+// the public API must behave identically — grow, dial, send, receive, churn.
 func TestFacadeStaticTCPLoopback(t *testing.T) {
 	simnet.ReportSeed(t)
-	nw := New(WithSeed(11), WithStaticTCP(nil))
+	nw := New(WithSeed(11), WithTransport(TCPSpec{}))
 	defer nw.Close()
 	if _, err := nw.Grow(9); err != nil {
 		t.Fatal(err)
@@ -48,8 +48,8 @@ func TestFacadeStaticTCPLoopback(t *testing.T) {
 	}
 	// Churn injection works over real sockets too: kill a non-participant
 	// relay (no effect), then check counters moved.
-	if pkts, bytes_, _ := nw.Stats(); pkts == 0 || bytes_ == 0 {
-		t.Fatalf("transport counters did not move: pkts=%d bytes=%d", pkts, bytes_)
+	if st := nw.Stats(); st.Packets == 0 || st.Bytes == 0 {
+		t.Fatalf("transport counters did not move: pkts=%d bytes=%d", st.Packets, st.Bytes)
 	}
 }
 

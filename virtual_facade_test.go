@@ -8,17 +8,17 @@ import (
 	"infoslicing/internal/simnet"
 )
 
-// The facade on virtual time: WithVirtualTime swaps the transport for a
-// simnet universe and threads the clock through every relay and sender, so
-// a full Dial → kill → splice → deliver cycle — the same shape as the
-// wall-clock TestDialRepairSingleFailure — runs in milliseconds of real
-// time, driven entirely by stepping the clock.
+// The facade on virtual time: WithTransport(VirtualSpec) swaps the
+// transport for a simnet universe and threads the clock through every relay
+// and sender, so a full Dial → kill → splice → deliver cycle — the same
+// shape as the wall-clock TestDialRepairSingleFailure — runs in
+// milliseconds of real time, driven entirely by stepping the clock.
 func TestVirtualTimeDialRepairSingleFailure(t *testing.T) {
 	simnet.ReportSeed(t)
 	vc := simnet.NewVirtualClock()
 	nw := New(
 		WithSeed(7),
-		WithVirtualTime(vc),
+		WithTransport(VirtualSpec{Clock: vc}),
 		WithControlPlane(20*time.Millisecond),
 		WithRelayConfig(relay.Config{
 			SetupWait:       100 * time.Millisecond,
