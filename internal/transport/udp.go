@@ -233,7 +233,17 @@ func (p *UDPPeer) SendDelay(bytes int) time.Duration {
 	inflight := int(int32(p.nextSeq - p.ackSeq))
 	srtt := p.est.SRTT()
 	p.ackMu.Unlock()
-	over := inflight + p.QueueLen() - win
+	// The queue holds frames but the window counts datagrams, and the
+	// writer packs several frames per datagram; scale the queue down by
+	// the measured packing factor so the overshoot stays in one unit.
+	queued := p.QueueLen()
+	if queued > 0 {
+		if fo, do := p.framesOut.Load(), p.datagramsOut.Load(); do > 0 && fo > do {
+			per := fo / do
+			queued = int((int64(queued) + per - 1) / per)
+		}
+	}
+	over := inflight + queued - win
 	if over <= 0 {
 		return 0
 	}
@@ -382,41 +392,48 @@ func (p *UDPPeer) flushDatagrams(dgs [][]byte, bs *batchSender, rng *lazyRand, b
 		return
 	}
 	i := 0
+	stamped := 0 // dgs[i:stamped] carry wire seqs but have not been sent yet
 	for i < len(dgs) {
-		room := p.windowRoom()
-		if room <= 0 {
-			if !p.awaitWindow() {
-				p.dropped.Add(p.countFrames(dgs[i:]))
-				return
+		if stamped == i {
+			room := p.windowRoom()
+			if room <= 0 {
+				if !p.awaitWindow() {
+					p.dropped.Add(p.countFrames(dgs[i:]))
+					return
+				}
+				continue
 			}
-			continue
+			n := len(dgs) - i
+			if n > room {
+				n = room
+			}
+			p.stampSeqs(dgs[i : i+n])
+			stamped = i + n
 		}
-		n := len(dgs) - i
-		if n > room {
-			n = room
-		}
-		p.stampSeqs(dgs[i : i+n])
-		sent, err := bs.send(c, dgs[i:i+n])
+		// A short sendmmsg (full socket buffer) leaves a stamped tail: retry
+		// it with the seqs it already carries. Re-stamping would punch a
+		// permanent hole in the seq space, and the ack math would charge the
+		// same datagrams as lost a second time for purely local backpressure.
+		sent, err := bs.send(c, dgs[i:stamped])
 		if sent > 0 {
 			p.flushes.Add(1)
 			p.datagramsOut.Add(int64(sent))
 			var frames, bytes int64
-			for _, dg := range dgs[i : i+n][:sent] {
+			for _, dg := range dgs[i : i+sent] {
 				frames += framesIn(dg)
 				bytes += int64(len(dg) - dgHdrLen)
 			}
 			p.framesOut.Add(frames)
 			p.bytesOut.Add(bytes)
 		}
-		if stamped := n - sent; stamped > 0 {
-			// Seqs consumed but never on the wire: the ack channel will
-			// see them as loss, which is the honest account of a local
-			// send failure.
-			p.datagramsLost.Add(int64(stamped))
-		}
 		i += sent
 		if err != nil {
 			p.sendFailures.Add(1)
+			if unsent := stamped - i; unsent > 0 {
+				// Stamped but never on the wire, and the redial will reset
+				// the ack state past them: account them here, once.
+				p.datagramsLost.Add(int64(unsent))
+			}
 			p.dropped.Add(p.countFrames(dgs[i:]))
 			p.dropConn()
 			// A connected UDP socket fails sends with ECONNREFUSED while
@@ -535,6 +552,26 @@ func (p *UDPPeer) onRTO() {
 	p.ackMu.Unlock()
 }
 
+// resetAckState realigns the congestion accounting with a fresh socket. A
+// redial binds a new ephemeral port, so the acceptor keys the sender as a
+// brand-new rxSource whose cumulative count restarts at 0; if the sender
+// kept the old ackCount, every future recvDelta would clamp to 0 and all
+// acked datagrams would be charged as loss until the new socket outlived
+// the old one's lifetime count. Datagrams still in flight on the dead
+// socket can never be acked by the new source, so they are written off as
+// lost (a counter only — no CUBIC loss signal for a local socket swap) and
+// the outstanding probe is invalidated per Karn.
+func (p *UDPPeer) resetAckState() {
+	p.ackMu.Lock()
+	if inflight := int32(p.nextSeq - p.ackSeq); inflight > 0 {
+		p.datagramsLost.Add(int64(inflight))
+	}
+	p.ackSeq = p.nextSeq
+	p.ackCount = 0
+	p.probeOut = false
+	p.ackMu.Unlock()
+}
+
 // ensureConn returns the live socket, dialing if there is none. UDP
 // "dialing" is address resolution plus socket setup — it only fails when
 // the peer's address is unknown, so the backoff loop is really a resolver
@@ -554,6 +591,7 @@ func (p *UDPPeer) ensureConn(bs *batchSender, rng *lazyRand, backoff *time.Durat
 		if addr, ok := p.resolve(); ok {
 			if c, err := dialUDP(addr); err == nil {
 				bs.reset(p.cfg.MaxBatch)
+				p.resetAckState()
 				p.setConn(c)
 				p.dials.Add(1)
 				if hadConn {
@@ -693,10 +731,23 @@ type UDPAcceptor struct {
 
 // rxSource is the acceptor's per-source-socket ack state.
 type rxSource struct {
-	count   uint64 // datagrams received (post-shim) from this source
-	high    uint32 // highest data seq seen
-	started bool
+	count    uint64    // datagrams received (post-shim) from this source
+	high     uint32    // highest data seq seen
+	started  bool
+	lastSeen time.Time // last batch this source appeared in (eviction clock)
 }
+
+// Idle sources are evicted so the srcs map stays bounded: every sender
+// redial lands on a new ephemeral port and would otherwise strand its old
+// entry forever, and any 9 bytes of valid magic is enough to mint one — a
+// slow leak on long-running listeners. The sweep runs at most once per
+// srcSweepEvery, piggybacked on the read loop, and an evicted source that
+// comes back simply restarts as a fresh rxSource (the sender's redial
+// resetAckState covers the only way a live source changes ports).
+const (
+	srcIdleTimeout = 2 * time.Minute
+	srcSweepEvery  = 30 * time.Second
+)
 
 // NewUDPAcceptor wraps an already-bound UDP socket without reading yet;
 // Start launches the read loop (the same two-phase shape as the TCP
@@ -787,6 +838,7 @@ func (a *UDPAcceptor) readLoop() {
 	var ackBuf [udpAckLen]byte
 	copy(ackBuf[:4], dgMagic[:])
 	ackBuf[4] = dgKindAck
+	nextSweep := time.Now().Add(srcSweepEvery)
 	for {
 		n, err := br.recv()
 		seen = seen[:0]
@@ -797,12 +849,22 @@ func (a *UDPAcceptor) readLoop() {
 		// cumulative count, from which the sender reconstructs delivery,
 		// loss, and RTT. Coalescing to the batch keeps the ack rate at
 		// most one per recvmmsg per source.
+		now := time.Now()
 		for _, ap := range seen {
 			src := srcs[ap]
+			src.lastSeen = now
 			binary.BigEndian.PutUint32(ackBuf[5:9], src.high)
 			binary.BigEndian.PutUint64(ackBuf[9:17], src.count)
 			if _, err := a.conn.WriteToUDPAddrPort(ackBuf[:], ap); err == nil {
 				a.acksOut.Add(1)
+			}
+		}
+		if now.After(nextSweep) {
+			nextSweep = now.Add(srcSweepEvery)
+			for ap, src := range srcs {
+				if now.Sub(src.lastSeen) > srcIdleTimeout {
+					delete(srcs, ap)
+				}
 			}
 		}
 		if err != nil {

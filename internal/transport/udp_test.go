@@ -332,6 +332,94 @@ func TestUDPStatsAggregation(t *testing.T) {
 	}
 }
 
+// TestUDPRedialResyncsAckState pins the redial accounting as a pure state
+// test: after a redial the acceptor keys the sender as a brand-new source
+// whose cumulative count restarts at 0, so the sender must realign
+// (ackSeq = nextSeq, ackCount = 0) or every subsequent recvDelta clamps to
+// 0 and healthy acked traffic is charged as 100% loss.
+func TestUDPRedialResyncsAckState(t *testing.T) {
+	p := &UDPPeer{
+		est:       newRTTEstimator(0, 0),
+		win:       newCubicWindow(16, 1024),
+		ackSignal: make(chan struct{}, 1),
+	}
+	// Socket 1 lifetime: 100 datagrams stamped, 90 acked, receiver counted 95.
+	p.nextSeq, p.ackSeq, p.ackCount = 100, 90, 95
+
+	p.resetAckState()
+	if p.ackSeq != 100 || p.ackCount != 0 {
+		t.Fatalf("after reset: ackSeq=%d ackCount=%d, want 100/0", p.ackSeq, p.ackCount)
+	}
+	// The 10 in-flight datagrams on the dead socket are written off, once.
+	if got := p.datagramsLost.Load(); got != 10 {
+		t.Fatalf("reset wrote off %d datagrams, want 10", got)
+	}
+
+	// Socket 2: stamp 10 datagrams (seqs 100..109) and ack them all from the
+	// fresh source (count restarts at 10, not 105). No loss may be charged.
+	dgs := make([][]byte, 10)
+	for i := range dgs {
+		dgs[i] = make([]byte, dgHdrLen)
+	}
+	winBefore := p.win.Window()
+	p.stampSeqs(dgs)
+	p.handleAck(110, 10)
+	if got := p.datagramsLost.Load(); got != 10 {
+		t.Fatalf("healthy post-redial ack charged loss: DatagramsLost=%d, want 10", got)
+	}
+	if p.lossEWMA != 0 {
+		t.Fatalf("healthy post-redial ack moved lossEWMA to %f", p.lossEWMA)
+	}
+	if p.win.Window() < winBefore {
+		t.Fatalf("window shrank on a fully-acked post-redial flight: %d -> %d",
+			winBefore, p.win.Window())
+	}
+	if p.ackSeq != 110 || p.ackCount != 10 {
+		t.Fatalf("post-ack state: ackSeq=%d ackCount=%d, want 110/10", p.ackSeq, p.ackCount)
+	}
+}
+
+// TestUDPRedialAgainstLiveAcceptor forces a sender-side redial (the socket
+// is yanked out from under the writer) while the acceptor stays up: the new
+// ephemeral port lands as a new rxSource whose count restarts at 0, and the
+// sender must resync instead of charging every post-redial ack as loss,
+// pinning the window at minimum, and escalating a healthy path.
+func TestUDPRedialAgainstLiveAcceptor(t *testing.T) {
+	a, sink := startUDPAcceptor(t, UDPConfig{})
+	p := NewUDPPeer(func() (string, bool) { return a.Addr(), true },
+		Config{BackoffMin: time.Millisecond}, UDPConfig{})
+	defer p.CloseNow()
+
+	send := func(n int, tag byte) {
+		for i := 0; i < n; i++ {
+			for !p.Enqueue(wire.NodeID(1), []byte{tag, byte(i)}) {
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(200 * time.Microsecond) // spread over several acked batches
+		}
+	}
+	send(50, 'a')
+	if !waitFor(t, 5*time.Second, func() bool { return sink.n.Load() == 50 }) {
+		t.Fatalf("pre-redial: delivered %d/50", sink.n.Load())
+	}
+
+	// Yank the socket: the writer's next send fails, drops the conn, and
+	// redials on a new ephemeral port against the still-live acceptor.
+	p.dropConn()
+	send(100, 'b')
+	if !waitFor(t, 5*time.Second, func() bool { return sink.n.Load() >= 140 }) {
+		t.Fatalf("post-redial: delivered %d/150", sink.n.Load())
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return p.UDPStats().LossRate < 0.1 }) {
+		us := p.UDPStats()
+		t.Fatalf("post-redial acks charged as loss: LossRate=%.2f Lost=%d Window=%d",
+			us.LossRate, us.DatagramsLost, us.Window)
+	}
+	if st := p.Stats(); st.Reconnects == 0 && st.Dials < 2 {
+		t.Fatalf("redial never happened: dials=%d reconnects=%d", st.Dials, st.Reconnects)
+	}
+}
+
 func TestUDPBatchReceiverMultiSource(t *testing.T) {
 	// Several source sockets interleaving into one acceptor: per-source
 	// ack state must keep them separate (each source sees its own seq
