@@ -11,6 +11,11 @@
 //	                   budget covers, with the control plane in repair vs
 //	                   detection-only mode
 //	churnsim -fig 0    all of the above
+//
+// With -scale the tool instead runs a session-churn scenario on an
+// N-node walker universe (-nodes, default 100000): Weibull sessions and
+// lognormal downtimes over a quarter of the overlay while walker traffic
+// circulates, reporting deliveries, events/sec, and heap bytes/node.
 package main
 
 import (
@@ -18,9 +23,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"infoslicing/internal/churn"
 	"infoslicing/internal/metrics"
+	"infoslicing/internal/simnet"
 )
 
 func main() {
@@ -28,8 +36,16 @@ func main() {
 	trials := flag.Int("trials", 25, "sessions per point (fig 17)")
 	failProb := flag.Float64("p", 0.2, "per-session node failure probability (fig 17)")
 	seed := flag.Int64("seed", 1, "rng seed")
+	scale := flag.Bool("scale", false, "run the scale session-churn scenario instead of a figure")
+	nodes := flag.Int("nodes", 100000, "universe size for -scale")
+	workers := flag.Int("workers", runtime.NumCPU(), "simnet partition-parallel width for -scale")
+	window := flag.Duration("window", 100*time.Millisecond, "virtual run window for -scale")
 	flag.Parse()
 
+	if *scale {
+		runScale(*nodes, *workers, *seed, *window)
+		return
+	}
 	switch *fig {
 	case 16:
 		fig16()
@@ -44,6 +60,51 @@ func main() {
 	default:
 		log.Fatalf("churnsim: unknown figure %d", *fig)
 	}
+}
+
+// runScale exercises the million-node event core: an N-node walker
+// universe under trace-style session churn, driven partition-parallel.
+func runScale(nodes, workers int, seed int64, window time.Duration) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	clk := simnet.NewVirtualClock()
+	if workers > 1 {
+		clk.SetWorkers(workers)
+	}
+	net := simnet.NewSimNet(clk, seed, simnet.LinkProfile{Delay: time.Millisecond})
+	s := &simnet.Script{Clk: clk, Net: net}
+	u, err := simnet.NewUniverse(s, simnet.UniverseConfig{
+		Nodes: nodes, Degree: 4, Walkers: nodes / 10, Seed: seed,
+	})
+	if err != nil {
+		log.Fatalf("churnsim: %v", err)
+	}
+	sched := s.ScheduleSessionChurn(simnet.SessionChurnSpec{
+		Nodes:    u.NodeIDs()[:nodes/4],
+		Session:  simnet.SessionDist{Kind: simnet.DistWeibull, Shape: 0.6, Scale: window / 5},
+		Downtime: simnet.SessionDist{Kind: simnet.DistLognormal, Shape: 0.8, Scale: window / 10},
+		Start:    window / 20,
+		Stop:     window * 9 / 10,
+		Seed:     seed + 1,
+	})
+	u.Seed()
+	t0 := time.Now()
+	u.Run(window)
+	wall := time.Since(t0)
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	perNode := float64(after.HeapAlloc-before.HeapAlloc) / float64(nodes)
+	fmt.Printf("scale scenario: %d nodes, %d workers, %s virtual window\n", nodes, workers, window)
+	fmt.Printf("  deliveries        %d\n", u.Deliveries())
+	fmt.Printf("  churn transitions %d\n", len(sched))
+	fmt.Printf("  wall time         %s (%.0f events/sec)\n", wall.Round(time.Millisecond),
+		float64(u.Deliveries())/wall.Seconds())
+	fmt.Printf("  heap              %.0f bytes/node\n", perNode)
+	runtime.KeepAlive(u)
 }
 
 func fig16() {

@@ -1,0 +1,128 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// Trace-driven churn: session lengths and downtimes drawn from the
+// heavy-tailed distributions measured in real P2P/overlay deployments
+// (Weibull and lognormal fits are the standard models for peer uptime).
+// The schedule is a pure function of the spec — same seed, same
+// kill/revive sequence — generated up front and installed on the script's
+// clock, so churn scenarios replay exactly like every other scripted
+// fault.
+
+// DistKind selects a session-length distribution family.
+type DistKind uint8
+
+const (
+	DistFixed     DistKind = iota // always Scale
+	DistWeibull                   // shape Shape, scale Scale
+	DistLognormal                 // median Scale, sigma Shape (of log)
+)
+
+// SessionDist is one duration distribution.
+type SessionDist struct {
+	Kind  DistKind
+	Shape float64       // Weibull shape k / lognormal sigma; unused for Fixed
+	Scale time.Duration // Weibull scale λ / lognormal median / the fixed value
+}
+
+// Sample draws one duration (always >= 1ns so schedules advance).
+func (d SessionDist) Sample(r *rand.Rand) time.Duration {
+	var v float64
+	switch d.Kind {
+	case DistWeibull:
+		u := r.Float64()
+		v = float64(d.Scale) * math.Pow(-math.Log(1-u), 1/d.Shape)
+	case DistLognormal:
+		v = float64(d.Scale) * math.Exp(d.Shape*r.NormFloat64())
+	default:
+		v = float64(d.Scale)
+	}
+	if v < 1 {
+		v = 1
+	}
+	if v > float64(math.MaxInt64)/2 {
+		v = float64(math.MaxInt64) / 2
+	}
+	return time.Duration(v)
+}
+
+// ChurnTransition is one scheduled membership flip.
+type ChurnTransition struct {
+	At   time.Duration
+	Node wire.NodeID
+	Up   bool // false = Fail, true = Revive
+}
+
+// SessionChurnSpec describes session-distribution churn over a node set.
+// Every node starts alive; its first departure falls one session length
+// after Start, then it alternates Downtime off / Session on until Stop.
+type SessionChurnSpec struct {
+	Nodes    []wire.NodeID
+	Session  SessionDist // up-time per session
+	Downtime SessionDist // off-time between sessions
+	Start    time.Duration
+	Stop     time.Duration
+	Seed     int64
+}
+
+// SessionSchedule generates the deterministic transition schedule for the
+// spec: per-node RNG streams derived from (Seed, node) via splitmix64, so
+// the schedule is invariant to node-set order and replayable from the
+// seed chain. Transitions are sorted by (At, Node, Up).
+func SessionSchedule(spec SessionChurnSpec) []ChurnTransition {
+	var out []ChurnTransition
+	for _, id := range spec.Nodes {
+		r := rand.New(rand.NewSource(int64(splitmix64(uint64(spec.Seed) ^ uint64(id)*0x9e3779b97f4a7c15))))
+		t := spec.Start
+		up := true
+		for {
+			if up {
+				t += spec.Session.Sample(r)
+			} else {
+				t += spec.Downtime.Sample(r)
+			}
+			if t >= spec.Stop {
+				break
+			}
+			up = !up
+			out = append(out, ChurnTransition{At: t, Node: id, Up: up})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return !a.Up && b.Up
+	})
+	return out
+}
+
+// ScheduleSessionChurn installs the spec's schedule on the script —
+// Fail/Revive at exact virtual instants — and returns it (for reporting:
+// transition counts, expected availability).
+func (s *Script) ScheduleSessionChurn(spec SessionChurnSpec) []ChurnTransition {
+	sched := SessionSchedule(spec)
+	for _, tr := range sched {
+		id, up := tr.Node, tr.Up
+		s.At(tr.At, func() {
+			if up {
+				s.Net.Revive(id)
+			} else {
+				s.Net.Fail(id)
+			}
+		})
+	}
+	return sched
+}

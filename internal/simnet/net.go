@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infoslicing/internal/wire"
@@ -15,27 +16,98 @@ import (
 // counterpart of overlay.ChanNetwork. It satisfies overlay.Transport (and
 // the Failer side the churner uses) without importing the overlay package.
 //
-// Determinism: every (from, to) link owns its own RNG stream, seeded from
-// (netSeed, from, to), and its own delivery sequence counter. Two
-// goroutines sending concurrently on different links cannot perturb each
-// other's loss/jitter draws, and deliveries scheduled for the same virtual
-// instant fire in the canonical (from, to, per-link-seq) order — so the
-// delivery trace is a pure function of the seed and the scenario.
+// Scale design: per-endpoint state lives in a chunked arena of nodeSlots
+// addressed by dense indices (NodeIDs resolve through a flat []int32 for
+// small ids, a map only for outliers), so a 10^5–10^6 node universe costs
+// a few tens of bytes per node and zero map lookups on the send path.
+// Deliveries are closure-free — Send schedules a plain event record on the
+// clock's timer wheel and the clock hands it back via the netSink
+// interface. Per-link shaping state (profile override, cut flag, RNG) is
+// allocated lazily, only for links that are actually shaped: a universe
+// with fixed delays and no loss carries no per-link state at all.
+//
+// Determinism: every (from, to) link has a deterministic RNG stream seeded
+// from (netSeed, from, to) — created on first draw — and deliveries
+// scheduled for the same virtual instant fire in the canonical
+// (from, to, sender-seq) order. The sender sequence is per source node;
+// since each link has a single logical writer, per-link relative order is
+// preserved and the delivery trace is a pure function of seed + scenario,
+// at any worker partition count.
 type SimNet struct {
-	clk  *VirtualClock
-	seed int64
-	def  LinkProfile
+	clk    *VirtualClock
+	seed   int64
+	def    LinkProfile
+	sinkID uint8
+
+	// Hot-path state, readable without n.mu (workers run concurrently):
+	chunks atomic.Pointer[[]*nodeChunk]
+	idIdx  atomic.Pointer[[]int32]
+	linksN atomic.Int32
+	pkts   atomic.Int64
+	bytes  atomic.Int64
+	lost   atomic.Int64
+	closed atomic.Bool
+
+	traceOn atomic.Bool
+	pooled  atomic.Bool
+	bufPool sync.Pool // *payloadBuf
 
 	mu      sync.Mutex
-	nodes   map[wire.NodeID]*simEndpoint
+	nNodes  int32
+	idMap   map[wire.NodeID]int32 // ids too large for the flat index
 	links   map[linkKey]*linkState
-	traceOn bool
-	trace   []TraceEvent
-	pkts    int64
-	bytes   int64
-	lost    int64
-	closed  bool
+	ring    []TraceEvent
+	ringCap int
+	ringAt  int // next overwrite position once the ring is full
+	dropped int64
+	sinkFn  func(TraceEvent)
+
+	// per-batch trace scratch: workers write position-keyed slots, the
+	// driver merges them in canonical order at batchEnd.
+	scratch    []TraceEvent
+	scratchSet []bool
+	batchN     int
 }
+
+const (
+	nodeChunkBits = 12
+	nodeChunkSize = 1 << nodeChunkBits
+	nodeChunkMask = nodeChunkSize - 1
+	// NodeIDs below maxDirectID resolve through a flat array; larger ids
+	// (synthetic per-flow source ids and the like) fall back to a map.
+	maxDirectID = 1 << 21
+
+	// DefaultTraceCap bounds EnableTrace's ring: old events are discarded
+	// once the cap is reached (TraceDropped counts them). Large enough for
+	// every scripted scenario, small enough that a million-node soak with
+	// tracing on cannot OOM.
+	DefaultTraceCap = 1 << 20
+)
+
+type nodeChunk [nodeChunkSize]nodeSlot
+
+type handlerFunc = func(wire.NodeID, []byte)
+
+// nodeSlot is one endpoint's arena cell. state packs
+// attached(bit0) | down(bit1) | epoch(bits 2+) into one word so batch
+// workers can read liveness with a single atomic load; writes happen on
+// the control plane under n.mu.
+type nodeSlot struct {
+	id    wire.NodeID
+	aff   int32 // partition affinity root (dense index); see Coaffine
+	state atomic.Uint64
+	h     atomic.Pointer[handlerFunc]
+	seq   atomic.Uint64 // canonical per-sender sequence
+}
+
+const (
+	slotAttached = 1 << 0
+	slotDown     = 1 << 1
+	slotEpochLSB = 2
+)
+
+// payloadBuf is a pooled payload backing buffer (pooled mode only).
+type payloadBuf struct{ b []byte }
 
 // LinkProfile shapes one directed link.
 type LinkProfile struct {
@@ -54,10 +126,8 @@ type LinkProfile struct {
 	ReorderDelay time.Duration
 }
 
-type simEndpoint struct {
-	h     func(wire.NodeID, []byte)
-	down  bool
-	epoch uint64
+func (p LinkProfile) needsRand() bool {
+	return p.Loss > 0 || p.Jitter > 0 || p.Reorder > 0 || p.Duplicate > 0
 }
 
 type linkKey struct{ from, to wire.NodeID }
@@ -66,8 +136,7 @@ type linkState struct {
 	prof    LinkProfile
 	hasProf bool
 	cut     bool
-	rng     *rand.Rand
-	seq     uint64
+	rng     *rand.Rand // lazily created on first randomness draw
 }
 
 // TraceEvent is one packet delivery as observed at the receiving node:
@@ -95,41 +164,181 @@ var (
 // experiments). Scenario tooling that wants the replayable trace turns it
 // on with EnableTrace; NewScript does so for every scripted scenario.
 func NewSimNet(clk *VirtualClock, seed int64, def LinkProfile) *SimNet {
-	return &SimNet{
+	n := &SimNet{
 		clk:   clk,
 		seed:  seed,
 		def:   def,
-		nodes: make(map[wire.NodeID]*simEndpoint),
+		idMap: make(map[wire.NodeID]int32),
 		links: make(map[linkKey]*linkState),
 	}
+	empty := make([]int32, 0)
+	n.idIdx.Store(&empty)
+	chunks := make([]*nodeChunk, 0)
+	n.chunks.Store(&chunks)
+	n.sinkID = clk.registerSink(n)
+	return n
 }
 
-// EnableTrace starts recording a TraceEvent per delivery (unbounded; meant
-// for scenario-length runs, not soaks).
-func (n *SimNet) EnableTrace() {
+// EnableTrace starts recording a TraceEvent per delivery into a ring
+// capped at DefaultTraceCap (older events are discarded past the cap;
+// TraceDropped counts them).
+func (n *SimNet) EnableTrace() { n.EnableTraceN(DefaultTraceCap) }
+
+// EnableTraceN is EnableTrace with an explicit ring capacity.
+func (n *SimNet) EnableTraceN(cap int) {
+	if cap < 1 {
+		cap = 1
+	}
 	n.mu.Lock()
-	n.traceOn = true
+	n.ringCap = cap
 	n.mu.Unlock()
+	n.traceOn.Store(true)
 }
+
+// SetTraceSink streams every delivery to fn instead of retaining it
+// (bounded memory regardless of run length). Events arrive in canonical
+// delivery order even under partition-parallel execution; fn runs on the
+// driver goroutine between batches and must not block. A nil fn reverts
+// to ring buffering.
+func (n *SimNet) SetTraceSink(fn func(TraceEvent)) {
+	n.mu.Lock()
+	n.sinkFn = fn
+	n.mu.Unlock()
+	n.traceOn.Store(true)
+}
+
+// TraceDropped reports how many trace events the capped ring discarded.
+func (n *SimNet) TraceDropped() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// SetPooledPayloads turns on payload buffer pooling: delivered buffers are
+// recycled as soon as the handler returns. Only valid when every attached
+// handler finishes with its buffer before returning (the overlay.Handler
+// contract normally grants the handler ownership beyond the call — relay
+// shard queues retain buffers — so pooling is opt-in for harnesses whose
+// handlers are known not to retain, e.g. the scale universes).
+func (n *SimNet) SetPooledPayloads(on bool) { n.pooled.Store(on) }
 
 // Clock returns the virtual clock the network schedules on.
 func (n *SimNet) Clock() *VirtualClock { return n.clk }
+
+// lookup resolves a NodeID to its dense index (-1 if never seen). Safe
+// without n.mu for the flat-index path.
+func (n *SimNet) lookup(id wire.NodeID) int32 {
+	if uint64(id) < maxDirectID {
+		arr := *n.idIdx.Load()
+		if int(id) < len(arr) {
+			return arr[id]
+		}
+		return -1
+	}
+	n.mu.Lock()
+	ix, ok := n.idMap[id]
+	n.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	return ix
+}
+
+func (n *SimNet) slotAt(idx int32) *nodeSlot {
+	chunks := *n.chunks.Load()
+	return &chunks[idx>>nodeChunkBits][idx&nodeChunkMask]
+}
+
+// idxLocked resolves (optionally creating) the dense index for id.
+func (n *SimNet) idxLocked(id wire.NodeID, create bool) int32 {
+	if uint64(id) < maxDirectID {
+		arr := *n.idIdx.Load()
+		if int(id) < len(arr) {
+			if ix := arr[id]; ix >= 0 || !create {
+				return ix
+			}
+			ix := n.allocSlotLocked(id)
+			arr[id] = ix
+			return ix
+		}
+		if !create {
+			return -1
+		}
+		grow := 2 * len(arr)
+		if grow < int(id)+1 {
+			grow = int(id) + 1
+		}
+		if grow < 1024 {
+			grow = 1024
+		}
+		na := make([]int32, grow)
+		copy(na, arr)
+		for i := len(arr); i < grow; i++ {
+			na[i] = -1
+		}
+		ix := n.allocSlotLocked(id)
+		na[id] = ix
+		n.idIdx.Store(&na)
+		return ix
+	}
+	ix, ok := n.idMap[id]
+	if ok || !create {
+		if !ok {
+			return -1
+		}
+		return ix
+	}
+	ix = n.allocSlotLocked(id)
+	n.idMap[id] = ix
+	return ix
+}
+
+func (n *SimNet) allocSlotLocked(id wire.NodeID) int32 {
+	idx := n.nNodes
+	n.nNodes++
+	chunks := *n.chunks.Load()
+	if int(idx)>>nodeChunkBits >= len(chunks) {
+		nc := make([]*nodeChunk, len(chunks)+1)
+		copy(nc, chunks)
+		nc[len(chunks)] = new(nodeChunk)
+		n.chunks.Store(&nc)
+		chunks = nc
+	}
+	s := &chunks[idx>>nodeChunkBits][idx&nodeChunkMask]
+	s.id = id
+	s.aff = idx
+	return idx
+}
 
 // Attach implements overlay.Transport.
 func (n *SimNet) Attach(id wire.NodeID, h func(wire.NodeID, []byte)) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.nodes[id]; ok {
+	idx := n.idxLocked(id, true)
+	s := n.slotAt(idx)
+	st := s.state.Load()
+	if st&slotAttached != 0 {
 		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
 	}
-	n.nodes[id] = &simEndpoint{h: h}
+	hf := handlerFunc(h)
+	s.h.Store(&hf)
+	// Keep the epoch: packets in flight toward a previous incarnation of
+	// this id stay dead (they captured the old epoch at send time).
+	s.state.Store(st>>slotEpochLSB<<slotEpochLSB | slotAttached)
 	return nil
 }
 
-// Detach implements overlay.Transport.
+// Detach implements overlay.Transport. In-flight packets toward the node
+// are dropped (the epoch advances), matching the map-removal semantics of
+// the previous implementation.
 func (n *SimNet) Detach(id wire.NodeID) {
 	n.mu.Lock()
-	delete(n.nodes, id)
+	if idx := n.idxLocked(id, false); idx >= 0 {
+		s := n.slotAt(idx)
+		st := s.state.Load()
+		s.state.Store((st>>slotEpochLSB + 1) << slotEpochLSB)
+		s.h.Store(nil)
+	}
 	n.mu.Unlock()
 }
 
@@ -138,9 +347,12 @@ func (n *SimNet) Detach(id wire.NodeID) {
 // as overlay.ChanNetwork.Fail).
 func (n *SimNet) Fail(id wire.NodeID) {
 	n.mu.Lock()
-	if ep := n.nodes[id]; ep != nil {
-		ep.down = true
-		ep.epoch++
+	if idx := n.idxLocked(id, false); idx >= 0 {
+		s := n.slotAt(idx)
+		st := s.state.Load()
+		if st&slotAttached != 0 {
+			s.state.Store((st>>slotEpochLSB+1)<<slotEpochLSB | slotAttached | slotDown)
+		}
 	}
 	n.mu.Unlock()
 }
@@ -149,18 +361,38 @@ func (n *SimNet) Fail(id wire.NodeID) {
 // delivered.
 func (n *SimNet) Revive(id wire.NodeID) {
 	n.mu.Lock()
-	if ep := n.nodes[id]; ep != nil {
-		ep.down = false
+	if idx := n.idxLocked(id, false); idx >= 0 {
+		s := n.slotAt(idx)
+		s.state.Store(s.state.Load() &^ slotDown)
 	}
 	n.mu.Unlock()
 }
 
 // Down reports whether the node is currently failed (or unknown).
 func (n *SimNet) Down(id wire.NodeID) bool {
+	idx := n.lookup(id)
+	if idx < 0 {
+		return true
+	}
+	st := n.slotAt(idx).state.Load()
+	return st&slotAttached == 0 || st&slotDown != 0
+}
+
+// Coaffine pins the nodes into one execution partition: under
+// partition-parallel stepping their deliveries are processed by the same
+// worker, in canonical order. Required for ids whose handlers share
+// mutable state (e.g. one source.Endpoints object serving many source
+// ids). Unlisted nodes keep their own affinity.
+func (n *SimNet) Coaffine(ids ...wire.NodeID) {
+	if len(ids) == 0 {
+		return
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	ep := n.nodes[id]
-	return ep == nil || ep.down
+	root := n.slotAt(n.idxLocked(ids[0], true)).aff
+	for _, id := range ids[1:] {
+		n.slotAt(n.idxLocked(id, true)).aff = root
+	}
+	n.mu.Unlock()
 }
 
 // SetLink overrides the profile of the directed link from→to.
@@ -214,122 +446,243 @@ func (n *SimNet) linkLocked(from, to wire.NodeID) *linkState {
 	k := linkKey{from, to}
 	ls := n.links[k]
 	if ls == nil {
-		ls = &linkState{
-			rng: rand.New(rand.NewSource(n.seed ^ int64(splitmix64(uint64(from)*0x1f123bb5+uint64(to)*0x5bd1e995)))),
-		}
+		ls = &linkState{}
 		n.links[k] = ls
+		n.linksN.Add(1)
 	}
 	return ls
 }
 
+// rngLocked returns the link's RNG stream, creating it on first use. The
+// stream is a pure function of (netSeed, from, to) — creation time does
+// not matter — so links that never draw randomness never pay for one.
+func (n *SimNet) rngLocked(ls *linkState, from, to wire.NodeID) *rand.Rand {
+	if ls.rng == nil {
+		ls.rng = rand.New(rand.NewSource(n.seed ^ int64(splitmix64(uint64(from)*0x1f123bb5+uint64(to)*0x5bd1e995))))
+	}
+	return ls.rng
+}
+
 // Send implements overlay.Transport: the packet is copied and scheduled for
-// delivery after the link's shaped delay, on the virtual clock.
+// delivery after the link's shaped delay, on the virtual clock. When no
+// per-link shaping state exists and the profile draws no randomness the
+// path is lock-free (atomics only) and, in pooled mode, allocation-free.
 func (n *SimNet) Send(from, to wire.NodeID, data []byte) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return nil
 	}
-	src := n.nodes[from]
-	dst := n.nodes[to]
-	if src == nil {
-		n.mu.Unlock()
+	fi := n.lookup(from)
+	if fi < 0 {
 		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
 	}
-	if src.down {
-		n.mu.Unlock()
+	src := n.slotAt(fi)
+	sst := src.state.Load()
+	if sst&slotAttached == 0 {
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	if sst&slotDown != 0 {
 		return fmt.Errorf("%w: %d", ErrNodeDown, from)
 	}
-	ls := n.linkLocked(from, to)
-	if dst == nil || dst.down || ls.cut {
-		n.lost++
-		n.mu.Unlock()
-		return nil
-	}
-	prof := n.def
-	if ls.hasProf {
-		prof = ls.prof
-	}
-	n.pkts++
-	n.bytes += int64(len(data))
-	if prof.Loss > 0 && ls.rng.Float64() < prof.Loss {
-		n.lost++
-		n.mu.Unlock()
-		return nil
-	}
-	delay := prof.Delay
-	if prof.Jitter > 0 {
-		delay += time.Duration(ls.rng.Int63n(int64(prof.Jitter)))
-	}
-	if prof.Reorder > 0 && ls.rng.Float64() < prof.Reorder {
-		delay += prof.ReorderDelay
-	}
-	dup := prof.Duplicate > 0 && ls.rng.Float64() < prof.Duplicate
-	payload := append([]byte(nil), data...)
-	epoch := dst.epoch
-	deliver := n.deliverFn(from, to, dst, epoch, payload)
-	seq := ls.seq
-	ls.seq++
-	var dupSeq uint64
-	if dup {
-		dupSeq = ls.seq
-		ls.seq++
-	}
-	n.mu.Unlock()
 
-	n.clk.scheduleNet(delay, uint64(from), uint64(to), seq, deliver)
+	ti := n.lookup(to)
+	var dst *nodeSlot
+	var dstState uint64
+	if ti >= 0 {
+		dst = n.slotAt(ti)
+		dstState = dst.state.Load()
+	}
+
+	prof := n.def
+	cut := false
+	var ls *linkState
+	if n.linksN.Load() > 0 {
+		n.mu.Lock()
+		ls = n.links[linkKey{from, to}]
+		if ls != nil {
+			if ls.hasProf {
+				prof = ls.prof
+			}
+			cut = ls.cut
+		}
+		n.mu.Unlock()
+	}
+	if dst == nil || dstState&slotAttached == 0 || dstState&slotDown != 0 || cut {
+		n.lost.Add(1)
+		return nil
+	}
+	n.pkts.Add(1)
+	n.bytes.Add(int64(len(data)))
+
+	delay := prof.Delay
+	dup := false
+	if prof.needsRand() {
+		// Shaped link: randomness draws run under n.mu in the exact order
+		// the previous implementation used (loss, jitter, reorder, dup),
+		// on the same per-link stream, so traces replay bit-identically.
+		n.mu.Lock()
+		if ls == nil {
+			ls = n.linkLocked(from, to)
+		}
+		rng := n.rngLocked(ls, from, to)
+		if prof.Loss > 0 && rng.Float64() < prof.Loss {
+			n.mu.Unlock()
+			n.lost.Add(1)
+			return nil
+		}
+		if prof.Jitter > 0 {
+			delay += time.Duration(rng.Int63n(int64(prof.Jitter)))
+		}
+		if prof.Reorder > 0 && rng.Float64() < prof.Reorder {
+			delay += prof.ReorderDelay
+		}
+		dup = prof.Duplicate > 0 && rng.Float64() < prof.Duplicate
+		n.mu.Unlock()
+	}
+
+	epoch := dstState >> slotEpochLSB
+	seq := src.seq.Add(1) - 1
+	payload, pbuf := n.copyPayload(data)
+	n.clk.scheduleNet(n.sinkID, delay, uint64(from), uint64(to), seq, ti, epoch, payload, pbuf)
 	if dup {
 		// The duplicate gets its own copy: each delivery's handler owns its
 		// buffer outright (overlay.Handler contract), so two deliveries must
 		// never alias one backing array.
-		dupPayload := append([]byte(nil), payload...)
-		n.clk.scheduleNet(delay+prof.Delay, uint64(from), uint64(to), dupSeq,
-			n.deliverFn(from, to, dst, epoch, dupPayload))
+		dupSeq := src.seq.Add(1) - 1
+		dupPayload, dupBuf := n.copyPayload(data)
+		n.clk.scheduleNet(n.sinkID, delay+prof.Delay, uint64(from), uint64(to), dupSeq, ti, epoch, dupPayload, dupBuf)
 	}
 	return nil
 }
 
-func (n *SimNet) deliverFn(from, to wire.NodeID, dst *simEndpoint, epoch uint64, payload []byte) func() {
-	return func() {
-		n.mu.Lock()
-		if n.closed || dst.down || dst.epoch != epoch || n.nodes[to] != dst {
-			n.lost++
-			n.mu.Unlock()
-			return
-		}
-		h := dst.h
-		if n.traceOn {
-			var typ wire.MsgType
-			if len(payload) > 0 {
-				typ = wire.MsgType(payload[0])
-			}
-			n.trace = append(n.trace, TraceEvent{At: n.clk.Elapsed(), From: from, To: to, Type: typ})
-		}
-		n.mu.Unlock()
-		h(from, payload)
+func (n *SimNet) copyPayload(data []byte) ([]byte, *payloadBuf) {
+	if !n.pooled.Load() {
+		return append([]byte(nil), data...), nil
 	}
+	pb, _ := n.bufPool.Get().(*payloadBuf)
+	if pb == nil {
+		pb = &payloadBuf{}
+	}
+	if cap(pb.b) < len(data) {
+		pb.b = make([]byte, len(data))
+	}
+	b := pb.b[:len(data)]
+	copy(b, data)
+	return b, pb
+}
+
+func (n *SimNet) recycle(pb *payloadBuf) {
+	if pb != nil {
+		n.bufPool.Put(pb)
+	}
+}
+
+// netDeliver implements netSink: the closure-free delivery path. pos >= 0
+// means partition-parallel execution (trace entries go to the
+// position-keyed scratch, merged in canonical order at batchEnd).
+func (n *SimNet) netDeliver(pos, part int32, from, to uint64, dstIdx int32, epoch uint64, payload []byte, pbuf *payloadBuf) {
+	_ = part
+	s := n.slotAt(dstIdx)
+	st := s.state.Load()
+	if n.closed.Load() || st&slotAttached == 0 || st&slotDown != 0 || st>>slotEpochLSB != epoch {
+		n.lost.Add(1)
+		n.recycle(pbuf)
+		return
+	}
+	hp := s.h.Load()
+	if hp == nil {
+		n.lost.Add(1)
+		n.recycle(pbuf)
+		return
+	}
+	if n.traceOn.Load() {
+		var typ wire.MsgType
+		if len(payload) > 0 {
+			typ = wire.MsgType(payload[0])
+		}
+		ev := TraceEvent{At: n.clk.Elapsed(), From: wire.NodeID(from), To: wire.NodeID(to), Type: typ}
+		if pos >= 0 {
+			n.scratch[pos] = ev
+			n.scratchSet[pos] = true
+		} else {
+			n.mu.Lock()
+			n.traceAppendLocked(ev)
+			n.mu.Unlock()
+		}
+	}
+	(*hp)(wire.NodeID(from), payload)
+	n.recycle(pbuf)
+}
+
+// partitionOf implements netSink.
+func (n *SimNet) partitionOf(dstIdx int32, p int) int {
+	return int(n.slotAt(dstIdx).aff) % p
+}
+
+// batchStart implements netSink.
+func (n *SimNet) batchStart(nEv int) {
+	n.batchN = nEv
+	if !n.traceOn.Load() {
+		return
+	}
+	if cap(n.scratch) < nEv {
+		n.scratch = make([]TraceEvent, nEv)
+		n.scratchSet = make([]bool, nEv)
+	}
+	n.scratch = n.scratch[:nEv]
+	n.scratchSet = n.scratchSet[:nEv]
+	for i := range n.scratchSet {
+		n.scratchSet[i] = false
+	}
+}
+
+// batchEnd implements netSink: merge the batch's trace entries in
+// canonical (batch position) order.
+func (n *SimNet) batchEnd() {
+	if !n.traceOn.Load() {
+		return
+	}
+	n.mu.Lock()
+	for i := 0; i < n.batchN; i++ {
+		if n.scratchSet[i] {
+			n.traceAppendLocked(n.scratch[i])
+		}
+	}
+	n.mu.Unlock()
+}
+
+func (n *SimNet) traceAppendLocked(ev TraceEvent) {
+	if n.sinkFn != nil {
+		n.sinkFn(ev)
+		return
+	}
+	if len(n.ring) < n.ringCap {
+		n.ring = append(n.ring, ev)
+		return
+	}
+	n.ring[n.ringAt] = ev
+	n.ringAt = (n.ringAt + 1) % n.ringCap
+	n.dropped++
 }
 
 // Stats reports cumulative counters in the unified transport vocabulary
 // (wire.TransportStats, aliased as overlay.TransportStats).
 func (n *SimNet) Stats() wire.TransportStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return wire.TransportStats{Packets: n.pkts, Bytes: n.bytes, Lost: n.lost}
+	return wire.TransportStats{Packets: n.pkts.Load(), Bytes: n.bytes.Load(), Lost: n.lost.Load()}
 }
 
 // Close stops all future deliveries.
 func (n *SimNet) Close() {
-	n.mu.Lock()
-	n.closed = true
-	n.mu.Unlock()
+	n.closed.Store(true)
 }
 
-// Trace snapshots the delivery trace so far.
+// Trace snapshots the delivery trace so far (oldest retained event first).
 func (n *SimNet) Trace() []TraceEvent {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return append([]TraceEvent(nil), n.trace...)
+	out := make([]TraceEvent, 0, len(n.ring))
+	out = append(out, n.ring[n.ringAt:]...)
+	out = append(out, n.ring[:n.ringAt]...)
+	return out
 }
 
 // TraceString renders the delivery trace one event per line —

@@ -1,8 +1,8 @@
 package simnet
 
 import (
-	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,49 +15,24 @@ const (
 	classClock = 1
 )
 
-// event is one scheduled callback. Ordering is total and canonical:
-// (when, class, a, b, seq). For network deliveries (a, b) is the (from, to)
-// link and seq a per-link counter, so the order two concurrently-scheduled
-// deliveries fire in does not depend on which goroutine reached the heap
-// first — only on link identity and per-link program order, both of which
-// are deterministic.
-type event struct {
-	when    time.Time
-	class   uint8
-	a, b    uint64
-	seq     uint64
-	fn      func()
-	stopped bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if !a.when.Equal(b.when) {
-		return a.when.Before(b.when)
-	}
-	if a.class != b.class {
-		return a.class < b.class
-	}
-	if a.a != b.a {
-		return a.a < b.a
-	}
-	if a.b != b.b {
-		return a.b < b.b
-	}
-	return a.seq < b.seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// netSink is the closure-free delivery interface between the clock and a
+// network attached to it (SimNet). Events of class classNet carry plain
+// data; at dispatch the clock hands them back to the sink that scheduled
+// them instead of invoking a per-event closure.
+type netSink interface {
+	// netDeliver delivers one packet. pos >= 0 identifies the event's
+	// canonical position within the current parallel batch (for ordered
+	// trace merging); pos < 0 means classic sequential dispatch. part is
+	// the executing partition (0 when sequential).
+	netDeliver(pos int32, part int32, from, to uint64, dstIdx int32, epoch uint64, payload []byte, pbuf *payloadBuf)
+	// partitionOf maps a destination index to one of p partitions.
+	// Co-affine destinations (shared handler state) must map together.
+	partitionOf(dstIdx int32, p int) int
+	// batchStart/batchEnd bracket one parallel batch of n deliveries at a
+	// single virtual instant; batchEnd merges per-partition side effects
+	// (trace entries, recycled buffers) in canonical order.
+	batchStart(n int)
+	batchEnd()
 }
 
 // VirtualClock is a deterministic Clock: time is a number that advances only
@@ -65,38 +40,97 @@ func (h *eventHeap) Pop() any {
 // fires the next scheduled event AND every busy token has been released.
 // Events at the same instant fire in the canonical order documented on
 // event. The zero value is not usable; call NewVirtualClock.
+//
+// Events live in a slab-backed hierarchical timer wheel (see wheel.go)
+// rather than a global binary heap: schedule and cancel are O(1) for the
+// near-future timers that dominate simulation workloads, and no per-event
+// allocation survives steady state.
+//
+// SetWorkers(p) with p > 1 turns on partition-parallel execution: all
+// network deliveries due at one virtual instant are collected into a
+// batch, partitioned by destination affinity, executed concurrently by p
+// workers, and their side effects merged in the canonical event order —
+// so the delivery trace is byte-identical at any p. Timers always run
+// sequentially on the driver.
 type VirtualClock struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	epoch time.Time
-	now   time.Time
+	nowNs int64
+	nowA  atomic.Int64 // mirror of nowNs for lock-free Now/Elapsed
 	busy  int
 	seq   uint64 // tiebreak for clock-class events
-	evs   eventHeap
+	wheel *timerWheel
+
+	sinks   []netSink
+	workers int
+
+	// batch scratch, reused across instants
+	batch []batchEv
+	parts [][]int32
+}
+
+// batchEv is one delivery extracted from its slab record for parallel
+// execution (records are recycled before workers run, so workers must not
+// touch the slab).
+type batchEv struct {
+	from, to uint64
+	epoch    uint64
+	payload  []byte
+	pbuf     *payloadBuf
+	dstIdx   int32
+	sink     uint8
 }
 
 // NewVirtualClock creates a virtual clock starting at a fixed, arbitrary
 // epoch (so time.Time zero-value semantics never collide with "the start of
 // the simulation").
 func NewVirtualClock() *VirtualClock {
-	c := &VirtualClock{epoch: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
-	c.now = c.epoch
+	c := &VirtualClock{
+		epoch:   time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC),
+		wheel:   newTimerWheel(0),
+		workers: 1,
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
-// Now returns the current virtual time.
-func (c *VirtualClock) Now() time.Time {
+// SetWorkers selects the number of partitions network deliveries execute
+// on (p <= 1 restores classic sequential stepping). Call it before
+// driving the clock, from the driver goroutine. The delivery trace is
+// invariant across p; see the package determinism notes.
+func (c *VirtualClock) SetWorkers(p int) {
+	if p < 1 {
+		p = 1
+	}
+	c.mu.Lock()
+	c.workers = p
+	c.mu.Unlock()
+}
+
+// registerSink attaches a network to the clock, returning the sink id its
+// scheduled events carry.
+func (c *VirtualClock) registerSink(s netSink) uint8 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.now
+	c.sinks = append(c.sinks, s)
+	return uint8(len(c.sinks) - 1)
+}
+
+func (c *VirtualClock) setNowLocked(ns int64) {
+	c.nowNs = ns
+	c.nowA.Store(ns)
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	return c.epoch.Add(time.Duration(c.nowA.Load()))
 }
 
 // Elapsed returns virtual time since the epoch — the timestamp traces use.
+// It is safe to call from delivery handlers running on batch workers.
 func (c *VirtualClock) Elapsed() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now.Sub(c.epoch)
+	return time.Duration(c.nowA.Load())
 }
 
 // Hold implements Clock.
@@ -117,72 +151,79 @@ func (c *VirtualClock) release() {
 	c.mu.Unlock()
 }
 
-// pushLocked schedules e; callers hold c.mu.
-func (c *VirtualClock) pushLocked(e *event) {
-	heap.Push(&c.evs, e)
-}
-
 // scheduleNet schedules a network delivery with the canonical (from, to,
-// perLinkSeq) ordering key. SimNet is the only caller.
-func (c *VirtualClock) scheduleNet(delay time.Duration, from, to, linkSeq uint64, fn func()) {
+// senderSeq) ordering key. SimNet is the only caller.
+func (c *VirtualClock) scheduleNet(sink uint8, delay time.Duration, from, to uint64, seq uint64, dstIdx int32, epoch uint64, payload []byte, pbuf *payloadBuf) {
 	if delay < 0 {
 		delay = 0
 	}
 	c.mu.Lock()
-	c.pushLocked(&event{when: c.now.Add(delay), class: classNet, a: from, b: to, seq: linkSeq, fn: fn})
+	i := c.wheel.slab.alloc()
+	e := c.wheel.slab.at(i)
+	e.when = c.nowNs + int64(delay)
+	e.class = classNet
+	e.from, e.to, e.seq = from, to, seq
+	e.dstIdx, e.epoch = dstIdx, epoch
+	e.payload, e.pbuf = payload, pbuf
+	e.sink = sink
+	c.wheel.schedule(i)
 	c.mu.Unlock()
+}
+
+// scheduleFnLocked allocates a clock-class event; callers hold c.mu.
+func (c *VirtualClock) scheduleFnLocked(d time.Duration, f func()) (evRef, uint32) {
+	if d < 0 {
+		d = 0
+	}
+	i := c.wheel.slab.alloc()
+	e := c.wheel.slab.at(i)
+	e.when = c.nowNs + int64(d)
+	e.class = classClock
+	e.from, e.to = 0, 0
+	e.seq = c.seq
+	c.seq++
+	e.fn = f
+	gen := e.gen
+	c.wheel.schedule(i)
+	return i, gen
 }
 
 // AfterFunc implements Clock.
 func (c *VirtualClock) AfterFunc(d time.Duration, f func()) Timer {
-	if d < 0 {
-		d = 0
-	}
 	c.mu.Lock()
-	e := &event{when: c.now.Add(d), class: classClock, seq: c.seq, fn: f}
-	c.seq++
-	c.pushLocked(e)
+	i, gen := c.scheduleFnLocked(d, f)
 	c.mu.Unlock()
-	return &vTimer{c: c, e: e}
+	return &vTimer{c: c, ref: i, gen: gen}
 }
 
 type vTimer struct {
-	c *VirtualClock
-	e *event
+	c   *VirtualClock
+	ref evRef
+	gen uint32
 }
 
 // Stop implements Timer: it reports whether the callback was still pending.
+// A handle whose record was already fired (and recycled) is detected by
+// the generation counter.
 func (t *vTimer) Stop() bool {
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
-	was := !t.e.stopped && t.e.fn != nil
-	t.e.stopped = true
-	return was
+	e := t.c.wheel.slab.at(t.ref)
+	if e.gen != t.gen || e.stopped {
+		return false
+	}
+	e.stopped = true
+	return true
 }
 
 // Every implements Clock. The callback runs on the event loop; rescheduling
 // happens after each firing, so a slow callback cannot pile up ticks.
 func (c *VirtualClock) Every(interval time.Duration, f func()) Task {
 	t := &vTask{c: c, interval: interval, fn: f}
-	c.mu.Lock()
-	t.scheduleLocked()
-	c.mu.Unlock()
-	return t
-}
-
-type vTask struct {
-	c        *VirtualClock
-	interval time.Duration
-	fn       func()
-	stopped  bool
-	cur      *event
-}
-
-func (t *vTask) scheduleLocked() {
-	c := t.c
-	e := &event{when: c.now.Add(t.interval), class: classClock, seq: c.seq}
-	c.seq++
-	e.fn = func() {
+	// One closure for the task's whole life: each cycle re-arms the same
+	// record shape with the same fn, so periodic tasks cost zero
+	// allocations per tick.
+	t.run = func() {
 		c.mu.Lock()
 		stopped := t.stopped
 		c.mu.Unlock()
@@ -196,16 +237,33 @@ func (t *vTask) scheduleLocked() {
 		}
 		c.mu.Unlock()
 	}
-	t.cur = e
-	c.pushLocked(e)
+	c.mu.Lock()
+	t.scheduleLocked()
+	c.mu.Unlock()
+	return t
+}
+
+type vTask struct {
+	c        *VirtualClock
+	interval time.Duration
+	fn       func()
+	run      func()
+	stopped  bool
+	cur      evRef
+	curGen   uint32
+}
+
+func (t *vTask) scheduleLocked() {
+	t.cur, t.curGen = t.c.scheduleFnLocked(t.interval, t.run)
 }
 
 // Stop implements Task.
 func (t *vTask) Stop() {
 	t.c.mu.Lock()
 	t.stopped = true
-	if t.cur != nil {
-		t.cur.stopped = true
+	e := t.c.wheel.slab.at(t.cur)
+	if e.gen == t.curGen {
+		e.stopped = true
 	}
 	t.c.mu.Unlock()
 }
@@ -239,13 +297,12 @@ func (c *VirtualClock) Sleep(d time.Duration) {
 	}
 	done := make(chan struct{})
 	c.mu.Lock()
-	c.pushLocked(&event{when: c.now.Add(d), class: classClock, seq: c.seq, fn: func() {
+	c.scheduleFnLocked(d, func() {
 		c.mu.Lock()
 		c.busy++ // wake holding a token: the sleeper is running work again
 		c.mu.Unlock()
 		close(done)
-	}})
-	c.seq++
+	})
 	c.busy-- // park this goroutine's token
 	if c.busy == 0 {
 		c.cond.Broadcast()
@@ -265,38 +322,131 @@ func (c *VirtualClock) quiesceLocked() {
 // resulting work to quiesce. It returns false when no events remain. Only
 // the driving goroutine may call Step and the Run helpers.
 func (c *VirtualClock) Step() bool {
-	return c.stepBefore(time.Time{}, false)
+	return c.stepBefore(0, false)
 }
 
 // stepBefore fires the next event whose time is <= limit (when bounded). It
-// returns false — without advancing past limit — if none qualifies.
-func (c *VirtualClock) stepBefore(limit time.Time, bounded bool) bool {
+// returns false — without advancing past limit — if none qualifies. With
+// workers > 1 all network deliveries due at that instant (for one sink)
+// execute as a single partition-parallel batch.
+func (c *VirtualClock) stepBefore(limitNs int64, bounded bool) bool {
 	c.mu.Lock()
 	c.quiesceLocked()
-	var e *event
-	for len(c.evs) > 0 {
-		next := c.evs[0]
-		if bounded && next.when.After(limit) {
-			break
-		}
-		heap.Pop(&c.evs)
-		if !next.stopped {
-			e = next
-			break
-		}
-	}
-	if e == nil {
+	i, ok := c.wheel.peek()
+	if !ok || (bounded && c.wheel.slab.at(i).when > limitNs) {
 		c.mu.Unlock()
 		return false
 	}
-	if e.when.After(c.now) {
-		c.now = e.when
+	e := c.wheel.slab.at(i)
+	if e.class == classNet && c.workers > 1 {
+		return c.stepBatchLocked(i)
 	}
-	fn := e.fn
-	e.fn = nil
+	c.wheel.pop()
+	if e.when > c.nowNs {
+		c.setNowLocked(e.when)
+	}
+	class, fn, sink := e.class, e.fn, e.sink
+	from, to, dstIdx, epoch := e.from, e.to, e.dstIdx, e.epoch
+	payload, pbuf := e.payload, e.pbuf
+	c.wheel.slab.release(i)
 	c.busy++ // the dispatch itself holds a token while the callback runs
 	c.mu.Unlock()
-	fn()
+	if class == classClock {
+		fn()
+	} else {
+		c.sinks[sink].netDeliver(-1, 0, from, to, dstIdx, epoch, payload, pbuf)
+	}
+	c.release()
+	c.mu.Lock()
+	c.quiesceLocked()
+	c.mu.Unlock()
+	return true
+}
+
+// stepBatchLocked collects every net event due at the instant (and sink)
+// of the already-peeked head event, partitions them by destination
+// affinity, and runs the partitions concurrently. Called with c.mu held;
+// returns with it released.
+//
+// Determinism argument: the batch is popped in canonical order, so batch
+// position IS the canonical rank. Partitioning keys on destination
+// affinity, so any two deliveries touching shared handler state land in
+// the same partition and execute in canonical relative order; deliveries
+// in different partitions touch disjoint state and may interleave freely.
+// Trace entries are written into per-position slots and merged in batch
+// order at batchEnd. Hence identical traces and state at any worker count.
+func (c *VirtualClock) stepBatchLocked(head evRef) bool {
+	slab := &c.wheel.slab
+	t0 := slab.at(head).when
+	sinkID := slab.at(head).sink
+	c.batch = c.batch[:0]
+	for {
+		i, ok := c.wheel.peek()
+		if !ok {
+			break
+		}
+		e := slab.at(i)
+		if e.when != t0 || e.class != classNet || e.sink != sinkID {
+			break
+		}
+		c.wheel.pop()
+		c.batch = append(c.batch, batchEv{
+			from: e.from, to: e.to, epoch: e.epoch,
+			payload: e.payload, pbuf: e.pbuf,
+			dstIdx: e.dstIdx, sink: e.sink,
+		})
+		slab.release(i)
+	}
+	c.setNowLocked(t0)
+	sink := c.sinks[sinkID]
+	p := c.workers
+	if cap(c.parts) < p {
+		c.parts = make([][]int32, p)
+	}
+	parts := c.parts[:p]
+	for k := range parts {
+		parts[k] = parts[k][:0]
+	}
+	nonEmpty := 0
+	for pos := range c.batch {
+		k := sink.partitionOf(c.batch[pos].dstIdx, p)
+		if len(parts[k]) == 0 {
+			nonEmpty++
+		}
+		parts[k] = append(parts[k], int32(pos))
+	}
+	batch := c.batch
+	c.busy++
+	c.mu.Unlock()
+
+	sink.batchStart(len(batch))
+	if nonEmpty <= 1 || len(batch) < 2*p {
+		// Small batch: run inline in canonical order. Same state and trace
+		// as the concurrent path (partitions are independent; trace slots
+		// are position-keyed), without goroutine overhead.
+		for pos := range batch {
+			ev := &batch[pos]
+			k := sink.partitionOf(ev.dstIdx, p)
+			sink.netDeliver(int32(pos), int32(k), ev.from, ev.to, ev.dstIdx, ev.epoch, ev.payload, ev.pbuf)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := range parts {
+			if len(parts[k]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(k int, idxs []int32) {
+				defer wg.Done()
+				for _, pos := range idxs {
+					ev := &batch[pos]
+					sink.netDeliver(pos, int32(k), ev.from, ev.to, ev.dstIdx, ev.epoch, ev.payload, ev.pbuf)
+				}
+			}(k, parts[k])
+		}
+		wg.Wait()
+	}
+	sink.batchEnd()
 	c.release()
 	c.mu.Lock()
 	c.quiesceLocked()
@@ -308,13 +458,13 @@ func (c *VirtualClock) stepBefore(limit time.Time, bounded bool) bool {
 // the clock to exactly now+d.
 func (c *VirtualClock) RunFor(d time.Duration) {
 	c.mu.Lock()
-	limit := c.now.Add(d)
+	limit := c.nowNs + int64(d)
 	c.mu.Unlock()
 	for c.stepBefore(limit, true) {
 	}
 	c.mu.Lock()
-	if limit.After(c.now) {
-		c.now = limit
+	if limit > c.nowNs {
+		c.setNowLocked(limit)
 	}
 	c.mu.Unlock()
 }
@@ -332,7 +482,7 @@ func (c *VirtualClock) RunUntilIdle() {
 // consumed in one jump (periodic tasks normally keep the queue non-empty).
 func (c *VirtualClock) AwaitCond(max time.Duration, cond func() bool) bool {
 	c.mu.Lock()
-	limit := c.now.Add(max)
+	limit := c.nowNs + int64(max)
 	c.mu.Unlock()
 	if cond() {
 		return true
@@ -340,8 +490,8 @@ func (c *VirtualClock) AwaitCond(max time.Duration, cond func() bool) bool {
 	for {
 		if !c.stepBefore(limit, true) {
 			c.mu.Lock()
-			if limit.After(c.now) {
-				c.now = limit
+			if limit > c.nowNs {
+				c.setNowLocked(limit)
 			}
 			c.mu.Unlock()
 			// Only the final verdict pays for the settle retries: between

@@ -1,0 +1,375 @@
+package simnet
+
+// Hierarchical timer wheel over a slab of event records — the scalable
+// replacement for the single container/heap event queue. Design targets:
+//
+//   - O(1) schedule and cancel for the dominant near-future timers
+//     (delivery delays, round timeouts, heartbeats), an overflow heap only
+//     for timers beyond the wheel span (~18 minutes of virtual time).
+//   - Zero per-event heap allocation: events live in one growing []event
+//     slab addressed by int32 refs with a freelist; a generation counter
+//     per slot makes stale Timer handles safe after the slot is recycled.
+//   - The same canonical total order the old heap enforced —
+//     (when, class, from, to, seq) — via a small "ready" heap holding only
+//     the events of the slot currently being drained, so same-instant
+//     ordering (and therefore the determinism gate) is preserved exactly.
+//
+// Layout: ticks are when>>wheelTickShift (65.536µs). Three levels of 256
+// slots cover tick distances <2^8, <2^16, <2^24 from the cursor; farther
+// events sit in the overflow heap and are pulled in when the wheels drain.
+// Events within one tick can still differ in `when` (ticks are coarser
+// than nanoseconds), which is why drained slots go through the canonical
+// ready heap rather than firing in list order.
+
+const (
+	wheelTickShift = 16 // 65.536µs per tick
+	wheelSlotBits  = 8
+	wheelSlots     = 1 << wheelSlotBits
+	wheelSlotMask  = wheelSlots - 1
+	wheelLevels    = 3
+)
+
+// evRef indexes the event slab; nilRef is the empty list / no event.
+type evRef int32
+
+const nilRef evRef = -1
+
+// event is one scheduled callback or network delivery. Records are owned
+// by the slab: callers hold an (evRef, gen) pair, never a pointer, so the
+// slab may recycle freely. Ordering is canonical: (when, class, from, to,
+// seq) — for network deliveries (from, to) is the link and seq a
+// per-sender counter; for clock events from=to=0 and seq is the global
+// arm-order counter.
+type event struct {
+	when int64 // ns since the clock epoch
+	from uint64
+	to   uint64
+	seq  uint64
+
+	// clock-class payload
+	fn func()
+
+	// net-class payload (closure-free delivery: the sink re-derives
+	// everything else from these).
+	payload []byte
+	pbuf    *payloadBuf // pooled backing buffer, nil if unpooled
+	epoch   uint64
+	dstIdx  int32
+
+	next    evRef // freelist / slot-list link
+	gen     uint32
+	sink    uint8 // index into the clock's registered net sinks
+	class   uint8
+	stopped bool
+}
+
+// eventSlab is the arena all events live in.
+type eventSlab struct {
+	evs  []event
+	free evRef
+	live int
+}
+
+func (s *eventSlab) alloc() evRef {
+	s.live++
+	if s.free != nilRef {
+		i := s.free
+		s.free = s.evs[i].next
+		s.evs[i].next = nilRef
+		return i
+	}
+	s.evs = append(s.evs, event{next: nilRef})
+	return evRef(len(s.evs) - 1)
+}
+
+// release recycles a record. The generation bump invalidates any
+// outstanding Timer handle to this slot.
+func (s *eventSlab) release(i evRef) {
+	e := &s.evs[i]
+	e.fn = nil
+	e.payload = nil
+	e.pbuf = nil
+	e.stopped = false
+	e.gen++
+	e.next = s.free
+	s.free = i
+	s.live--
+}
+
+func (s *eventSlab) at(i evRef) *event { return &s.evs[i] }
+
+// less is the canonical event order.
+func (s *eventSlab) less(i, j evRef) bool {
+	a, b := &s.evs[i], &s.evs[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	return a.seq < b.seq
+}
+
+type timerWheel struct {
+	slab   eventSlab
+	slots  [wheelLevels][wheelSlots]evRef
+	counts [wheelLevels]int
+
+	// curTick is the next undrained tick: every event still in the wheels
+	// has tick >= curTick. w1/w2 mark the level-1/2 windows whose covering
+	// slot has already been cascaded down.
+	curTick int64
+	w1, w2  int64
+
+	// ready holds drained (due) events in canonical heap order; overflow
+	// holds events too far for the wheels (same ordering — `when`
+	// dominates, so the canonical comparator doubles as a time key).
+	ready    []evRef
+	overflow []evRef
+}
+
+func newTimerWheel(startNs int64) *timerWheel {
+	w := &timerWheel{slab: eventSlab{free: nilRef}}
+	for l := range w.slots {
+		for s := range w.slots[l] {
+			w.slots[l][s] = nilRef
+		}
+	}
+	w.curTick = startNs >> wheelTickShift
+	w.w1, w.w2 = w.curTick>>wheelSlotBits, w.curTick>>(2*wheelSlotBits)
+	return w
+}
+
+func (w *timerWheel) empty() bool {
+	return len(w.ready) == 0 && w.wheelCount() == 0 && len(w.overflow) == 0
+}
+
+func (w *timerWheel) wheelCount() int {
+	return w.counts[0] + w.counts[1] + w.counts[2]
+}
+
+// schedule places an allocated record into the structure.
+func (w *timerWheel) schedule(i evRef) {
+	e := w.slab.at(i)
+	tick := e.when >> wheelTickShift
+	switch {
+	case tick < w.curTick:
+		// Due (or past-due): the cursor already drained this tick; the
+		// event goes straight to the canonical ready heap.
+		w.heapPush(&w.ready, i)
+	case tick-w.curTick < wheelSlots:
+		w.pushSlot(0, tick&wheelSlotMask, i)
+	case (tick>>wheelSlotBits)-(w.curTick>>wheelSlotBits) < wheelSlots:
+		w.pushSlot(1, (tick>>wheelSlotBits)&wheelSlotMask, i)
+	case (tick>>(2*wheelSlotBits))-(w.curTick>>(2*wheelSlotBits)) < wheelSlots:
+		w.pushSlot(2, (tick>>(2*wheelSlotBits))&wheelSlotMask, i)
+	default:
+		w.heapPush(&w.overflow, i)
+	}
+}
+
+func (w *timerWheel) pushSlot(level int, slot int64, i evRef) {
+	w.slab.at(i).next = w.slots[level][slot]
+	w.slots[level][slot] = i
+	w.counts[level]++
+}
+
+// drainSlot moves a level-0 slot into the ready heap, dropping cancelled
+// records on the way.
+func (w *timerWheel) drainSlot(slot int64) {
+	head := w.slots[0][slot]
+	w.slots[0][slot] = nilRef
+	for head != nilRef {
+		e := w.slab.at(head)
+		nxt := e.next
+		e.next = nilRef
+		w.counts[0]--
+		if e.stopped {
+			w.slab.release(head)
+		} else {
+			w.heapPush(&w.ready, head)
+		}
+		head = nxt
+	}
+}
+
+// cascadeSlot redistributes a level-1/2 slot down a level (its events are
+// now within the lower level's window relative to curTick).
+func (w *timerWheel) cascadeSlot(level int, slot int64) {
+	head := w.slots[level][slot]
+	w.slots[level][slot] = nilRef
+	for head != nilRef {
+		e := w.slab.at(head)
+		nxt := e.next
+		e.next = nilRef
+		w.counts[level]--
+		if e.stopped {
+			w.slab.release(head)
+		} else {
+			w.schedule(head)
+		}
+		head = nxt
+	}
+}
+
+// fillReady advances the cursor until the ready heap has at least one
+// event (or the structure is exhausted). Cascades fire on window entry so
+// an event can never be passed over at a lower level.
+func (w *timerWheel) fillReady() {
+	for len(w.ready) == 0 {
+		// Overflow events graduate into the wheels the moment the cursor
+		// brings them within span — before any wheel-resident (possibly
+		// later) event in that region can be drained past them.
+		for len(w.overflow) > 0 {
+			top := w.overflow[0]
+			e := w.slab.at(top)
+			if e.stopped {
+				w.heapPop(&w.overflow)
+				w.slab.release(top)
+				continue
+			}
+			if (e.when>>wheelTickShift>>(2*wheelSlotBits))-(w.curTick>>(2*wheelSlotBits)) >= wheelSlots {
+				break
+			}
+			w.heapPop(&w.overflow)
+			w.schedule(top)
+		}
+		if w.wheelCount() == 0 {
+			if !w.refillFromOverflow() {
+				return
+			}
+			continue
+		}
+		// Window-entry cascades: whatever advanced the cursor (slot drain
+		// or boundary jump below), entering a new level-1/2 window must
+		// first pull that window's covering slot down — otherwise a scan
+		// could pass over events still parked at a higher level.
+		if t2 := w.curTick >> (2 * wheelSlotBits); t2 != w.w2 {
+			w.w2 = t2
+			w.cascadeSlot(2, t2&wheelSlotMask)
+		}
+		if t1 := w.curTick >> wheelSlotBits; t1 != w.w1 {
+			w.w1 = t1
+			w.cascadeSlot(1, t1&wheelSlotMask)
+		}
+		// Scan level 0 within the current level-1 window.
+		end0 := ((w.curTick >> wheelSlotBits) + 1) << wheelSlotBits
+		if w.counts[0] > 0 {
+			found := false
+			for t := w.curTick; t < end0; t++ {
+				if w.slots[0][t&wheelSlotMask] != nilRef {
+					w.curTick = t + 1
+					w.drainSlot(t & wheelSlotMask)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // ready may still be empty if all were cancelled
+			}
+		}
+		// Nothing due in this window: enter the next level-1 window (its
+		// cascades run at the top of the next iteration).
+		w.curTick = end0
+	}
+}
+
+// refillFromOverflow jumps the cursor to the earliest overflow event and
+// pulls everything now within the wheel span back in. Returns false when
+// the overflow heap is empty (or holds only cancelled records).
+func (w *timerWheel) refillFromOverflow() bool {
+	for len(w.overflow) > 0 && w.slab.at(w.overflow[0]).stopped {
+		w.slab.release(w.heapPop(&w.overflow))
+	}
+	if len(w.overflow) == 0 {
+		return false
+	}
+	w.curTick = w.slab.at(w.overflow[0]).when >> wheelTickShift
+	w.w1, w.w2 = w.curTick>>wheelSlotBits, w.curTick>>(2*wheelSlotBits)
+	for len(w.overflow) > 0 {
+		top := w.overflow[0]
+		e := w.slab.at(top)
+		if e.stopped {
+			w.heapPop(&w.overflow)
+			w.slab.release(top)
+			continue
+		}
+		if (e.when>>wheelTickShift>>(2*wheelSlotBits))-(w.curTick>>(2*wheelSlotBits)) >= wheelSlots {
+			break // still beyond the wheel span
+		}
+		w.heapPop(&w.overflow)
+		w.schedule(top)
+	}
+	return true
+}
+
+// peek returns the globally next event (canonical order) without removing
+// it. Cancelled records found at the top are recycled on the way.
+func (w *timerWheel) peek() (evRef, bool) {
+	for {
+		w.fillReady()
+		if len(w.ready) == 0 {
+			return nilRef, false
+		}
+		top := w.ready[0]
+		if w.slab.at(top).stopped {
+			w.heapPop(&w.ready)
+			w.slab.release(top)
+			continue
+		}
+		return top, true
+	}
+}
+
+// pop removes the event a successful peek returned. The record stays
+// allocated: the caller reads its fields and releases it.
+func (w *timerWheel) pop() evRef {
+	return w.heapPop(&w.ready)
+}
+
+// heapPush/heapPop are a manual binary heap over evRefs ordered by
+// slab.less (container/heap would force an interface allocation per op).
+func (w *timerWheel) heapPush(h *[]evRef, i evRef) {
+	*h = append(*h, i)
+	j := len(*h) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !w.slab.less((*h)[j], (*h)[parent]) {
+			break
+		}
+		(*h)[j], (*h)[parent] = (*h)[parent], (*h)[j]
+		j = parent
+	}
+}
+
+func (w *timerWheel) heapPop(h *[]evRef) evRef {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	// sift down
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		if l >= n {
+			break
+		}
+		m := l
+		if r < n && w.slab.less(old[r], old[l]) {
+			m = r
+		}
+		if !w.slab.less(old[m], old[j]) {
+			break
+		}
+		old[j], old[m] = old[m], old[j]
+		j = m
+	}
+	return top
+}

@@ -1,0 +1,268 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// --- timer wheel edge cases (satellite: wheel coverage) ---
+
+// Cancel racing the fire at the same instant: a timer stopped at the very
+// virtual instant it is due must not run, and Stop must report it was
+// still pending.
+func TestWheelCancelVsFireSameInstant(t *testing.T) {
+	c := NewVirtualClock()
+	fired := false
+	var tm Timer
+	// Both events land at t=10ms; the canceller is armed first so it
+	// fires first (clock-class seq order) and stops the victim "at the
+	// same instant" it would fire.
+	c.AfterFunc(10*time.Millisecond, func() {
+		if !tm.Stop() {
+			t.Error("Stop at the due instant should still report pending")
+		}
+	})
+	tm = c.AfterFunc(10*time.Millisecond, func() { fired = true })
+	c.RunFor(20 * time.Millisecond)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report not pending")
+	}
+}
+
+// A timer handle must stay safe (and inert) after its slab record was
+// recycled and re-used by a later timer: generation counters protect
+// against cross-timer cancellation.
+func TestWheelStaleHandleAfterRecycle(t *testing.T) {
+	c := NewVirtualClock()
+	t1 := c.AfterFunc(time.Millisecond, func() {})
+	c.RunFor(2 * time.Millisecond) // t1 fires; its record returns to the freelist
+	fired := false
+	c.AfterFunc(time.Millisecond, func() { fired = true }) // likely reuses t1's slot
+	if t1.Stop() {
+		t.Fatal("stale handle Stop claimed it was pending")
+	}
+	c.RunFor(2 * time.Millisecond)
+	if !fired {
+		t.Fatal("stale Stop cancelled an unrelated timer occupying the recycled slot")
+	}
+}
+
+// Far-future timers park in the overflow heap (beyond the ~18min wheel
+// span) and must migrate back in and fire at the right time and order.
+func TestWheelOverflowMigration(t *testing.T) {
+	c := NewVirtualClock()
+	var order []int
+	c.AfterFunc(40*time.Minute, func() { order = append(order, 3) })
+	c.AfterFunc(25*time.Minute, func() { order = append(order, 2) })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	stopped := c.AfterFunc(30*time.Minute, func() { order = append(order, 99) })
+	if !stopped.Stop() {
+		t.Fatal("overflow timer Stop")
+	}
+	start := c.Now()
+	c.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("firing order = %v, want [1 2 3]", order)
+	}
+	if got := c.Now().Sub(start); got != 40*time.Minute {
+		t.Fatalf("clock after idle = %v, want 40m", got)
+	}
+}
+
+// Cascade ordering: events inserted at level-1/2 distances must still
+// fire in exact canonical time order against events inserted later at
+// level 0, including events landing in partially-consumed windows.
+func TestWheelCascadePreservesOrder(t *testing.T) {
+	c := NewVirtualClock()
+	var got []time.Duration
+	record := func(d time.Duration) func() {
+		return func() { got = append(got, d) }
+	}
+	// Spread across all wheel levels plus overflow, inserted shuffled.
+	ds := []time.Duration{
+		17 * time.Millisecond, // level 0 (tick ~259)
+		1 * time.Millisecond,
+		4*time.Second + 3*time.Millisecond, // level 2
+		200 * time.Millisecond,             // level 1
+		19 * time.Minute,                   // overflow
+		16*time.Millisecond + 700*time.Microsecond,
+		65537 * 65536 * time.Nanosecond, // just past a level-1 window
+	}
+	perm := []int{4, 2, 0, 6, 1, 5, 3}
+	for _, i := range perm {
+		c.AfterFunc(ds[i], record(ds[i]))
+	}
+	c.RunUntilIdle()
+	want := append([]time.Duration(nil), ds...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("fired %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// --- reference-model fuzz: wheel ≡ heap firing order ---
+
+// refEvent mirrors the canonical key; the reference model is a sort.
+type refEvent struct {
+	when  int64
+	class uint8
+	from  uint64
+	to    uint64
+	seq   uint64
+	id    int
+}
+
+func refLess(a, b refEvent) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	return a.seq < b.seq
+}
+
+// runWheelVsReference schedules a pseudo-random mix of near/mid/far/past
+// events — with incremental insertion while draining, plus cancellations —
+// and checks the wheel pops them in exactly the reference order.
+func runWheelVsReference(t *testing.T, seed int64, nEvents int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := newTimerWheel(0)
+	var live []refEvent
+	var cancelled map[int]bool = map[int]bool{}
+	handles := map[int]struct {
+		ref evRef
+		gen uint32
+	}{}
+	nextID := 0
+	now := int64(0)
+
+	scheduleOne := func() {
+		var d int64
+		switch rng.Intn(10) {
+		case 0: // same tick / past-due
+			d = rng.Int63n(1 << wheelTickShift)
+		case 1, 2, 3: // level 0
+			d = rng.Int63n(1 << (wheelTickShift + wheelSlotBits))
+		case 4, 5, 6: // level 1
+			d = rng.Int63n(1 << (wheelTickShift + 2*wheelSlotBits))
+		case 7, 8: // level 2
+			d = rng.Int63n(1 << (wheelTickShift + 3*wheelSlotBits))
+		default: // overflow
+			d = rng.Int63n(1 << (wheelTickShift + 3*wheelSlotBits + 4))
+		}
+		re := refEvent{
+			when:  now + d,
+			class: uint8(rng.Intn(2)),
+			from:  uint64(rng.Intn(4)),
+			to:    uint64(rng.Intn(4)),
+			seq:   uint64(nextID),
+			id:    nextID,
+		}
+		nextID++
+		i := w.slab.alloc()
+		e := w.slab.at(i)
+		e.when, e.class, e.from, e.to, e.seq = re.when, re.class, re.from, re.to, re.seq
+		e.dstIdx = int32(re.id)
+		w.schedule(i)
+		handles[re.id] = struct {
+			ref evRef
+			gen uint32
+		}{i, e.gen}
+		live = append(live, re)
+	}
+
+	for i := 0; i < nEvents/2; i++ {
+		scheduleOne()
+	}
+	popped := 0
+	for {
+		// Interleave: sometimes add more events or cancel a pending one
+		// mid-drain, exercising insertion into drained regions.
+		if nextID < nEvents && rng.Intn(3) == 0 {
+			scheduleOne()
+		}
+		if len(live) > 0 && rng.Intn(7) == 0 {
+			k := rng.Intn(len(live))
+			id := live[k].id
+			h := handles[id]
+			if w.slab.at(h.ref).gen == h.gen {
+				w.slab.at(h.ref).stopped = true
+				cancelled[id] = true
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		i, ok := w.peek()
+		if !ok {
+			if nextID < nEvents {
+				scheduleOne()
+				continue
+			}
+			break
+		}
+		w.pop()
+		e := w.slab.at(i)
+		gotID := int(e.dstIdx)
+		if e.when > now {
+			now = e.when
+		}
+		// Reference: the minimum of live events.
+		best := 0
+		for k := 1; k < len(live); k++ {
+			if refLess(live[k], live[best]) {
+				best = k
+			}
+		}
+		if len(live) == 0 {
+			t.Fatalf("seed %d: wheel popped id %d but reference is empty", seed, gotID)
+		}
+		wantID := live[best].id
+		if gotID != wantID {
+			t.Fatalf("seed %d: pop %d = id %d (when %d), reference wants id %d (when %d)",
+				seed, popped, gotID, e.when, wantID, live[best].when)
+		}
+		if cancelled[gotID] {
+			t.Fatalf("seed %d: cancelled event %d fired", seed, gotID)
+		}
+		w.slab.release(i)
+		live = append(live[:best], live[best+1:]...)
+		popped++
+	}
+	if len(live) != 0 {
+		t.Fatalf("seed %d: wheel drained but %d reference events never fired", seed, len(live))
+	}
+	if w.slab.live != 0 {
+		t.Fatalf("seed %d: slab leaks %d records after drain", seed, w.slab.live)
+	}
+}
+
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runWheelVsReference(t, seed, 400)
+	}
+}
+
+func FuzzWheelMatchesReferenceHeap(f *testing.F) {
+	f.Add(int64(42))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runWheelVsReference(t, seed, 150)
+	})
+}

@@ -15,30 +15,35 @@ import (
 // test in the suite leans on: a red run can be replayed exactly from its
 // seed, and CI load cannot perturb an outcome.
 func TestDeterminismGateSameSeedSameTrace(t *testing.T) {
+	// The gate runs the scenario at worker partition counts 1 and 4: the
+	// partition-parallel executor must produce the byte-identical trace
+	// classic sequential stepping does — same seed, any P.
 	for _, repair := range []bool{true, false} {
-		a, err := churn.RunCanonicalScenario(31, repair)
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := churn.RunCanonicalScenario(31, repair)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if a.Trace == "" {
-			t.Fatalf("repair=%v: empty delivery trace", repair)
-		}
-		if a.Delivered != b.Delivered || a.Sent != b.Sent || a.Splices != b.Splices {
-			t.Fatalf("repair=%v: same seed, different outcomes: %+v vs %+v", repair, a, b)
-		}
-		if a.Trace != b.Trace {
-			al, bl := strings.Split(a.Trace, "\n"), strings.Split(b.Trace, "\n")
-			for i := range al {
-				if i >= len(bl) || al[i] != bl[i] {
-					t.Fatalf("repair=%v: traces diverge at event %d:\n  run1: %q\n  run2: %q\n(%d vs %d events)",
-						repair, i, al[i], bl[min(i, len(bl)-1)], len(al), len(bl))
-				}
+		for _, workers := range []int{1, 4} {
+			a, err := churn.RunCanonicalScenarioWorkers(31, repair, 1)
+			if err != nil {
+				t.Fatal(err)
 			}
-			t.Fatalf("repair=%v: traces differ in length: %d vs %d events", repair, len(al), len(bl))
+			b, err := churn.RunCanonicalScenarioWorkers(31, repair, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Trace == "" {
+				t.Fatalf("repair=%v: empty delivery trace", repair)
+			}
+			if a.Delivered != b.Delivered || a.Sent != b.Sent || a.Splices != b.Splices {
+				t.Fatalf("repair=%v workers=%d: same seed, different outcomes: %+v vs %+v", repair, workers, a, b)
+			}
+			if a.Trace != b.Trace {
+				al, bl := strings.Split(a.Trace, "\n"), strings.Split(b.Trace, "\n")
+				for i := range al {
+					if i >= len(bl) || al[i] != bl[i] {
+						t.Fatalf("repair=%v workers=%d: traces diverge at event %d:\n  run1: %q\n  run2: %q\n(%d vs %d events)",
+							repair, workers, i, al[i], bl[min(i, len(bl)-1)], len(al), len(bl))
+					}
+				}
+				t.Fatalf("repair=%v workers=%d: traces differ in length: %d vs %d events", repair, workers, len(al), len(bl))
+			}
 		}
 	}
 
