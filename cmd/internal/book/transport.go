@@ -14,6 +14,9 @@ import (
 type Transport interface {
 	overlay.Transport
 	PeerStats() transport.Stats
+	// LearnedEndpoints reports how many sender endpoints the transport's
+	// registry has learned from inbound traffic (ids absent from the book).
+	LearnedEndpoints() int
 }
 
 // NewTransport constructs the overlay substrate both commands share, keyed

@@ -82,6 +82,12 @@ func scalingFig(seed int64) {
 			}
 			tputS[i].Add(float64(procs), res.AggregateMbps)
 			tailS[i].Add(float64(procs), float64(res.LatencyP99.Microseconds())/1000)
+			if res.FlowsEvicted != 0 || res.FlowsRejected != 0 {
+				// The tail numbers are meaningless if flows churned through
+				// admission mid-run; a correctly sized table never evicts here.
+				log.Fatalf("perfeval: scaling flows=%d procs=%d: flow table churned (evicted=%d rejected=%d)",
+					flows, procs, res.FlowsEvicted, res.FlowsRejected)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "perfeval: scaling procs=%d done\n", procs)
 	}

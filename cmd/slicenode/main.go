@@ -41,6 +41,8 @@ func main() {
 	bookPath := flag.String("book", "overlay.book", "address book file: lines of 'id host:port'")
 	outPath := flag.String("out", "", "append received message payloads to this file (default: print them)")
 	transportKind := flag.String("transport", "tcp", "wire transport: tcp (stream, reconnecting) or udp (congestion-controlled datagrams; loss absorbed by slicing redundancy, never retransmitted)")
+	maxFlows := flag.Int("maxflows", 0, "flow-table bound per relay: resident flows before admission refuses creations (0: relay default)")
+	tenantQuota := flag.Int("tenantquota", 0, "per-tenant flow quota: max flows any one previous-hop may hold at a relay (0: no per-tenant bound below -maxflows)")
 	flag.Parse()
 	if *ids == "" {
 		log.Fatal("slicenode: -id is required")
@@ -71,7 +73,10 @@ func main() {
 	delivered := make(chan relay.Message, 256)
 	nodes := make([]*relay.Node, 0, len(nodeIDs))
 	for _, id := range nodeIDs {
-		node, err := relay.New(id, tr, relay.Config{})
+		node, err := relay.New(id, tr, relay.Config{
+			MaxFlows:    *maxFlows,
+			TenantQuota: *tenantQuota,
+		})
 		if err != nil {
 			log.Fatalf("slicenode: relay %d: %v", id, err)
 		}
@@ -108,10 +113,12 @@ func main() {
 				log.Printf("slicenode %d: setup=%d data=%d out=%d regenerated=%d delivered=%d sendDrops=%d",
 					n.ID(), st.SetupPacketsIn, st.DataPacketsIn, st.PacketsOut,
 					st.Regenerated, st.MessagesDelivered, st.SendDrops)
+				log.Printf("slicenode %d flow table: flows=%d evicted=%d rejected=%d filterMisses=%d",
+					n.ID(), n.FlowTableSize(), st.FlowsEvicted, st.FlowsRejected, st.FilterMisses)
 			}
 			ps := tr.PeerStats()
-			log.Printf("slicenode transport: frames=%d bytes=%d flushes=%d drops=%d sendFailures=%d reconnects=%d",
-				ps.FramesOut, ps.BytesOut, ps.Flushes, ps.Dropped, ps.SendFailures, ps.Reconnects)
+			log.Printf("slicenode transport: frames=%d bytes=%d flushes=%d drops=%d sendFailures=%d reconnects=%d learnedEndpoints=%d",
+				ps.FramesOut, ps.BytesOut, ps.Flushes, ps.Dropped, ps.SendFailures, ps.Reconnects, tr.LearnedEndpoints())
 			return
 		}
 	}

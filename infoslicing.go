@@ -122,6 +122,9 @@ type config struct {
 	vclk    *simnet.VirtualClock
 	book    map[NodeID]string
 	udpLoss float64
+
+	maxFlows    int
+	tenantQuota int
 }
 
 // clock returns the network's time source: the injected virtual clock, or
@@ -145,6 +148,15 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // WithRelayConfig overrides relay daemon timers.
 func WithRelayConfig(rc relay.Config) Option {
 	return func(c *config) { c.relayCfg = rc; c.hasRelayCfg = true }
+}
+
+// WithFlowTable bounds every relay daemon's flow table: at most maxFlows
+// resident flows per daemon and at most tenantQuota of them created by any
+// one previous-hop tenant (zero keeps the relay defaults). Composes with
+// WithRelayConfig — these bounds win when both are set, so harness code can
+// tighten admission without restating the whole timer config.
+func WithFlowTable(maxFlows, tenantQuota int) Option {
+	return func(c *config) { c.maxFlows = maxFlows; c.tenantQuota = tenantQuota }
 }
 
 // WithControlPlane enables the relays' live-churn control plane: every
@@ -317,6 +329,12 @@ func (nw *Network) Grow(k int) ([]NodeID, error) {
 		}
 		if rc.Heartbeat == 0 && nw.cfg.ctrlHeartbeat > 0 {
 			rc.Heartbeat = nw.cfg.ctrlHeartbeat
+		}
+		if nw.cfg.maxFlows > 0 {
+			rc.MaxFlows = nw.cfg.maxFlows
+		}
+		if nw.cfg.tenantQuota > 0 {
+			rc.TenantQuota = nw.cfg.tenantQuota
 		}
 		rc.Clock = nw.cfg.clock()
 		if nw.cfg.vclk != nil {

@@ -1,0 +1,134 @@
+package overlay
+
+import (
+	"sync"
+	"time"
+
+	"infoslicing/internal/simnet"
+	"infoslicing/internal/wire"
+)
+
+// Learned endpoint registry: the dynamic half of the static address book.
+//
+// A long-running relay daemon meets peers the book does not describe
+// accurately — senders behind NATs whose outward address is whatever the
+// translator minted, restarted peers that came back on a new port. The
+// transport acceptors observe the source address each claimed sender id
+// actually uses (Acceptor.OnSender / UDPConfig.OnSender), and the registry
+// remembers the latest observation so Send can resolve ids the book does
+// not list.
+//
+// Trust model (see DESIGN.md, "Multi-tenant flow table"): a sender id
+// inside a frame is CLAIMED, not proven — the overlay deliberately has no
+// identity layer (the anonymity argument needs relays to know as little as
+// possible). The registry therefore never overrides the book: a book entry
+// is operator-asserted and always wins, so a spoofer cannot redirect
+// traffic for a configured node. What a spoofer can do is claim an unknown
+// id and have replies for that id sent to itself — which is exactly what
+// would happen anyway if it had minted the id legitimately. Entries are
+// capped and TTL'd so cycling claimed ids cannot grow state without bound.
+//
+// Dialability caveat: the observed address is the peer's *sending* socket.
+// For symmetric datagram daemons that answer where they speak this is the
+// reply path NAT traversal needs; a peer that sends from an ephemeral
+// socket distinct from its listener (this repo's own TCP peers, and its
+// UDP peers' dedicated outbound sockets) is reachable there only for the
+// ack channel. The registry records what was observed; reachability is the
+// deployment's property, not the registry's.
+
+const (
+	// registryCap bounds learned entries; at the cap an insert evicts the
+	// stalest of a small sample (approximate-LRU, no ordering structure).
+	registryCap    = 65536
+	registrySample = 8
+	// registryTTL expires observations not refreshed by traffic: a learned
+	// address that has been silent this long is as likely stale as live,
+	// and resolving through it would dial a ghost.
+	registryTTL = 10 * time.Minute
+)
+
+type learnedEndpoint struct {
+	addr  string
+	since time.Time // last observation on the registry's clock
+}
+
+// endpointRegistry is shared by every acceptor read loop and Send path of
+// one transport; a plain mutex suffices (observations are one per new
+// sender per connection/source, not per frame).
+type endpointRegistry struct {
+	mu      sync.Mutex
+	clk     simnet.Clock
+	entries map[wire.NodeID]learnedEndpoint
+}
+
+func newEndpointRegistry(clk simnet.Clock) *endpointRegistry {
+	if clk == nil {
+		clk = simnet.Wall
+	}
+	return &endpointRegistry{
+		clk:     clk,
+		entries: make(map[wire.NodeID]learnedEndpoint),
+	}
+}
+
+// observe records addr as id's live endpoint (callers have already checked
+// the book; static entries never reach here). Returns true when this
+// CHANGES id's learned address — the caller must then invalidate any cached
+// peer still dialing the stale one.
+func (r *endpointRegistry) observe(id wire.NodeID, addr string) (changed bool) {
+	now := r.clk.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[id]; ok {
+		changed = e.addr != addr
+		r.entries[id] = learnedEndpoint{addr: addr, since: now}
+		return changed
+	}
+	if len(r.entries) >= registryCap {
+		r.evictOneLocked(now)
+	}
+	r.entries[id] = learnedEndpoint{addr: addr, since: now}
+	return false
+}
+
+// evictOneLocked drops the stalest of up to registrySample entries (map
+// iteration order is the sample's randomness); preferring anything already
+// past TTL. Called only at the cap, so the map is never empty here.
+func (r *endpointRegistry) evictOneLocked(now time.Time) {
+	var victim wire.NodeID
+	var oldest time.Time
+	n := 0
+	for id, e := range r.entries {
+		if n == 0 || e.since.Before(oldest) {
+			victim, oldest = id, e.since
+		}
+		if n++; n >= registrySample {
+			break
+		}
+	}
+	delete(r.entries, victim)
+}
+
+// learned resolves id to its freshest observed address; expired entries
+// are dropped on the way out.
+func (r *endpointRegistry) learned(id wire.NodeID) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return "", false
+	}
+	if r.clk.Now().Sub(e.since) > registryTTL {
+		delete(r.entries, id)
+		return "", false
+	}
+	return e.addr, true
+}
+
+// size reports live entries (expired-but-unswept ones included; they fall
+// out on their next lookup or eviction sample).
+func (r *endpointRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -28,6 +28,7 @@ type StaticTCP struct {
 	local  map[wire.NodeID]*staticEndpoint
 	down   map[wire.NodeID]bool
 	peers  *transport.PeerSet
+	reg    *endpointRegistry
 	closed bool
 }
 
@@ -51,8 +52,29 @@ func NewStaticTCP(book map[wire.NodeID]string) *StaticTCP {
 		local: make(map[wire.NodeID]*staticEndpoint),
 		down:  make(map[wire.NodeID]bool),
 		peers: transport.NewPeerSet(transport.Config{}),
+		reg:   newEndpointRegistry(nil),
 	}
 }
+
+// observeSender feeds the learned endpoint registry from an acceptor's
+// first-frame observations. Book entries are never shadowed (static wins);
+// a learned address that moved invalidates the cached peer so the next
+// Send re-resolves.
+func (s *StaticTCP) observeSender(id wire.NodeID, addr string) {
+	s.mu.RLock()
+	_, inBook := s.book[id]
+	s.mu.RUnlock()
+	if inBook {
+		return
+	}
+	if s.reg.observe(id, addr) {
+		s.peers.Drop(func(to wire.NodeID) bool { return to == id })
+	}
+}
+
+// LearnedEndpoints reports how many sender endpoints the registry currently
+// holds (ids absent from the book, learned from inbound traffic).
+func (s *StaticTCP) LearnedEndpoints() int { return s.reg.size() }
 
 // Attach implements Transport: it binds the node's listener at its book
 // address.
@@ -96,6 +118,7 @@ func (s *StaticTCP) attach(id wire.NodeID, addr string, dynamic bool, h Handler)
 		h(from, data)
 		return true
 	})
+	ep.acc.OnSender = s.observeSender
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -189,7 +212,12 @@ func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 		return fmt.Errorf("%w: %d", ErrNodeDown, from)
 	}
 	if !known {
-		return nil // unknown receiver: datagram semantics
+		// Not in the book: a learned endpoint may still resolve it (the
+		// registry only ever holds ids the book lacks, so there is no
+		// precedence question on this path).
+		if _, ok := s.reg.learned(to); !ok {
+			return nil // unknown receiver: datagram semantics
+		}
 	}
 	// Fast path first: building Get's resolver closure costs a heap
 	// allocation (it escapes into the peer), which the steady state —
@@ -198,9 +226,12 @@ func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 	if p == nil {
 		p = s.peers.Get(to, func() (string, bool) {
 			s.mu.RLock()
-			defer s.mu.RUnlock()
 			addr, ok := s.book[to]
-			return addr, ok
+			s.mu.RUnlock()
+			if ok {
+				return addr, true
+			}
+			return s.reg.learned(to)
 		})
 	}
 	if p == nil {

@@ -32,6 +32,7 @@ type StaticUDP struct {
 	down   map[wire.NodeID]bool
 	peers  *transport.PeerSet
 	ucfg   transport.UDPConfig
+	reg    *endpointRegistry
 	closed bool
 
 	watchMu  sync.Mutex
@@ -95,6 +96,7 @@ func NewStaticUDP(book map[wire.NodeID]string, opts UDPOptions) *StaticUDP {
 		local:    make(map[wire.NodeID]*staticUDPEndpoint),
 		down:     make(map[wire.NodeID]bool),
 		ucfg:     ucfg,
+		reg:      newEndpointRegistry(ucfg.Clock),
 		watchers: make(map[int]lossWatcher),
 	}
 	s.peers = transport.NewLinkSet(func(to wire.NodeID, resolve func() (string, bool)) transport.Link {
@@ -176,7 +178,9 @@ func (s *StaticUDP) attach(id wire.NodeID, addr string, dynamic bool, h Handler)
 		return fmt.Errorf("overlay: %w", err)
 	}
 	ep := &staticUDPEndpoint{addr: conn.LocalAddr().String(), dynamic: dynamic}
-	ep.acc = transport.NewUDPAcceptor(conn, transport.DefaultMaxFrame, s.ucfg,
+	aucfg := s.ucfg
+	aucfg.OnSender = s.observeSender
+	ep.acc = transport.NewUDPAcceptor(conn, transport.DefaultMaxFrame, aucfg,
 		func(from wire.NodeID, data []byte) bool {
 			s.mu.RLock()
 			cur := s.local[id]
@@ -275,15 +279,22 @@ func (s *StaticUDP) Send(from, to wire.NodeID, data []byte) error {
 		return fmt.Errorf("%w: %d", ErrNodeDown, from)
 	}
 	if !known {
-		return nil
+		// Not in the book: a learned endpoint may still resolve it (the
+		// registry only ever holds ids the book lacks).
+		if _, ok := s.reg.learned(to); !ok {
+			return nil
+		}
 	}
 	p := s.peers.Lookup(to)
 	if p == nil {
 		p = s.peers.Get(to, func() (string, bool) {
 			s.mu.RLock()
-			defer s.mu.RUnlock()
 			addr, ok := s.book[to]
-			return addr, ok
+			s.mu.RUnlock()
+			if ok {
+				return addr, true
+			}
+			return s.reg.learned(to)
 		})
 	}
 	if p == nil {
@@ -311,6 +322,25 @@ func (s *StaticUDP) SendDelay(to wire.NodeID, bytes int) time.Duration {
 	}
 	return p.SendDelay(bytes)
 }
+
+// observeSender feeds the learned endpoint registry from the acceptors'
+// first-frame observations (see StaticTCP.observeSender: book wins, a
+// moved address invalidates the cached peer).
+func (s *StaticUDP) observeSender(id wire.NodeID, addr string) {
+	s.mu.RLock()
+	_, inBook := s.book[id]
+	s.mu.RUnlock()
+	if inBook {
+		return
+	}
+	if s.reg.observe(id, addr) {
+		s.peers.Drop(func(to wire.NodeID) bool { return to == id })
+	}
+}
+
+// LearnedEndpoints reports how many sender endpoints the registry currently
+// holds (ids absent from the book, learned from inbound traffic).
+func (s *StaticUDP) LearnedEndpoints() int { return s.reg.size() }
 
 // PeerStats reports aggregate outbound peer counters.
 func (s *StaticUDP) PeerStats() transport.Stats { return s.peers.Stats() }

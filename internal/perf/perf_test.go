@@ -119,6 +119,40 @@ func TestRelayScalingSmoke(t *testing.T) {
 	}
 }
 
+// The no-GC-cliff check: the same scaling run with the eviction sweep
+// firing three orders of magnitude more often than the default (every 5ms
+// instead of 30s) must deliver everything, evict nothing — live flows are
+// refreshed by their own traffic — and keep its latency tail in the same
+// regime. The sweep is O(evicted+1), so several hundred sweep ticks inside
+// the data phase are supposed to be free; this is what pins that.
+func TestScalingEvictionPressure(t *testing.T) {
+	base := RelayScalingParams{
+		Flows: 3, L: 2, D: 2, PoolSize: 12,
+		Messages: 6, MessageBytes: 1024, Seed: 5,
+	}
+	pressured := base
+	pressured.FlowTTL = time.Minute
+	pressured.GCInterval = 5 * time.Millisecond
+	pressured.MaxFlows = 64
+
+	res, err := RelayScaling(pressured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3*6 {
+		t.Fatalf("delivered %d messages, want %d", res.Delivered, 3*6)
+	}
+	if res.FlowsEvicted != 0 || res.FlowsRejected != 0 {
+		t.Fatalf("live flows churned under GC pressure: evicted=%d rejected=%d",
+			res.FlowsEvicted, res.FlowsRejected)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyP99 {
+		t.Fatalf("latency percentiles disordered: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+	t.Logf("under 5ms sweeps: aggregate=%.1f Mbps p50=%v p99=%v",
+		res.AggregateMbps, res.LatencyP50, res.LatencyP99)
+}
+
 // Smoke-test the loopback-TCP variant with a pipelined window: the same
 // harness over real sockets, which is also what puts this path under the
 // CI race detector (the benchmark alone would not run there). The window

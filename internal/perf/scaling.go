@@ -38,6 +38,19 @@ type RelayScalingParams struct {
 	// UDPLoopback only; the other substrates ignore it.
 	Loss float64
 
+	// MaxFlows bounds each pool relay's flow table (0: the relay default).
+	// The scaling experiments run far below any sane bound; setting it low
+	// turns the run into an admission/eviction stress instead.
+	MaxFlows int
+
+	// FlowTTL and GCInterval override the pool relays' eviction timers
+	// (0: the harness defaults, 5m/30s — effectively off for a short run).
+	// An aggressive GCInterval makes every sweep tick land inside the
+	// measured data phase, which is how the no-GC-cliff claim on the p99
+	// column is checked.
+	FlowTTL    time.Duration
+	GCInterval time.Duration
+
 	// MessageTimeout bounds the wait for one message on a lossy run before
 	// it is written off as lost (default 5s). A round that lost more than
 	// d'−d slices at some stage is gone for good — the transport never
@@ -109,6 +122,13 @@ type RelayScalingResult struct {
 	// whole run — the unified vocabulary, so lossy UDP runs can assert
 	// Retransmissions == 0 while DatagramsLost grows.
 	Transport overlay.TransportStats
+
+	// Flow-table behaviour summed over the pool: a healthy run holds its
+	// flows for the duration (zero evictions, zero rejections) while the
+	// front filters absorb whatever non-flow traffic reaches the relays.
+	// Non-zero FlowsEvicted or FlowsRejected in a latency run means the
+	// table bound was mis-sized and the tail includes re-establishment.
+	FlowsEvicted, FlowsRejected, FilterMisses int64
 
 	// Per-message delivery latency (source hand-off to destination decode),
 	// pooled across flows.
@@ -184,7 +204,15 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 	nodes := make([]*relay.Node, p.PoolSize)
 	for i := range pool {
 		pool[i] = wire.NodeID(i + 1)
-		n, err := relay.New(pool[i], net, relayCfg(p.Seed+int64(i)))
+		cfg := relayCfg(p.Seed + int64(i))
+		cfg.MaxFlows = p.MaxFlows
+		if p.FlowTTL > 0 {
+			cfg.FlowTTL = p.FlowTTL
+		}
+		if p.GCInterval > 0 {
+			cfg.GCInterval = p.GCInterval
+		}
+		n, err := relay.New(pool[i], net, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -404,6 +432,12 @@ func runScaling(net overlay.Transport, p RelayScalingParams) (RelayScalingResult
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	for _, n := range nodes {
+		st := n.Stats()
+		res.FlowsEvicted += st.FlowsEvicted
+		res.FlowsRejected += st.FlowsRejected
+		res.FilterMisses += st.FilterMisses
+	}
 	res.PerFlowMbps = perFlow
 	res.Delivered = nDeliver
 	res.Lost = nLost

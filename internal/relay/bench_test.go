@@ -66,6 +66,7 @@ func BenchmarkForwardDataPacket(b *testing.B) {
 				},
 			}
 			fs := &flowState{
+				flow:       flow,
 				setupPkts:  make(map[wire.NodeID]*wire.Packet),
 				ownByD:     make(map[int][]code.Slice),
 				geomByD:    make(map[int][2]int),
@@ -86,6 +87,9 @@ func BenchmarkForwardDataPacket(b *testing.B) {
 			sh := n.shardFor(flow)
 			sh.mu.Lock()
 			sh.flows[flow] = fs
+			sh.lruPushLocked(fs)
+			fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
+			n.dirAddLocked(sh, info)
 			sh.mu.Unlock()
 			n.flowCount.Add(1)
 
@@ -160,6 +164,7 @@ func BenchmarkForwardBurst(b *testing.B) {
 				DataMap:    []wire.DataForward{{Parent: parent, Child: 0}},
 			}
 			fs := &flowState{
+				flow:       flow,
 				setupPkts:  make(map[wire.NodeID]*wire.Packet),
 				ownByD:     make(map[int][]code.Slice),
 				geomByD:    make(map[int][2]int),
@@ -174,6 +179,9 @@ func BenchmarkForwardBurst(b *testing.B) {
 			sh := n.shardFor(flow)
 			sh.mu.Lock()
 			sh.flows[flow] = fs
+			sh.lruPushLocked(fs)
+			fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
+			n.dirAddLocked(sh, info)
 			sh.mu.Unlock()
 			n.flowCount.Add(1)
 
@@ -217,4 +225,86 @@ func BenchmarkForwardBurst(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFlowLookup measures the two flow-table lookup paths the cuckoo
+// front filter splits, against a table holding lookupResident flows:
+//
+//   - "hit": a heartbeat for a resident flow — parse, shard lock, flat map
+//     lookup, liveness stamp. The steady-state cost of being a known flow.
+//   - "miss": a heartbeat for an absent flow through onPacket — the per-shard
+//     cuckoo filter must reject it on the transport goroutine without taking
+//     the shard lock or allocating. bench_baseline.json pins this path at
+//     zero allocs/op; a regression here means non-flow traffic is back on
+//     the shard locks.
+func BenchmarkFlowLookup(b *testing.B) {
+	const lookupResident = 1024
+	setup := func(b *testing.B) (*Node, *shard, wire.FlowID) {
+		tr := &countingTransport{}
+		n, err := New(1, tr, Config{Rng: rand.New(rand.NewSource(1))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { n.Close() })
+		var target wire.FlowID
+		for i := 0; i < lookupResident; i++ {
+			flow := wire.FlowID(0xf10c_0000 + uint64(i)*2654435761)
+			fs := &flowState{
+				flow:       flow,
+				seen:       make(map[wire.NodeID]bool, 2),
+				lastActive: time.Now(),
+			}
+			sh := n.shardFor(flow)
+			sh.mu.Lock()
+			sh.flows[flow] = fs
+			sh.lruPushLocked(fs)
+			fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
+			sh.mu.Unlock()
+			n.flowCount.Add(1)
+			target = flow
+		}
+		return n, n.shardFor(target), target
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		n, sh, flow := setup(b)
+		const from = wire.NodeID(100)
+		buf := wire.AppendHeartbeat(nil, flow)
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Synchronous single-packet dispatch (the degenerate burst): the
+		// benchmark measures lookup cost, not queue hand-off.
+		for i := 0; i < b.N; i++ {
+			if !sh.filter.mayContain(uint64(flow)) {
+				b.Fatal("resident flow rejected by filter (false negative)")
+			}
+			n.process(sh, from, buf)
+		}
+		b.StopTimer()
+		if got := n.Stats().HeartbeatsIn; got < int64(b.N) {
+			b.Fatalf("HeartbeatsIn = %d, want >= %d", got, b.N)
+		}
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		n, sh, _ := setup(b)
+		const from = wire.NodeID(100)
+		// Pick an absent flow that is a true filter negative (a false
+		// positive would route to the shard worker and measure the wrong
+		// path; with 2x headroom one exists within a handful of probes).
+		miss := wire.FlowID(0xdead_0000)
+		for sh2 := n.shardFor(miss); sh2 != sh || sh2.filter.mayContain(uint64(miss)); sh2 = n.shardFor(miss) {
+			miss++
+		}
+		buf := wire.AppendHeartbeat(nil, miss)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.onPacket(from, buf)
+		}
+		b.StopTimer()
+		if got := sh.filterMisses.Load(); got != int64(b.N) {
+			b.Fatalf("filterMisses = %d, want %d (miss path reached a shard)", got, b.N)
+		}
+	})
 }

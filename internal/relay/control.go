@@ -236,7 +236,12 @@ func (n *Node) handleSplice(sh *shard, fs *flowState, pkt *wire.Packet) {
 		return
 	}
 	fs.spliceSeq = seq
+	// The patch may add or remove children: swap the child-directory refs
+	// with the info block so sender-addressed acks and reports keep
+	// routing to this shard (table.go).
+	n.dirDelLocked(sh, fs.info)
 	fs.info = pi
+	n.dirAddLocked(sh, pi)
 	now := n.clk.Now()
 	newParents := parentSet(pi)
 	for p := range newParents {

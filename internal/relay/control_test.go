@@ -70,6 +70,7 @@ func injectFlow(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo) *flowState {
 // pass their clock's time so liveness and GC stamps live on that timeline.
 func injectFlowAt(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo, now time.Time) *flowState {
 	fs := &flowState{
+		flow:       flow,
 		setupPkts:  make(map[wire.NodeID]*wire.Packet),
 		ownByD:     make(map[int][]code.Slice),
 		geomByD:    make(map[int][2]int),
@@ -87,9 +88,14 @@ func injectFlowAt(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo, now time.Time
 		fs.seen[p] = true
 		fs.lastHeard[p] = now
 	}
+	// Full install: map, LRU link, filter fingerprint, child directory —
+	// exactly what creation + establishment on the packet path produce.
 	sh := n.shardFor(flow)
 	sh.mu.Lock()
 	sh.flows[flow] = fs
+	sh.lruPushLocked(fs)
+	fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
+	n.dirAddLocked(sh, pi)
 	sh.mu.Unlock()
 	n.flowCount.Add(1)
 	return fs

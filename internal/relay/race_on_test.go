@@ -1,0 +1,7 @@
+//go:build race
+
+package relay
+
+// raceEnabled mirrors the race detector's presence so size-sensitive tests
+// (the million-flow table) can scale themselves to its overhead.
+const raceEnabled = true

@@ -20,18 +20,33 @@
 // flow map, its own reused framing/gather/regeneration scratch, its own
 // deterministic RNG, and its own activity counters, so packets of
 // unrelated flows touch no shared mutable state. The transport handler
-// only classifies the datagram and enqueues it (acks, which are addressed
-// by sender rather than flow, fan out to every shard); all parsing and
+// only classifies the datagram and enqueues it; all parsing and
 // forwarding happens on the shard worker. The shard mutex exists solely so
 // the per-flow timers (setup wait, round wait) and the stats/GC sweeps can
 // interleave safely with the worker — the steady-state data path is a
 // single writer per shard and never contends.
+//
+// # Multi-tenant flow table
+//
+// Two lock-free structures front the table for a long-running daemon on an
+// open overlay. A per-shard cuckoo filter (cuckoo.go) rejects
+// flow-addressed traffic for non-resident flows on the transport
+// goroutine, so unknown flows, garbage, and post-eviction stragglers never
+// take a shard lock; and a child→shard directory (table.go) routes
+// sender-addressed acks and ParentDown reports to exactly the shards
+// holding a matching flow instead of fanning out to all of them.
+// Admission is metered globally (MaxFlows) and, optionally, per tenant —
+// the previous-hop node that created the flow (TenantQuota) — and idle
+// flows age out via an intrusive LRU list walked incrementally by the GC
+// tick, so eviction work is proportional to what expired, not to the
+// table size. See DESIGN.md, "Multi-tenant flow table".
 package relay
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -67,6 +82,14 @@ type Config struct {
 	// MaxFlows bounds the flow table across all shards (denial-of-service
 	// guard, §9.2).
 	MaxFlows int
+	// TenantQuota bounds how many flows any single tenant — the
+	// previous-hop node that creates a flow, the deepest identity a relay
+	// is allowed to see — may hold at once. Zero (the default) disables
+	// per-tenant metering and leaves only the global MaxFlows bound, the
+	// pre-multi-tenant behavior. With a quota set, one peer at its cap
+	// cannot starve admission for everyone else (Stats.FlowsRejected
+	// counts its rejected creations).
+	TenantQuota int
 	// Shards is the number of flow-table stripes, each with its own worker
 	// pipeline; it is rounded up to a power of two. Defaults to GOMAXPROCS
 	// (rounded up, capped at 64).
@@ -174,6 +197,15 @@ type Stats struct {
 	QueueDrops        int64 // packets dropped at a full shard queue
 	SendDrops         int64 // packets shed at a full transport peer queue
 
+	// Flow-table admission and eviction (multi-tenant daemon counters).
+	FlowsEvicted  int64 // flows reaped by TTL eviction
+	FlowsRejected int64 // flow creations refused by MaxFlows or TenantQuota
+	// FilterMisses counts packets the front filter (or, for sender-addressed
+	// acks/reports, the child directory) rejected on a transport goroutine
+	// without taking any shard lock: unknown flows, garbage, post-eviction
+	// stragglers.
+	FilterMisses int64
+
 	// Control plane (zero unless Config.Heartbeat is set).
 	HeartbeatsIn        int64
 	HeartbeatsOut       int64
@@ -194,6 +226,9 @@ func (s *Stats) add(o Stats) {
 	s.Dropped += o.Dropped
 	s.QueueDrops += o.QueueDrops
 	s.SendDrops += o.SendDrops
+	s.FlowsEvicted += o.FlowsEvicted
+	s.FlowsRejected += o.FlowsRejected
+	s.FilterMisses += o.FilterMisses
 	s.HeartbeatsIn += o.HeartbeatsIn
 	s.HeartbeatsOut += o.HeartbeatsOut
 	s.ParentDownSent += o.ParentDownSent
@@ -210,14 +245,27 @@ type Node struct {
 
 	shards []*shard
 	mask   uint64
-	// flowCount is the table occupancy across all shards; reserveFlow keeps
-	// it at or under MaxFlows without a global lock.
+	// flowCount is the table occupancy across all shards; admit (table.go)
+	// keeps it at or under MaxFlows without a global lock.
 	flowCount atomic.Int64
 
-	received chan Message
-	done     chan struct{}
-	closeOne sync.Once
-	wg       sync.WaitGroup
+	// Per-tenant admission accounting (table.go); tenants is nil unless
+	// Config.TenantQuota is set.
+	tenantMu sync.Mutex
+	tenants  map[wire.NodeID]int64
+
+	// children routes sender-addressed packets (acks, ParentDown) to just
+	// the shards holding a matching flow; dirMisses counts the ones that
+	// matched nothing and were dropped lock-free (folded into
+	// Stats.FilterMisses).
+	children  childDir
+	dirMisses atomic.Int64
+
+	received  chan Message
+	done      chan struct{}
+	closeOne  sync.Once
+	closeDone chan struct{}
+	wg        sync.WaitGroup
 
 	// Periodic work runs as clock tasks so a virtual clock can fire the GC
 	// and heartbeat sweeps deterministically.
@@ -229,15 +277,26 @@ type Node struct {
 // Each shard struct is allocated separately so neighboring shards' hot
 // fields never share a cache line.
 type shard struct {
+	idx        int
 	in         chan inPkt
 	queueDrops atomic.Int64 // written by transport goroutines, not the worker
+	// filter fronts the flow map: transport goroutines consult it lock-free
+	// and drop flow-addressed traffic that cannot match (cuckoo.go);
+	// mutations ride the shard lock with the map itself.
+	filter       *cuckooFilter
+	filterMisses atomic.Int64 // lookups the filter rejected without the lock
 
 	// mu serializes the worker with timers, GC sweeps, and stats snapshots.
 	// Everything below it is single-writer in the steady state.
 	mu    sync.Mutex
 	flows map[wire.FlowID]*flowState
-	stats Stats
-	rng   *rand.Rand
+	// lruHead/lruTail order resident flows by lastActive (head coldest);
+	// the intrusive links live in flowState, so touch is O(1) and the TTL
+	// sweep is O(evicted) (table.go).
+	lruHead *flowState
+	lruTail *flowState
+	stats   Stats
+	rng     *rand.Rand
 
 	// Per-shard scratch: the packet framing buffer and the
 	// slice-gather/regeneration workspaces are reused across every round of
@@ -259,17 +318,36 @@ type inPkt struct {
 }
 
 type flowState struct {
+	// Table identity and admission accounting: the flow's own key (so the
+	// LRU sweep can unmap without a reverse lookup), the tenant whose
+	// quota the flow holds, and whether its fingerprint made it into the
+	// shard filter (false ⇒ it is carried by the filter's overflow count
+	// instead; see removeFlowLocked).
+	flow     wire.FlowID
+	tenant   wire.NodeID
+	inFilter bool
+	// Intrusive LRU links, guarded by the shard lock (table.go).
+	lruPrev *flowState
+	lruNext *flowState
+
 	// Setup phase. Candidate own-slices are grouped by the split factor d
 	// claimed in their packet header: a forged packet cannot poison the
 	// flow because (d, geometry) are adopted only from the group that
-	// actually decodes into a checksummed routing block.
+	// actually decodes into a checksummed routing block. All phase maps
+	// below are allocated lazily by the first packet of their phase: a
+	// million-flow table pays per flow for the phases the flow entered,
+	// not for every map it might ever need.
 	setupPkts map[wire.NodeID]*wire.Packet
 	ownByD    map[int][]code.Slice
 	info      *wire.PerNodeInfo
 	parents   map[wire.NodeID]bool
-	// seen records every previous-hop address observed for this flow; a
+	// seen records the previous-hop addresses observed for this flow; a
 	// last-stage node has an empty slice-map/data-map, so observation is
 	// its only parent knowledge (and all the threat model grants it).
+	// Sender ids are claimed, not proven, so the set is capped at
+	// maxObservedHops (map-derived parents are exempt) and observation-only
+	// entries age out under the forget-after-obsReportLimit rule — spoofed
+	// ids on a valid flow cannot grow it without bound.
 	seen       map[wire.NodeID]bool
 	setupSent  bool
 	setupTimer simnet.Timer
@@ -387,20 +465,31 @@ var ErrClosed = errors.New("relay: node closed")
 func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
 	cfg.fillDefaults()
 	n := &Node{
-		id:       id,
-		tr:       tr,
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		shards:   make([]*shard, cfg.Shards),
-		mask:     uint64(cfg.Shards - 1),
-		received: make(chan Message, 256),
-		done:     make(chan struct{}),
+		id:        id,
+		tr:        tr,
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		shards:    make([]*shard, cfg.Shards),
+		mask:      uint64(cfg.Shards - 1),
+		received:  make(chan Message, 256),
+		done:      make(chan struct{}),
+		closeDone: make(chan struct{}),
 	}
+	n.children.entries = make(map[wire.NodeID]*childEntry)
+	if cfg.TenantQuota > 0 {
+		n.tenants = make(map[wire.NodeID]int64)
+	}
+	// Each shard's filter is sized for its fair share of MaxFlows; an
+	// adversarially skewed shard degrades its filter to pass-through
+	// (overflow mode) rather than ever reporting a resident flow absent.
+	perShard := cfg.MaxFlows / cfg.Shards
 	for i := range n.shards {
 		n.shards[i] = &shard{
-			in:    make(chan inPkt, cfg.QueueDepth),
-			flows: make(map[wire.FlowID]*flowState),
-			rng:   rand.New(rand.NewSource(cfg.Rng.Int63())),
+			idx:    i,
+			in:     make(chan inPkt, cfg.QueueDepth),
+			flows:  make(map[wire.FlowID]*flowState),
+			filter: newCuckooFilter(perShard),
+			rng:    rand.New(rand.NewSource(cfg.Rng.Int63())),
 		}
 	}
 	if err := tr.Attach(id, n.onPacket); err != nil {
@@ -448,7 +537,12 @@ func (n *Node) ShardStats() []Stats {
 		out[i] = sh.stats
 		sh.mu.Unlock()
 		out[i].QueueDrops = sh.queueDrops.Load()
+		out[i].FilterMisses = sh.filterMisses.Load()
 	}
+	// Directory misses (sender-addressed packets matching no shard) are
+	// node-level; fold them into the first shard's snapshot so Stats sums
+	// them exactly once.
+	out[0].FilterMisses += n.dirMisses.Load()
 	return out
 }
 
@@ -477,40 +571,49 @@ func (n *Node) EstablishedCount() int {
 	return c
 }
 
-// flowTableSize reports current occupancy across shards (tests, GC).
-func (n *Node) flowTableSize() int { return int(n.flowCount.Load()) }
+// FlowTableSize reports current flow-table occupancy across shards.
+func (n *Node) FlowTableSize() int { return int(n.flowCount.Load()) }
 
-// reserveFlow claims one slot in the bounded flow table; callers that lose
-// the race get false and must drop the packet.
-func (n *Node) reserveFlow() bool {
-	if n.flowCount.Add(1) > int64(n.cfg.MaxFlows) {
-		n.flowCount.Add(-1)
-		return false
-	}
-	return true
-}
+// flowTableSize is the historical internal name (tests, GC).
+func (n *Node) flowTableSize() int { return n.FlowTableSize() }
 
-// Close detaches the node, stops its workers, and stops its timers.
+// Close detaches the node, stops its workers, and stops its timers. The
+// shard workers are joined BEFORE the flow table is swept: a worker
+// mid-burst can insert a flow (taking an admission reservation), so
+// sweeping first would let that insert land after the sweep and leak the
+// reservation forever. With the workers drained and exited, the sweep sees
+// the final table and releases every reservation exactly once.
 func (n *Node) Close() {
 	n.closeOne.Do(func() {
+		defer close(n.closeDone)
 		close(n.done)
 		n.tr.Detach(n.id)
 		n.gcTask.Stop()
 		if n.ctrlTask != nil {
 			n.ctrlTask.Stop()
 		}
+		n.wg.Wait()
 		for _, sh := range n.shards {
-			sh.mu.Lock()
-			for _, fs := range sh.flows {
-				fs.stopTimers()
+			// A transport goroutine that raced Detach may have enqueued
+			// after the worker's final drain; release those holds so a
+			// virtual clock is not wedged by packets nobody will process.
+			for {
+				select {
+				case p := <-sh.in:
+					p.release()
+					continue
+				default:
+				}
+				break
 			}
-			removed := len(sh.flows)
-			sh.flows = map[wire.FlowID]*flowState{}
+			sh.mu.Lock()
+			for f, fs := range sh.flows {
+				n.removeFlowLocked(sh, f, fs, false)
+			}
 			sh.mu.Unlock()
-			n.flowCount.Add(-int64(removed))
 		}
 	})
-	n.wg.Wait()
+	<-n.closeDone
 }
 
 func (fs *flowState) stopTimers() {
@@ -527,7 +630,13 @@ func (fs *flowState) stopTimers() {
 	}
 }
 
-// gcSweep evicts idle flows; it runs as a periodic clock task.
+// gcSweep evicts idle flows; it runs as a periodic clock task. The sweep
+// is incremental: each shard walks its LRU list from the cold end and
+// stops at the first flow inside the TTL (the list is ordered by
+// lastActive, so everything behind it is live too), holding the shard
+// lock for O(evicted+1) work instead of a full-map scan — at large flow
+// counts the old scan was itself the p99 cliff. At most gcBatch flows go
+// per shard per tick; a mass expiry drains over successive ticks.
 func (n *Node) gcSweep() {
 	select {
 	case <-n.done:
@@ -537,16 +646,14 @@ func (n *Node) gcSweep() {
 	now := n.clk.Now()
 	for _, sh := range n.shards {
 		sh.mu.Lock()
-		removed := 0
-		for f, fs := range sh.flows {
-			if now.Sub(fs.lastActive) > n.cfg.FlowTTL {
-				fs.stopTimers()
-				delete(sh.flows, f)
-				removed++
+		for i := 0; i < gcBatch; i++ {
+			fs := sh.lruHead
+			if fs == nil || now.Sub(fs.lastActive) <= n.cfg.FlowTTL {
+				break
 			}
+			n.removeFlowLocked(sh, fs.flow, fs, true)
 		}
 		sh.mu.Unlock()
-		n.flowCount.Add(-int64(removed))
 	}
 }
 
@@ -554,9 +661,18 @@ func (n *Node) gcSweep() {
 // possibly many concurrently (see overlay.Handler). It only classifies the
 // datagram and hands its buffer to the owning shard's queue — ownership of
 // data transfers to the shard worker, which is the single goroutine that
-// parses and processes it. Acks carry the *child's* flow-id, which this
-// node cannot map to a shard, so they fan out to every shard (the buffer is
-// shared read-only; ack packets have no slots to view into).
+// parses and processes it.
+//
+// Two lock-free front filters keep non-flow traffic off the shard locks
+// entirely. Sender-addressed packets (acks, ParentDown reports — their
+// flow-id names the *child's* flow, unknown here) are routed by the child
+// directory to just the shards holding a flow that lists the sender as a
+// child, instead of fanning out to all of them; a sender matching nothing
+// is dropped here. Flow-addressed packets that can never create state
+// (heartbeats, splices, garbage types) consult the owning shard's cuckoo
+// filter and are dropped without enqueueing when the flow cannot be
+// resident. Setup and data packets always pass — they legitimately create
+// flows. Either drop is counted in Stats.FilterMisses.
 func (n *Node) onPacket(from wire.NodeID, data []byte) {
 	if len(data) < wire.HeaderLen {
 		return // garbage: drop
@@ -568,17 +684,31 @@ func (n *Node) onPacket(from wire.NodeID, data []byte) {
 	}
 	switch wire.MsgType(data[0]) {
 	case wire.MsgAck, wire.MsgParentDown:
-		// Both are matched by the sender's address rather than the flow-id
-		// they carry (which names the *child's* flow, unknown here), so
-		// they fan out to every shard. The buffer is shared read-only:
-		// every shard only parses it and copies what it forwards.
-		for _, sh := range n.shards {
-			sh.enqueue(from, data, n.clk.Hold())
+		// The buffer is shared read-only across the matched shards: every
+		// shard only parses it and copies what it forwards.
+		mask := n.childMask(from)
+		if mask == 0 {
+			n.dirMisses.Add(1)
+			return
 		}
+		for mask != 0 {
+			i := bits.TrailingZeros64(mask)
+			mask &^= 1 << uint(i)
+			n.shards[i].enqueue(from, data, n.clk.Hold())
+		}
+		return
+	case wire.MsgSetup, wire.MsgData:
+		f := wire.FlowID(binary.BigEndian.Uint64(data[1:]))
+		n.shardFor(f).enqueue(from, data, n.clk.Hold())
 		return
 	}
 	f := wire.FlowID(binary.BigEndian.Uint64(data[1:]))
-	n.shardFor(f).enqueue(from, data, n.clk.Hold())
+	sh := n.shardFor(f)
+	if !sh.filter.mayContain(uint64(f)) {
+		sh.filterMisses.Add(1)
+		return
+	}
+	sh.enqueue(from, data, n.clk.Hold())
 }
 
 // enqueue hands a packet (and its clock hold) to the shard queue; a full
@@ -731,31 +861,32 @@ func (n *Node) dispatchLocked(sh *shard, from wire.NodeID, pkt *wire.Packet, c *
 		if pkt.Type != wire.MsgSetup && pkt.Type != wire.MsgData {
 			return
 		}
-		if !n.reserveFlow() {
-			return
+		if fs = n.createFlowLocked(sh, pkt.Flow, from); fs == nil {
+			return // admission refused (MaxFlows or tenant quota)
 		}
-		fs = &flowState{
-			setupPkts: make(map[wire.NodeID]*wire.Packet),
-			ownByD:    make(map[int][]code.Slice),
-			geomByD:   make(map[int][2]int),
-			rounds:    make(map[uint32]*round),
-			chunks:    make(map[uint32][]byte),
-			seen:      make(map[wire.NodeID]bool),
-			lastHeard: make(map[wire.NodeID]time.Time),
-		}
-		sh.flows[pkt.Flow] = fs
 	}
-	fs.seen[from] = true
+	// Record the previous hop, bounded: sender ids are claimed, so only
+	// maxObservedHops distinct observation-only senders are remembered per
+	// flow (map-derived parents always are). Unrecorded senders' packets
+	// are still processed — the cap bounds state, not traffic.
+	known := fs.seen[from]
+	if !known && (len(fs.seen) < maxObservedHops || fs.parents[from]) {
+		fs.seen[from] = true
+		known = true
+	}
 	now := n.clk.Now()
-	if fs.lastHeard == nil {
-		fs.lastHeard = make(map[wire.NodeID]time.Time)
+	if known || fs.parents[from] {
+		if fs.lastHeard == nil {
+			fs.lastHeard = make(map[wire.NodeID]time.Time)
+		}
+		fs.lastHeard[from] = now
 	}
-	fs.lastHeard[from] = now
 	if pkt.Type != wire.MsgHeartbeat {
 		// Heartbeats prove the *parent* is alive; they deliberately do not
 		// refresh the flow itself, so an idle session still ages out of the
 		// table (FlowTTL) instead of being kept alive forever by keepalives.
 		fs.lastActive = now
+		sh.lruTouchLocked(fs)
 	}
 	switch pkt.Type {
 	case wire.MsgSetup:
@@ -837,6 +968,11 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 	if _, dup := fs.setupPkts[from]; dup {
 		return
 	}
+	if fs.setupPkts == nil {
+		fs.setupPkts = make(map[wire.NodeID]*wire.Packet)
+		fs.ownByD = make(map[int][]code.Slice)
+		fs.geomByD = make(map[int][2]int)
+	}
 	fs.setupPkts[from] = pkt
 	// Slot 0 carries one of our own slices (if it validates; padding and
 	// slices lost upstream do not). The packet's claimed split factor only
@@ -871,10 +1007,16 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 			fs.slotLen, fs.nSlots = geom[0], geom[1]
 			fs.geomSet = true
 			sh.stats.FlowsEstablished++
+			// Register the flow's children so sender-addressed acks and
+			// reports from them route to this shard (table.go).
+			n.dirAddLocked(sh, pi)
 			// Seed parent liveness: a parent that never speaks after
 			// establishment is detected one LivenessTimeout from now, not
 			// reported blind.
 			now := n.clk.Now()
+			if fs.lastHeard == nil {
+				fs.lastHeard = make(map[wire.NodeID]time.Time)
+			}
 			for p := range fs.parents {
 				if _, ok := fs.lastHeard[p]; !ok {
 					fs.lastHeard[p] = now
@@ -1005,6 +1147,9 @@ func (n *Node) handleData(sh *shard, f wire.FlowID, fs *flowState, from wire.Nod
 	r := fs.rounds[pkt.Seq]
 	if r == nil {
 		r = &round{slices: make(map[wire.NodeID]code.Slice)}
+		if fs.rounds == nil {
+			fs.rounds = make(map[uint32]*round)
+		}
 		fs.rounds[pkt.Seq] = r
 		if len(fs.rounds) > maxLiveRounds {
 			fs.pruneRounds(pkt.Seq)
@@ -1143,6 +1288,9 @@ func (n *Node) tryDeliverLocked(sh *shard, f wire.FlowID, fs *flowState, seq uin
 		return
 	}
 	r.decoded = true
+	if fs.chunks == nil {
+		fs.chunks = make(map[uint32][]byte)
+	}
 	fs.chunks[seq] = chunk
 	n.spliceChunksLocked(sh, f, fs)
 	n.watchGapLocked(sh, f, fs)

@@ -116,6 +116,7 @@ func TestConcurrentFlowsStress(t *testing.T) {
 			parentSet[parents[p]] = true
 		}
 		fs := &flowState{
+			flow:      flow,
 			setupPkts: make(map[wire.NodeID]*wire.Packet),
 			ownByD:    make(map[int][]code.Slice),
 			geomByD:   make(map[int][2]int),
@@ -135,6 +136,9 @@ func TestConcurrentFlowsStress(t *testing.T) {
 		sh := n.shardFor(flow)
 		sh.mu.Lock()
 		sh.flows[flow] = fs
+		sh.lruPushLocked(fs)
+		fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
+		n.dirAddLocked(sh, fs.info)
 		sh.mu.Unlock()
 		n.flowCount.Add(1)
 

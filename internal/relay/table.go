@@ -1,0 +1,244 @@
+package relay
+
+import (
+	"sync"
+
+	"infoslicing/internal/wire"
+)
+
+// Flow-table admission, eviction order, and the child→shard directory: the
+// pieces that turn the sharded flow map into a multi-tenant table a
+// long-running daemon can expose to the open overlay (ROADMAP item 2).
+//
+// Eviction ordering rules (see DESIGN.md, "Multi-tenant flow table"):
+// removal is always removeFlowLocked, always under the shard lock, and
+// always in this order — stop timers, unmap, unlink from the LRU list,
+// withdraw the cuckoo fingerprint (or rebalance the overflow count),
+// withdraw the child directory refs, release the admission reservation.
+// The fingerprint outlives the map entry within the critical section, so a
+// transport goroutine that passed the filter just before eviction finds a
+// clean miss under the lock, never a half-removed flow.
+
+// maxObservedHops caps the per-flow observed previous-hop set (fs.seen /
+// fs.lastHeard). Sender ids inside a frame are claimed, not proven, so a
+// single valid flow-id must not let a peer inflate per-flow state without
+// bound by cycling spoofed sender ids. The cap matches the maximum split
+// factor (64): every legitimate parent of a maximally-wide flow still
+// fits, and map-derived parents bypass the cap entirely.
+const maxObservedHops = 64
+
+// gcBatch bounds evictions per shard per gcSweep tick. The sweep walks the
+// LRU list from the cold end and stops at the first live flow, so its cost
+// is O(evicted+1) rather than a full-map scan under sh.mu — at 1M flows
+// the old full scan was itself the latency cliff the sweep existed to
+// prevent. The batch cap keeps even a mass-expiry tick bounded; the
+// remainder ages out on following ticks.
+const gcBatch = 1024
+
+// tenantOf derives the admission key for a flow: the previous-hop node
+// that created it. A relay cannot see deeper identity than that (the
+// anonymity invariant), but the previous hop is exactly the party whose
+// traffic admission should meter.
+type tenantKey = wire.NodeID
+
+// admit claims one flow-table slot against the global bound and, when
+// per-tenant quotas are enabled, against the creating tenant's quota.
+// Callers that get false must drop the packet (counted FlowsRejected).
+func (n *Node) admit(tenant tenantKey) bool {
+	if n.flowCount.Add(1) > int64(n.cfg.MaxFlows) {
+		n.flowCount.Add(-1)
+		return false
+	}
+	if q := int64(n.cfg.TenantQuota); q > 0 {
+		n.tenantMu.Lock()
+		if n.tenants[tenant] >= q {
+			n.tenantMu.Unlock()
+			n.flowCount.Add(-1)
+			return false
+		}
+		n.tenants[tenant]++
+		n.tenantMu.Unlock()
+	}
+	return true
+}
+
+// releaseSlot returns a flow's admission reservation.
+func (n *Node) releaseSlot(tenant tenantKey) {
+	n.flowCount.Add(-1)
+	if n.cfg.TenantQuota > 0 {
+		n.tenantMu.Lock()
+		if c := n.tenants[tenant]; c > 1 {
+			n.tenants[tenant] = c - 1
+		} else {
+			delete(n.tenants, tenant)
+		}
+		n.tenantMu.Unlock()
+	}
+}
+
+// TenantFlows reports the current per-tenant occupancy (zero-valued map
+// when quotas are disabled); diagnostics for the daemon's stats dump.
+func (n *Node) TenantFlows() map[wire.NodeID]int64 {
+	out := make(map[wire.NodeID]int64)
+	n.tenantMu.Lock()
+	for t, c := range n.tenants {
+		out[t] = c
+	}
+	n.tenantMu.Unlock()
+	return out
+}
+
+// createFlowLocked admits and installs a fresh flow created by `from`.
+// Returns nil (counting the rejection) when admission fails. Only the two
+// flow-creating packet types reach here. The flowState starts with only
+// the observation maps; everything else — setup staging, round table,
+// receiver reassembly — is allocated lazily by the phase that needs it, so
+// a table holding a million mostly-idle flows pays for what each flow
+// actually did, not for every phase it might enter.
+func (n *Node) createFlowLocked(sh *shard, f wire.FlowID, from wire.NodeID) *flowState {
+	if !n.admit(from) {
+		sh.stats.FlowsRejected++
+		return nil
+	}
+	fs := &flowState{
+		flow:   f,
+		tenant: from,
+		seen:   make(map[wire.NodeID]bool, 2),
+	}
+	sh.flows[f] = fs
+	sh.lruPushLocked(fs)
+	fs.inFilter = sh.filter.insert(uint64(f), sh.rng)
+	return fs
+}
+
+// removeFlowLocked tears one flow down in the canonical order (see the
+// file comment); evicted distinguishes TTL/pressure eviction (counted)
+// from shutdown teardown.
+func (n *Node) removeFlowLocked(sh *shard, f wire.FlowID, fs *flowState, evicted bool) {
+	fs.stopTimers()
+	delete(sh.flows, f)
+	sh.lruRemoveLocked(fs)
+	if fs.inFilter {
+		sh.filter.remove(uint64(f))
+	} else {
+		sh.filter.overflow.Add(-1)
+	}
+	if fs.info != nil {
+		n.dirDelLocked(sh, fs.info)
+	}
+	n.releaseSlot(fs.tenant)
+	if evicted {
+		sh.stats.FlowsEvicted++
+	}
+}
+
+// Intrusive LRU list, embedded in flowState: O(1) touch on every packet,
+// O(evicted) sweep. Order tracks fs.lastActive exactly — both are updated
+// at the same points (creation and every non-heartbeat packet), so the
+// cold end of the list is always the oldest lastActive on the shard.
+
+func (sh *shard) lruPushLocked(fs *flowState) {
+	fs.lruPrev = sh.lruTail
+	fs.lruNext = nil
+	if sh.lruTail != nil {
+		sh.lruTail.lruNext = fs
+	} else {
+		sh.lruHead = fs
+	}
+	sh.lruTail = fs
+}
+
+func (sh *shard) lruRemoveLocked(fs *flowState) {
+	if fs.lruPrev != nil {
+		fs.lruPrev.lruNext = fs.lruNext
+	} else if sh.lruHead == fs {
+		sh.lruHead = fs.lruNext
+	}
+	if fs.lruNext != nil {
+		fs.lruNext.lruPrev = fs.lruPrev
+	} else if sh.lruTail == fs {
+		sh.lruTail = fs.lruPrev
+	}
+	fs.lruPrev, fs.lruNext = nil, nil
+}
+
+func (sh *shard) lruTouchLocked(fs *flowState) {
+	if sh.lruTail == fs {
+		return
+	}
+	sh.lruRemoveLocked(fs)
+	sh.lruPushLocked(fs)
+}
+
+// childDir maps a known child node to the set of shards holding flows that
+// list it among their children. Acks and ParentDown reports are addressed
+// by sender, not by a flow-id this node can map, and used to fan out to
+// EVERY shard per packet — O(shards) enqueues and lock acquisitions each.
+// The directory narrows that to exactly the shards with a matching flow,
+// and a sender that matches nothing (garbage, long-evicted flows) is
+// dropped by the transport goroutine without touching any shard at all.
+type childDir struct {
+	mu      sync.RWMutex
+	entries map[wire.NodeID]*childEntry
+}
+
+type childEntry struct {
+	refs []int32 // per-shard refcount of flows listing this child
+	mask uint64  // bit i set ⇔ refs[i] > 0 (Shards ≤ 64)
+}
+
+// childMask returns the shard bitmask for a sender, zero when no flow
+// anywhere lists it as a child. Read-locked only: safe from transport
+// goroutines, never nests a shard lock.
+func (n *Node) childMask(from wire.NodeID) uint64 {
+	n.children.mu.RLock()
+	e := n.children.entries[from]
+	var m uint64
+	if e != nil {
+		m = e.mask
+	}
+	n.children.mu.RUnlock()
+	return m
+}
+
+// dirAddLocked registers a flow's children for the shard. Called under
+// sh.mu at establishment and splice; the nested directory lock is fine
+// because no path takes a shard lock while holding it.
+func (n *Node) dirAddLocked(sh *shard, pi *wire.PerNodeInfo) {
+	if len(pi.Children) == 0 {
+		return
+	}
+	n.children.mu.Lock()
+	for _, c := range pi.Children {
+		e := n.children.entries[c]
+		if e == nil {
+			e = &childEntry{refs: make([]int32, len(n.shards))}
+			n.children.entries[c] = e
+		}
+		e.refs[sh.idx]++
+		e.mask |= 1 << uint(sh.idx)
+	}
+	n.children.mu.Unlock()
+}
+
+// dirDelLocked withdraws a flow's children refs (eviction, splice, close).
+func (n *Node) dirDelLocked(sh *shard, pi *wire.PerNodeInfo) {
+	if len(pi.Children) == 0 {
+		return
+	}
+	n.children.mu.Lock()
+	for _, c := range pi.Children {
+		e := n.children.entries[c]
+		if e == nil {
+			continue
+		}
+		if e.refs[sh.idx]--; e.refs[sh.idx] <= 0 {
+			e.refs[sh.idx] = 0
+			e.mask &^= 1 << uint(sh.idx)
+			if e.mask == 0 {
+				delete(n.children.entries, c)
+			}
+		}
+	}
+	n.children.mu.Unlock()
+}

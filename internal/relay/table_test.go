@@ -1,0 +1,269 @@
+package relay
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"infoslicing/internal/wire"
+)
+
+// junkDataFrame builds a minimal MsgData frame for flow f: enough to create
+// flow state at a relay (creation happens before slot verification), cheap
+// enough to mint by the million.
+func junkDataFrame(f wire.FlowID) []byte {
+	p := &wire.Packet{Type: wire.MsgData, Flow: f, CoeffLen: 2,
+		SlotLen: 8, Slots: [][]byte{make([]byte, 8)}}
+	return p.Marshal()
+}
+
+// TestCloseInsertRaceFlowCount pins the Close-vs-insert accounting fix: the
+// shard workers are joined before Close sweeps the table, so a creation
+// racing Close either lands (and the sweep releases its reservation) or is
+// refused by the worker's done-check — never a leaked flowCount. Run under
+// -race this also exercises the teardown ordering for data races.
+func TestCloseInsertRaceFlowCount(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		tr := &countingTransport{}
+		n, err := New(1, tr, Config{
+			Rng:      rand.New(rand.NewSource(int64(round))),
+			Shards:   4,
+			MaxFlows: 1 << 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					f := wire.FlowID(uint64(round)<<32 | uint64(g)<<24 | uint64(i))
+					n.onPacket(wire.NodeID(100+g), junkDataFrame(f))
+					if i%64 == 63 {
+						select {
+						case <-n.done:
+							return
+						default:
+						}
+					}
+				}
+			}(g)
+		}
+		close(start)
+		time.Sleep(time.Duration(round%4) * 100 * time.Microsecond)
+		n.Close()
+		wg.Wait()
+		if got := n.flowCount.Load(); got != 0 {
+			t.Fatalf("round %d: flowCount = %d after Close, want 0 (leaked reservations)", round, got)
+		}
+		for i, sh := range n.shards {
+			sh.mu.Lock()
+			left := len(sh.flows)
+			sh.mu.Unlock()
+			if left != 0 {
+				t.Fatalf("round %d: shard %d still holds %d flows after Close", round, i, left)
+			}
+		}
+	}
+}
+
+// TestEvictionUnderLoad drives the full eviction lifecycle on a virtual
+// clock: idle flows age out of the LRU sweep (counted FlowsEvicted, all
+// reservations released), traffic for evicted flows is rejected by the
+// cuckoo filter without recreating state, and the same flow ids re-admit
+// cleanly afterwards — filter, map, and flowCount all consistent.
+func TestEvictionUnderLoad(t *testing.T) {
+	const flows = 32
+	const src = wire.NodeID(99)
+	s, n := virtualNode(t, 1, Config{
+		FlowTTL:    50 * time.Millisecond,
+		GCInterval: 25 * time.Millisecond,
+	})
+	if err := s.Net.Attach(src, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	fid := func(i int) wire.FlowID { return wire.FlowID(0xab_0000 + uint64(i)*7919) }
+	for i := 0; i < flows; i++ {
+		s.Net.Send(src, 1, junkDataFrame(fid(i)))
+	}
+	s.Run(10 * time.Millisecond)
+	if got := n.flowTableSize(); got != flows {
+		t.Fatalf("installed %d flows, want %d", got, flows)
+	}
+
+	// Let every flow idle past the TTL; the incremental sweep must reap all
+	// of them and release every admission reservation.
+	s.Run(200 * time.Millisecond)
+	if got := n.flowTableSize(); got != 0 {
+		t.Fatalf("%d flows survived the TTL sweep", got)
+	}
+	st := n.Stats()
+	if st.FlowsEvicted != flows {
+		t.Fatalf("FlowsEvicted = %d, want %d", st.FlowsEvicted, flows)
+	}
+
+	// Post-eviction, a heartbeat for a reaped flow must die at the filter:
+	// no state comes back, and the drop is counted.
+	preMisses := n.Stats().FilterMisses
+	for i := 0; i < flows; i++ {
+		s.Net.Send(src, 1, wire.AppendHeartbeat(nil, fid(i)))
+	}
+	s.Run(210 * time.Millisecond)
+	if got := n.flowTableSize(); got != 0 {
+		t.Fatalf("heartbeats resurrected %d evicted flows", got)
+	}
+	if got := n.Stats().FilterMisses - preMisses; got == 0 {
+		t.Fatal("no FilterMisses counted for evicted-flow heartbeats")
+	}
+
+	// The same ids re-admit cleanly: fresh fingerprints, fresh LRU links,
+	// no rejected creations, no drifted flowCount.
+	for i := 0; i < flows; i++ {
+		s.Net.Send(src, 1, junkDataFrame(fid(i)))
+	}
+	s.Run(220 * time.Millisecond)
+	if got := n.flowTableSize(); got != flows {
+		t.Fatalf("re-admitted %d flows, want %d", got, flows)
+	}
+	if got := n.Stats().FlowsRejected; got != 0 {
+		t.Fatalf("FlowsRejected = %d on re-admission, want 0", got)
+	}
+}
+
+// TestTenantQuotaNoStarvation: one tenant sitting at its quota cannot
+// starve admission for another — and eviction hands quota back.
+func TestTenantQuotaNoStarvation(t *testing.T) {
+	tr := &countingTransport{}
+	n, err := New(1, tr, Config{
+		Rng:         rand.New(rand.NewSource(5)),
+		Shards:      1,
+		MaxFlows:    100,
+		TenantQuota: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	const greedy, modest = wire.NodeID(7), wire.NodeID(8)
+	sh := n.shards[0]
+	// The greedy tenant pushes 10 creations: 3 admitted, 7 rejected.
+	for i := 0; i < 10; i++ {
+		n.process(sh, greedy, junkDataFrame(wire.FlowID(0x100+uint64(i))))
+	}
+	if got := n.flowTableSize(); got != 3 {
+		t.Fatalf("greedy tenant holds %d flows, want 3 (quota)", got)
+	}
+	if got := n.Stats().FlowsRejected; got != 7 {
+		t.Fatalf("FlowsRejected = %d, want 7", got)
+	}
+	// The modest tenant is unaffected by the greedy one's rejections.
+	for i := 0; i < 2; i++ {
+		n.process(sh, modest, junkDataFrame(wire.FlowID(0x200+uint64(i))))
+	}
+	if got := n.flowTableSize(); got != 5 {
+		t.Fatalf("table = %d flows, want 5 (3 greedy + 2 modest)", got)
+	}
+	occ := n.TenantFlows()
+	if occ[greedy] != 3 || occ[modest] != 2 {
+		t.Fatalf("TenantFlows = %v, want greedy:3 modest:2", occ)
+	}
+	// Eviction releases quota: age the greedy tenant's flows out and its
+	// next creation is admitted again.
+	sh.mu.Lock()
+	for _, fs := range sh.flows {
+		if fs.tenant == greedy {
+			fs.lastActive = fs.lastActive.Add(-time.Hour)
+		}
+	}
+	// The LRU order key (lastActive) changed behind the list's back; rebuild
+	// by touching the modest flows so the aged ones sit at the cold end.
+	for _, fs := range sh.flows {
+		if fs.tenant == modest {
+			sh.lruTouchLocked(fs)
+		}
+	}
+	sh.mu.Unlock()
+	n.gcSweep()
+	if got := n.flowTableSize(); got != 2 {
+		t.Fatalf("table = %d flows after sweep, want 2", got)
+	}
+	n.process(sh, greedy, junkDataFrame(wire.FlowID(0x300)))
+	if got := n.TenantFlows()[greedy]; got != 1 {
+		t.Fatalf("greedy tenant holds %d flows after re-admission, want 1", got)
+	}
+}
+
+// TestMillionFlowBoundedMemory holds 10^6 concurrent flow states and
+// reports bytes/flow — the daemon's headline capacity claim. The lazy
+// flowState maps are what make this affordable: an idle flow pays for its
+// observation map and nothing else. Under -short (and CI's race job) a
+// scaled-down variant keeps the same arithmetic honest.
+func TestMillionFlowBoundedMemory(t *testing.T) {
+	flows := 1 << 20
+	if testing.Short() || raceEnabled {
+		// CI's race job (and -short runs) keep the same arithmetic at a
+		// size the detector's overhead can afford.
+		flows = 1 << 17
+	}
+	tr := &countingTransport{}
+	n, err := New(1, tr, Config{
+		Rng:        rand.New(rand.NewSource(9)),
+		Shards:     1,
+		MaxFlows:   flows,
+		FlowTTL:    time.Hour,
+		GCInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	sh := n.shards[0]
+	frame := junkDataFrame(0)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	for i := 0; i < flows; i++ {
+		// Retarget one marshaled frame per flow instead of re-marshalling a
+		// million of them.
+		wire.PatchFlow(frame, wire.FlowID(0x5eed_0000_0000+uint64(i)))
+		n.process(sh, wire.NodeID(100+i%256), frame)
+	}
+	if got := n.flowTableSize(); got != flows {
+		t.Fatalf("installed %d flows, want %d", got, flows)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	perFlow := float64(after.HeapAlloc-before.HeapAlloc) / float64(flows)
+	t.Logf("%d flows: %.0f bytes/flow (heap %0.1f MiB)", flows, perFlow,
+		float64(after.HeapAlloc-before.HeapAlloc)/(1<<20))
+	// Ceiling calibrated against the lazy-map layout (~0.9KB/flow today:
+	// flowState + two observation maps + one buffered pre-setup packet).
+	// Reverting to eager per-phase maps costs ~0.5KB more per flow, so
+	// 1280 bytes cleanly separates regression from allocator noise
+	// without being hostage to the exact runtime version.
+	if perFlow > 1280 {
+		t.Fatalf("%.0f bytes/flow exceeds the 1280-byte bound", perFlow)
+	}
+
+	// The filter stayed coherent at scale: a resident flow is never a
+	// filter miss, and lookups for absent flows still short-circuit.
+	if !sh.filter.mayContain(0x5eed_0000_0000) {
+		t.Fatal("resident flow reads as filter miss at full table")
+	}
+	// A heartbeat for an absent flow may or may not be a filter false
+	// positive at this occupancy, but it must never create state.
+	n.onPacket(1, wire.AppendHeartbeat(nil, wire.FlowID(0xffff_ffff_0000_0001)))
+	if got := n.flowTableSize(); got != flows {
+		t.Fatal("heartbeat for an absent flow created state")
+	}
+}

@@ -26,6 +26,15 @@ type Acceptor struct {
 	maxFrame int
 	deliver  Deliver
 
+	// OnSender, when set, observes the first frame each sender id delivers
+	// on each connection: (claimed id, connection remote address). Set it
+	// between NewAcceptor and Start — read loops read it unsynchronized.
+	// The id is claimed by the frame, not proven; consumers (the overlay's
+	// learned-endpoint registry) must treat it accordingly. At most
+	// maxSendersPerConn distinct ids are observed per connection so a
+	// spoofing peer cannot drive unbounded callback work.
+	OnSender func(id wire.NodeID, addr string)
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -34,6 +43,11 @@ type Acceptor struct {
 	framesIn atomic.Int64
 	bytesIn  atomic.Int64
 }
+
+// maxSendersPerConn bounds per-connection (and per-datagram-source) sender
+// observation state: ids inside frames are claimed, so one transport peer
+// must not inflate observer state by cycling spoofed ids.
+const maxSendersPerConn = 16
 
 // NewAcceptor wraps ln without accepting yet: the owner can finish its own
 // registration (publish the endpoint, set fields the deliver callback's
@@ -169,6 +183,7 @@ func (a *Acceptor) readLoop(c net.Conn) {
 	slab := make([]byte, slabMin)
 	start, end := 0, 0
 	var readErr error
+	var seenSenders map[wire.NodeID]bool
 	for {
 		for end-start >= HeaderLen {
 			// Bounds-check in uint32 space: on a 32-bit platform a huge
@@ -191,6 +206,13 @@ func (a *Acceptor) readLoop(c net.Conn) {
 			start += total
 			a.framesIn.Add(1)
 			a.bytesIn.Add(int64(size))
+			if a.OnSender != nil && !seenSenders[from] && len(seenSenders) < maxSendersPerConn {
+				if seenSenders == nil {
+					seenSenders = make(map[wire.NodeID]bool, 1)
+				}
+				seenSenders[from] = true
+				a.OnSender(from, c.RemoteAddr().String())
+			}
 			if !a.deliver(from, payload) {
 				return
 			}

@@ -73,6 +73,16 @@ type UDPConfig struct {
 	// non-zero; the overlay layer fans it into per-destination loss
 	// watchers that escalate persistent loss to splice repair.
 	OnLoss func(rate float64)
+	// OnSender, when set on an acceptor's config, observes the first frame
+	// each sender id delivers from each source socket: (claimed id, source
+	// address). The id is claimed by the frame, not proven; consumers (the
+	// overlay's learned-endpoint registry) must treat it accordingly. At
+	// most maxSendersPerConn ids are observed per source.
+	OnSender func(id wire.NodeID, addr string)
+	// Clock drives the acceptor's idle-source eviction timeline (default
+	// the wall clock). Virtual-time harnesses inject their simnet clock so
+	// source eviction follows the simulated timeline instead of wall time.
+	Clock simnet.Clock
 }
 
 func (c *UDPConfig) fillDefaults() {
@@ -90,6 +100,9 @@ func (c *UDPConfig) fillDefaults() {
 	}
 	if c.MaxWindow <= 0 {
 		c.MaxWindow = 1024
+	}
+	if c.Clock == nil {
+		c.Clock = simnet.Wall
 	}
 }
 
@@ -727,6 +740,7 @@ type UDPAcceptor struct {
 	datagramsIn atomic.Int64
 	acksOut     atomic.Int64
 	rxDropped   atomic.Int64 // injected by the RxDrop shim
+	srcCount    atomic.Int64 // live entries in the read loop's srcs map
 }
 
 // rxSource is the acceptor's per-source-socket ack state.
@@ -735,6 +749,22 @@ type rxSource struct {
 	high     uint32    // highest data seq seen
 	started  bool
 	lastSeen time.Time // last batch this source appeared in (eviction clock)
+	senders  []wire.NodeID // sender ids already reported to OnSender (≤ maxSendersPerConn)
+}
+
+// noteSender records a claimed sender id the first time it appears from this
+// source; true means the caller should fire the OnSender observation.
+func (src *rxSource) noteSender(id wire.NodeID) bool {
+	for _, s := range src.senders {
+		if s == id {
+			return false
+		}
+	}
+	if len(src.senders) >= maxSendersPerConn {
+		return false
+	}
+	src.senders = append(src.senders, id)
+	return true
 }
 
 // Idle sources are evicted so the srcs map stays bounded: every sender
@@ -799,6 +829,13 @@ func (a *UDPAcceptor) DatagramsIn() (accepted, shimDropped int64) {
 	return a.datagramsIn.Load(), a.rxDropped.Load()
 }
 
+// Sources reports how many source sockets currently hold ack state —
+// observability for the idle-source eviction (the map is private to the
+// read loop; only the count escapes).
+func (a *UDPAcceptor) Sources() int {
+	return int(a.srcCount.Load())
+}
+
 // Close stops the socket and waits for the read loop to exit.
 func (a *UDPAcceptor) Close() {
 	a.closeOnce.Do(func() { a.conn.Close() })
@@ -838,7 +875,10 @@ func (a *UDPAcceptor) readLoop() {
 	var ackBuf [udpAckLen]byte
 	copy(ackBuf[:4], dgMagic[:])
 	ackBuf[4] = dgKindAck
-	nextSweep := time.Now().Add(srcSweepEvery)
+	// Eviction timestamps come from the injected clock (wall by default) so
+	// virtual-time harnesses can age sources without waiting real minutes.
+	clk := a.ucfg.Clock
+	nextSweep := clk.Now().Add(srcSweepEvery)
 	for {
 		n, err := br.recv()
 		seen = seen[:0]
@@ -849,7 +889,7 @@ func (a *UDPAcceptor) readLoop() {
 		// cumulative count, from which the sender reconstructs delivery,
 		// loss, and RTT. Coalescing to the batch keeps the ack rate at
 		// most one per recvmmsg per source.
-		now := time.Now()
+		now := clk.Now()
 		for _, ap := range seen {
 			src := srcs[ap]
 			src.lastSeen = now
@@ -866,6 +906,7 @@ func (a *UDPAcceptor) readLoop() {
 					delete(srcs, ap)
 				}
 			}
+			a.srcCount.Store(int64(len(srcs)))
 		}
 		if err != nil {
 			return
@@ -888,6 +929,7 @@ func (a *UDPAcceptor) handleDatagram(b []byte, from netip.AddrPort,
 	if src == nil {
 		src = &rxSource{}
 		srcs[from] = src
+		a.srcCount.Add(1)
 	}
 	fresh := true
 	for _, ap := range *seen {
@@ -913,6 +955,9 @@ func (a *UDPAcceptor) handleDatagram(b []byte, from netip.AddrPort,
 			return // malformed tail: drop the rest of the datagram
 		}
 		sender := wire.NodeID(binary.BigEndian.Uint32(rest[4:8]))
+		if a.ucfg.OnSender != nil && src.noteSender(sender) {
+			a.ucfg.OnSender(sender, from.String())
+		}
 		// Copy the payload out of the staging buffer into the delivery
 		// slab (staging is reused next batch; delivered views must live
 		// forever). The slab amortizes the allocation across ~64KB of
