@@ -286,6 +286,7 @@ func BenchmarkRelayScaling(b *testing.B) {
 			b.Run(fmt.Sprintf("flows=%d/procs=%d", flows, procs), func(b *testing.B) {
 				prev := runtime.GOMAXPROCS(procs)
 				defer runtime.GOMAXPROCS(prev)
+				b.ReportAllocs()
 				var res perf.RelayScalingResult
 				for i := 0; i < b.N; i++ {
 					r, err := perf.RelayScaling(perf.RelayScalingParams{

@@ -1,16 +1,23 @@
-// Command benchguard gates allocation regressions in CI: it parses `go
-// test -bench` output, extracts allocs/op for every benchmark, and fails
-// (exit 1) if any benchmark named in the committed baseline allocates more
-// than the baseline allows — or is missing from the run entirely, so a
+// Command benchguard gates performance regressions in CI: it parses `go
+// test -bench` output and fails (exit 1) when a benchmark named in the
+// committed baseline regresses — or is missing from the run entirely, so a
 // renamed benchmark cannot silently drop out of the gate.
 //
 //	go test -run '^$' -bench '...' -benchtime 200x ./... | tee bench.out
 //	go run ./cmd/benchguard -baseline bench_baseline.json bench.out
 //
-// Allocation counts are compared, not nanoseconds: allocs/op is
-// deterministic for a fixed -benchtime, so the gate is meaningful on noisy
-// shared CI runners where timing is not. Run with -update to rewrite the
-// baseline from the measured values after an intentional change.
+// Two kinds of gates, held in the same baseline file:
+//
+//   - allocs_per_op: hard ceilings. allocs/op is deterministic for a fixed
+//     -benchtime, so these compare exactly and are meaningful on noisy
+//     shared CI runners.
+//   - ns_per_op: time ceilings with a tolerance (ns_tolerance_pct, default
+//     50%). Wall time on shared runners is noisy, so the gate only trips on
+//     a regression larger than the tolerance; when -count > 1, the BEST run
+//     is compared (noise only slows benchmarks down, never speeds them up).
+//
+// Run with -update to rewrite both maps from the measured values after an
+// intentional change.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -26,13 +34,26 @@ import (
 	"strings"
 )
 
-// Baseline is the committed allocation contract, one entry per gated
+// Baseline is the committed performance contract, one entry per gated
 // benchmark (sub-benchmark names included, GOMAXPROCS suffix stripped).
 type Baseline struct {
 	// Note documents how to regenerate the file.
 	Note string `json:"note"`
 	// AllocsPerOp maps benchmark name to the maximum allowed allocs/op.
 	AllocsPerOp map[string]int64 `json:"allocs_per_op"`
+	// NsPerOp maps benchmark name to the baseline ns/op; a run fails when
+	// it measures more than baseline*(1+NsTolerancePct/100).
+	NsPerOp map[string]int64 `json:"ns_per_op,omitempty"`
+	// NsTolerancePct is the allowed ns/op regression in percent (0 → 50).
+	NsTolerancePct float64 `json:"ns_tolerance_pct,omitempty"`
+}
+
+// measured holds one benchmark's parsed results across a run.
+type measured struct {
+	allocs    int64
+	hasAllocs bool
+	ns        float64
+	hasNs     bool
 }
 
 // procSuffix strips the -GOMAXPROCS tail go test appends on multi-core
@@ -54,12 +75,12 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	measured, err := parseBench(in)
+	results, err := parseBench(in)
 	if err != nil {
 		fatalf("parse bench output: %v", err)
 	}
-	if len(measured) == 0 {
-		fatalf("no benchmark lines with allocs/op found (did the bench run crash?)")
+	if len(results) == 0 {
+		fatalf("no benchmark result lines found (did the bench run crash?)")
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -72,28 +93,7 @@ func main() {
 	}
 
 	if *update {
-		var stale []string
-		for name := range base.AllocsPerOp {
-			got, ok := measured[name]
-			if !ok {
-				// A baseline entry no benchmark produced anymore: a rename or
-				// deletion. Keep (and warn) by default so a narrow -bench
-				// pattern cannot eat the baseline; -prune drops it.
-				stale = append(stale, name)
-				continue
-			}
-			base.AllocsPerOp[name] = got
-		}
-		sort.Strings(stale)
-		for _, name := range stale {
-			if *prune {
-				delete(base.AllocsPerOp, name)
-				fmt.Printf("benchguard: pruned stale entry %q (matches no benchmark in this run)\n", name)
-			} else {
-				fmt.Fprintf(os.Stderr,
-					"benchguard: warning: baseline entry %q matches no benchmark in this run; kept as-is (use -update -prune to drop it)\n", name)
-			}
-		}
+		updateBaseline(&base, results, *prune)
 		out, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
 			fatalf("marshal baseline: %v", err)
@@ -101,38 +101,23 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			fatalf("write baseline: %v", err)
 		}
-		fmt.Printf("benchguard: baseline %s updated (%d benchmarks)\n", *baselinePath, len(base.AllocsPerOp))
+		fmt.Printf("benchguard: baseline %s updated (%d alloc gates, %d time gates)\n",
+			*baselinePath, len(base.AllocsPerOp), len(base.NsPerOp))
 		return
 	}
 
-	names := make([]string, 0, len(base.AllocsPerOp))
-	for name := range base.AllocsPerOp {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	failed := 0
-	var missing []string
-	for _, name := range names {
-		allowed := base.AllocsPerOp[name]
-		got, ok := measured[name]
-		switch {
-		case !ok:
-			fmt.Printf("MISSING  %-55s baseline %4d, not measured\n", name, allowed)
-			missing = append(missing, name)
-			failed++
-		case got > allowed:
-			fmt.Printf("FAIL     %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got)
-			failed++
-		default:
-			fmt.Printf("ok       %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got)
-		}
-	}
+	failed, missing := gateAllocs(&base, results)
+	nsFailed, nsMissing := gateNs(&base, results)
+	failed += nsFailed
+	missing = append(missing, nsMissing...)
+
 	if len(missing) > 0 {
 		// A benchmark that disappears from the run is a gate silently
 		// switching off — usually a rename, a deleted sub-benchmark, or the
 		// bench invocation no longer matching it. Spell out exactly what is
 		// gone so the fix (update the -bench pattern, or rename/remove the
 		// entry in the baseline) is obvious from the CI log alone.
+		sort.Strings(missing)
 		fmt.Fprintf(os.Stderr,
 			"benchguard: %d baseline benchmark(s) missing from this run:\n", len(missing))
 		for _, name := range missing {
@@ -142,17 +127,112 @@ func main() {
 			"benchguard: renamed or deleted benchmarks must be updated in %s (and in the -bench pattern that produced this run)\n",
 			*baselinePath)
 	}
+	total := len(base.AllocsPerOp) + len(base.NsPerOp)
 	if failed > 0 {
-		fatalf("%d of %d gated benchmarks regressed or went missing", failed, len(names))
+		fatalf("%d of %d gated benchmarks regressed or went missing", failed, total)
 	}
-	fmt.Printf("benchguard: all %d gated benchmarks within baseline\n", len(names))
+	fmt.Printf("benchguard: all %d gated benchmarks within baseline\n", total)
 }
 
-// parseBench extracts allocs/op per benchmark name from go test -bench
-// output. A name measured more than once (e.g. -count > 1) keeps its worst
-// result.
-func parseBench(r io.Reader) (map[string]int64, error) {
-	out := make(map[string]int64)
+func updateBaseline(base *Baseline, results map[string]measured, prune bool) {
+	var stale []string
+	for name := range base.AllocsPerOp {
+		got, ok := results[name]
+		if !ok || !got.hasAllocs {
+			stale = append(stale, name)
+			continue
+		}
+		base.AllocsPerOp[name] = got.allocs
+	}
+	for name := range base.NsPerOp {
+		got, ok := results[name]
+		if !ok || !got.hasNs {
+			stale = append(stale, name)
+			continue
+		}
+		base.NsPerOp[name] = int64(math.Round(got.ns))
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		if prune {
+			// A name may be stale in one map and live in the other; only the
+			// stale side is dropped.
+			if got, ok := results[name]; !ok || !got.hasAllocs {
+				delete(base.AllocsPerOp, name)
+			}
+			if got, ok := results[name]; !ok || !got.hasNs {
+				delete(base.NsPerOp, name)
+			}
+			fmt.Printf("benchguard: pruned stale entry %q (matches no benchmark in this run)\n", name)
+		} else {
+			fmt.Fprintf(os.Stderr,
+				"benchguard: warning: baseline entry %q matches no benchmark in this run; kept as-is (use -update -prune to drop it)\n", name)
+		}
+	}
+}
+
+func gateAllocs(base *Baseline, results map[string]measured) (failed int, missing []string) {
+	names := make([]string, 0, len(base.AllocsPerOp))
+	for name := range base.AllocsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		allowed := base.AllocsPerOp[name]
+		got, ok := results[name]
+		switch {
+		case !ok || !got.hasAllocs:
+			fmt.Printf("MISSING  %-55s baseline %4d allocs/op, not measured\n", name, allowed)
+			missing = append(missing, name)
+			failed++
+		case got.allocs > allowed:
+			fmt.Printf("FAIL     %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got.allocs)
+			failed++
+		default:
+			fmt.Printf("ok       %-55s baseline %4d, got %4d allocs/op\n", name, allowed, got.allocs)
+		}
+	}
+	return failed, missing
+}
+
+func gateNs(base *Baseline, results map[string]measured) (failed int, missing []string) {
+	tol := base.NsTolerancePct
+	if tol <= 0 {
+		tol = 50
+	}
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		allowed := base.NsPerOp[name]
+		limit := float64(allowed) * (1 + tol/100)
+		got, ok := results[name]
+		switch {
+		case !ok || !got.hasNs:
+			fmt.Printf("MISSING  %-55s baseline %6d ns/op, not measured\n", name, allowed)
+			missing = append(missing, name)
+			failed++
+		case got.ns > limit:
+			fmt.Printf("FAIL     %-55s baseline %6d ns/op (+%.0f%% = %.0f), got %.0f ns/op\n",
+				name, allowed, tol, limit, got.ns)
+			failed++
+		default:
+			fmt.Printf("ok       %-55s baseline %6d ns/op (+%.0f%%), got %.0f ns/op\n",
+				name, allowed, tol, got.ns)
+		}
+	}
+	return failed, missing
+}
+
+// parseBench extracts allocs/op and ns/op per benchmark name from go test
+// -bench output. A name measured more than once (e.g. -count > 1) keeps
+// its worst allocs/op but its best ns/op: allocation counts are
+// deterministic so any excess is real, while timing noise on shared
+// runners only ever slows a run down.
+func parseBench(r io.Reader) (map[string]measured, error) {
+	out := make(map[string]measured)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -161,18 +241,30 @@ func parseBench(r io.Reader) (map[string]int64, error) {
 			continue
 		}
 		name := procSuffix.ReplaceAllString(fields[0], "")
+		m := out[name]
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "allocs/op" {
-				continue
-			}
-			v, err := strconv.ParseInt(fields[i-1], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %q: bad allocs/op %q", sc.Text(), fields[i-1])
-			}
-			if prev, ok := out[name]; !ok || v > prev {
-				out[name] = v
+			switch fields[i] {
+			case "allocs/op":
+				v, err := strconv.ParseInt(fields[i-1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %q: bad allocs/op %q", sc.Text(), fields[i-1])
+				}
+				if !m.hasAllocs || v > m.allocs {
+					m.allocs = v
+				}
+				m.hasAllocs = true
+			case "ns/op":
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %q: bad ns/op %q", sc.Text(), fields[i-1])
+				}
+				if !m.hasNs || v < m.ns {
+					m.ns = v
+				}
+				m.hasNs = true
 			}
 		}
+		out[name] = m
 	}
 	return out, sc.Err()
 }

@@ -11,6 +11,10 @@
 //	                   p99 latency for N flows × GOMAXPROCS (§7 extension;
 //	                   see EXPERIMENTS.md)
 //	perfeval -fig 0    all of the above
+//
+// -cpuprofile and -mutexprofile write pprof profiles covering the run
+// (combine with a single -fig so the profile isolates one experiment);
+// the mutex profile is what shows a shard lock held across sends.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"infoslicing/internal/metrics"
 	"infoslicing/internal/overlay"
@@ -30,7 +35,36 @@ func main() {
 	transfer := flag.Int("bytes", 1<<20, "transfer size for throughput figures")
 	reps := flag.Int("reps", 3, "repetitions averaged per setup-time point")
 	seed := flag.Int64("seed", 1, "rng seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this file")
 	flag.Parse()
+
+	// Profiles cover the whole run: point perfeval at one figure (-fig 18
+	// for relay scaling) so the profile isolates the experiment of interest.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("perfeval: create cpu profile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("perfeval: start cpu profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mutexprofile)
+			if err != nil {
+				log.Fatalf("perfeval: create mutex profile: %v", err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				log.Fatalf("perfeval: write mutex profile: %v", err)
+			}
+		}()
+	}
 
 	switch *fig {
 	case 11:

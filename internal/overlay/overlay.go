@@ -122,6 +122,40 @@ type LossReporter interface {
 	AddLossWatcher(threshold float64, f func(to wire.NodeID, rate float64)) (remove func())
 }
 
+// OwnedSender is optionally implemented by transports that can take a
+// burst of frames toward one destination by reference instead of copying
+// each (the static TCP/UDP transports hand the views straight to the peer
+// writer's writev / datagram packer; ChanNetwork and SimNet copy in bulk).
+// The caller keeps bufs' backing memory alive until release fires; the
+// transport calls release exactly once on EVERY path — flushed, shed at a
+// full queue, dropped at a down node, or rejected outright — and after it
+// returns no reference to the views survives. Like Send, SendOwned never
+// blocks, and ErrSendQueueFull means the whole burst was shed as one
+// transaction (per-destination batching is all-or-nothing).
+type OwnedSender interface {
+	SendOwned(from, to wire.NodeID, bufs [][]byte, release func()) error
+}
+
+// SendOwnedOrCopy sends a one-destination burst through the transport's
+// owned path when it has one, else falls back to per-frame copying Sends
+// and fires release itself — either way release is consumed exactly once.
+// The fallback returns the first error it sees (data-path callers that
+// must count shed frames exactly, like the relay's egress stage, inline
+// the same split so they can attribute drops per frame).
+func SendOwnedOrCopy(tr Transport, from, to wire.NodeID, bufs [][]byte, release func()) error {
+	if os, ok := tr.(OwnedSender); ok {
+		return os.SendOwned(from, to, bufs, release)
+	}
+	var err error
+	for _, b := range bufs {
+		if e := tr.Send(from, to, b); e != nil && err == nil {
+			err = e
+		}
+	}
+	release()
+	return err
+}
+
 // Errors.
 var (
 	ErrDuplicateNode = errors.New("overlay: node already attached")
@@ -335,6 +369,83 @@ func (n *ChanNetwork) Send(from, to wire.NodeID, data []byte) error {
 		deliver()
 	})
 	_ = timer
+	return nil
+}
+
+// SendOwned implements OwnedSender. On a shaped or lossy profile it is
+// per-frame Send semantics (every frame gets its own delay and loss draw);
+// unshaped, the whole burst is copied into one backing buffer and
+// delivered in order on a single goroutine — one allocation and one
+// scheduler hand-off where per-frame Send pays one of each per frame.
+// Handlers own their views outright (the backing buffer is never reused),
+// exactly the Handler contract.
+func (n *ChanNetwork) SendOwned(from, to wire.NodeID, bufs [][]byte, release func()) error {
+	defer release()
+	p := n.profile
+	if p.BandwidthBps > 0 || p.LatencyMax > 0 || p.CPUDelayPerKB > 0 || p.Loss > 0 {
+		var err error
+		for _, b := range bufs {
+			if e := n.Send(from, to, b); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	if n.closed.Load() || len(bufs) == 0 {
+		return nil
+	}
+	n.mu.RLock()
+	src := n.nodes[from]
+	dst := n.nodes[to]
+	n.mu.RUnlock()
+	if src == nil {
+		return fmt.Errorf("%w: sender %d", ErrUnknownNode, from)
+	}
+	if src.down.Load() {
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if dst == nil || dst.down.Load() {
+		n.pktsLost.Add(uint64(from), int64(len(bufs)))
+		return nil
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	n.pktsSent.Add(uint64(from), int64(len(bufs)))
+	n.bytesSent.Add(uint64(from), int64(total))
+	if len(bufs) == 1 {
+		// Singleton batch — the common case on sparse fan-outs: one payload
+		// copy and one hand-off, no batch bookkeeping.
+		payload := append([]byte(nil), bufs[0]...)
+		epoch := dst.failEpoch.Load()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if !dst.down.Load() && dst.failEpoch.Load() == epoch && !n.closed.Load() {
+				dst.handler(from, payload)
+			}
+		}()
+		return nil
+	}
+	back := make([]byte, 0, total)
+	views := make([][]byte, len(bufs))
+	for i, b := range bufs {
+		off := len(back)
+		back = append(back, b...)
+		views[i] = back[off:len(back):len(back)]
+	}
+	epoch := dst.failEpoch.Load()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for _, v := range views {
+			if dst.down.Load() || dst.failEpoch.Load() != epoch || n.closed.Load() {
+				return
+			}
+			dst.handler(from, v)
+		}
+	}()
 	return nil
 }
 

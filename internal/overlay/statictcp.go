@@ -251,6 +251,60 @@ func (s *StaticTCP) Send(from, to wire.NodeID, data []byte) error {
 	return nil
 }
 
+// SendOwned implements OwnedSender: the same checks and resolution as
+// Send, but the burst's frames go to the peer writer by reference — the
+// writev path builds header‖payload iovecs straight over bufs, and
+// release fires when the batch is flushed or dropped. Paths that never
+// reach the peer consume release here; EnqueueOwned consumes it on every
+// path of its own, so it fires exactly once regardless.
+func (s *StaticTCP) SendOwned(from, to wire.NodeID, bufs [][]byte, release func()) error {
+	s.mu.RLock()
+	_, known := s.book[to]
+	isDown := s.down[from]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		release()
+		return nil // datagram into the void, not congestion
+	}
+	if isDown {
+		release()
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if !known {
+		if _, ok := s.reg.learned(to); !ok {
+			release()
+			return nil // unknown receiver: datagram semantics
+		}
+	}
+	p := s.peers.Lookup(to)
+	if p == nil {
+		p = s.peers.Get(to, func() (string, bool) {
+			s.mu.RLock()
+			addr, ok := s.book[to]
+			s.mu.RUnlock()
+			if ok {
+				return addr, true
+			}
+			return s.reg.learned(to)
+		})
+	}
+	if p == nil {
+		release()
+		return nil
+	}
+	if !p.EnqueueOwned(from, bufs, release) {
+		s.mu.RLock()
+		closed = s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil // the queue "filled" because Close reaped it
+		}
+		return ErrSendQueueFull
+	}
+	return nil
+}
+
 // PeerStats reports aggregate outbound peer counters.
 func (s *StaticTCP) PeerStats() transport.Stats { return s.peers.Stats() }
 

@@ -312,6 +312,60 @@ func (s *StaticUDP) Send(from, to wire.NodeID, data []byte) error {
 	return nil
 }
 
+// SendOwned implements OwnedSender: the same checks and resolution as
+// Send, with the burst handed to the datagram peer by reference — the
+// packer copies header‖payload straight into datagram buffers (the owned
+// path's single copy) and release fires right after packing, or on
+// whichever drop path consumes the batch first (see StaticTCP.SendOwned
+// for the exactly-once split).
+func (s *StaticUDP) SendOwned(from, to wire.NodeID, bufs [][]byte, release func()) error {
+	s.mu.RLock()
+	_, known := s.book[to]
+	isDown := s.down[from]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		release()
+		return nil // datagram into the void, not congestion
+	}
+	if isDown {
+		release()
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if !known {
+		if _, ok := s.reg.learned(to); !ok {
+			release()
+			return nil
+		}
+	}
+	p := s.peers.Lookup(to)
+	if p == nil {
+		p = s.peers.Get(to, func() (string, bool) {
+			s.mu.RLock()
+			addr, ok := s.book[to]
+			s.mu.RUnlock()
+			if ok {
+				return addr, true
+			}
+			return s.reg.learned(to)
+		})
+	}
+	if p == nil {
+		release()
+		return nil
+	}
+	if !p.EnqueueOwned(from, bufs, release) {
+		s.mu.RLock()
+		closed = s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil // the queue "filled" because Close reaped it
+		}
+		return ErrSendQueueFull
+	}
+	return nil
+}
+
 // SendDelay implements CongestionAdvisor: the destination peer's estimate
 // of how long to hold the next burst (zero when its window has room or the
 // peer does not exist yet).

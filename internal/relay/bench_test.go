@@ -89,7 +89,7 @@ func BenchmarkForwardDataPacket(b *testing.B) {
 			sh.flows[flow] = fs
 			sh.lruPushLocked(fs)
 			fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
-			n.dirAddLocked(sh, info)
+			n.dirAddLocked(sh, fs, info)
 			sh.mu.Unlock()
 			n.flowCount.Add(1)
 
@@ -181,7 +181,7 @@ func BenchmarkForwardBurst(b *testing.B) {
 			sh.flows[flow] = fs
 			sh.lruPushLocked(fs)
 			fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
-			n.dirAddLocked(sh, info)
+			n.dirAddLocked(sh, fs, info)
 			sh.mu.Unlock()
 			n.flowCount.Add(1)
 
@@ -216,6 +216,7 @@ func BenchmarkForwardBurst(b *testing.B) {
 					binary.BigEndian.PutUint32(burst[j].data[9:], uint32(i*k+j))
 				}
 				parsed = n.processBurst(sh, burst, parsed[:0])
+				n.runEgress(sh)
 			}
 			b.StopTimer()
 			perPkt := float64(b.Elapsed().Nanoseconds()) / float64(b.N*k)

@@ -68,6 +68,7 @@ func TestBurstExactlyOnceForwarding(t *testing.T) {
 		{from: p2, data: dataFrame(flow, 0, 2, slices[1]), release: rel},
 	}
 	n.processBurst(sh, burst, nil)
+	n.runEgress(sh)
 	for i := range burst {
 		burst[i].release()
 	}

@@ -153,18 +153,8 @@ func (n *Node) handleParentDown(sh *shard, from wire.NodeID, pkt *wire.Packet) {
 	if err != nil {
 		return
 	}
-	for flow, fs := range sh.flows {
-		if fs.info == nil {
-			continue
-		}
-		isChild := false
-		for _, c := range fs.info.Children {
-			if c == from {
-				isChild = true
-				break
-			}
-		}
-		if !isChild || fs.seenReports[nonce] {
+	for flow, fs := range sh.byChild[from] {
+		if fs.info == nil || fs.seenReports[nonce] {
 			continue
 		}
 		fs.rememberReport(nonce)
@@ -180,14 +170,7 @@ func (n *Node) handleParentDown(sh *shard, from wire.NodeID, pkt *wire.Packet) {
 // across the surviving parents is what carries the report. Runs with sh.mu
 // held; buf must be fully framed (it is sh.pktBuf in every caller).
 func (n *Node) floodUpstreamLocked(sh *shard, fs *flowState, buf []byte) {
-	targets := make(map[wire.NodeID]bool, len(fs.parents)+len(fs.seen))
-	for p := range fs.parents {
-		targets[p] = true
-	}
-	for p := range fs.seen {
-		targets[p] = true
-	}
-	for p := range targets {
+	for p := range sh.ackTargetsLocked(fs) {
 		n.sendLocked(sh, p, buf)
 	}
 }
@@ -239,9 +222,9 @@ func (n *Node) handleSplice(sh *shard, fs *flowState, pkt *wire.Packet) {
 	// The patch may add or remove children: swap the child-directory refs
 	// with the info block so sender-addressed acks and reports keep
 	// routing to this shard (table.go).
-	n.dirDelLocked(sh, fs.info)
+	n.dirDelLocked(sh, fs, fs.info)
 	fs.info = pi
-	n.dirAddLocked(sh, pi)
+	n.dirAddLocked(sh, fs, pi)
 	now := n.clk.Now()
 	newParents := parentSet(pi)
 	for p := range newParents {

@@ -95,7 +95,7 @@ func injectFlowAt(n *Node, flow wire.FlowID, pi *wire.PerNodeInfo, now time.Time
 	sh.flows[flow] = fs
 	sh.lruPushLocked(fs)
 	fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
-	n.dirAddLocked(sh, pi)
+	n.dirAddLocked(sh, fs, pi)
 	sh.mu.Unlock()
 	n.flowCount.Add(1)
 	return fs

@@ -57,6 +57,7 @@ import (
 	"infoslicing/internal/metrics"
 	"infoslicing/internal/overlay"
 	"infoslicing/internal/simnet"
+	"infoslicing/internal/transport"
 	"infoslicing/internal/wire"
 )
 
@@ -271,6 +272,12 @@ type Node struct {
 	// and heartbeat sweeps deterministically.
 	gcTask   simnet.Task
 	ctrlTask simnet.Task
+
+	// egPool backs the refcounted egress slabs; owned is the transport's
+	// zero-copy batch entry point when it offers one (nil ⇒ every egress
+	// frame falls back to the copying per-frame Send).
+	egPool *transport.SlabPool
+	owned  overlay.OwnedSender
 }
 
 // shard is one stripe of the flow table plus everything its worker needs.
@@ -298,13 +305,37 @@ type shard struct {
 	stats   Stats
 	rng     *rand.Rand
 
-	// Per-shard scratch: the packet framing buffer and the
-	// slice-gather/regeneration workspaces are reused across every round of
-	// every flow on this shard, so steady-state forwarding allocates
-	// nothing.
+	// Per-shard scratch: the control-plane framing buffer and the
+	// receiver-side slice-gather workspace are reused across every round of
+	// every flow on this shard, so the steady state allocates nothing.
+	// (Forwarding's regeneration scratch moved to the egress side: egRegen.)
 	pktBuf []byte
 	gather []code.Slice
-	regen  []code.Slice
+
+	// byChild indexes established flows by child address: acks and
+	// ParentDown reports are sender-addressed, and used to scan the whole
+	// flow table per packet. Maintained by dirAdd/dirDelLocked under sh.mu.
+	byChild map[wire.NodeID]map[wire.FlowID]*flowState
+	// ackTargets is the reusable parent-set scratch for the ack and
+	// ParentDown floods (sendAckLocked, floodUpstreamLocked).
+	ackTargets map[wire.NodeID]bool
+
+	// Free lists for the small per-flow maps retired at flow teardown
+	// (egress.go); capped at mapPoolCap.
+	setFree []map[wire.NodeID]bool
+	cntFree []map[wire.NodeID]int
+
+	// Two-stage egress (egress.go): rounds are claimed into stage under mu;
+	// runEgress swaps stage/work under a brief mu window and does recode,
+	// framing, and sends under egMu only. Lock order egMu → mu, never the
+	// reverse. egRng/egRegen/egBatches are egress-side scratch, touched
+	// only under egMu.
+	egMu      sync.Mutex
+	stage     egState
+	work      egState
+	egRegen   []code.Slice
+	egRng     *rand.Rand
+	egBatches []destBatch
 }
 
 type inPkt struct {
@@ -485,13 +516,17 @@ func New(id wire.NodeID, tr overlay.Transport, cfg Config) (*Node, error) {
 	perShard := cfg.MaxFlows / cfg.Shards
 	for i := range n.shards {
 		n.shards[i] = &shard{
-			idx:    i,
-			in:     make(chan inPkt, cfg.QueueDepth),
-			flows:  make(map[wire.FlowID]*flowState),
-			filter: newCuckooFilter(perShard),
-			rng:    rand.New(rand.NewSource(cfg.Rng.Int63())),
+			idx:     i,
+			in:      make(chan inPkt, cfg.QueueDepth),
+			flows:   make(map[wire.FlowID]*flowState),
+			filter:  newCuckooFilter(perShard),
+			rng:     rand.New(rand.NewSource(cfg.Rng.Int63())),
+			egRng:   rand.New(rand.NewSource(cfg.Rng.Int63())),
+			byChild: make(map[wire.NodeID]map[wire.FlowID]*flowState),
 		}
 	}
+	n.egPool = transport.NewSlabPool(0, 0)
+	n.owned, _ = tr.(overlay.OwnedSender)
 	if err := tr.Attach(id, n.onPacket); err != nil {
 		return nil, err
 	}
@@ -758,6 +793,11 @@ func (n *Node) runShard(sh *shard) {
 				}
 			}
 			parsed = n.processBurst(sh, burst, parsed[:0])
+			// Drain the egress stage before releasing the burst's clock
+			// holds: under a virtual clock the sends must land in the same
+			// instant that admitted the packets, or quiescence would race
+			// the recode.
+			n.runEgress(sh)
 			// Releasing after the lock drops is safe for determinism: every
 			// packet in the burst acquired its hold at enqueue time, so the
 			// virtual clock could not have advanced past any of them; the
@@ -813,15 +853,17 @@ func (n *Node) process(sh *shard, from wire.NodeID, data []byte) {
 		return // garbage: drop
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	select {
 	case <-n.done:
+		sh.mu.Unlock()
 		return
 	default:
 	}
 	var c inCounts
 	n.dispatchLocked(sh, from, pkt, &c)
 	c.flushLocked(sh)
+	sh.mu.Unlock()
+	n.runEgress(sh)
 }
 
 // inCounts accumulates the per-packet inbound counters across one burst so
@@ -917,45 +959,44 @@ func (n *Node) sendLocked(sh *shard, to wire.NodeID, buf []byte) {
 
 // handleAck propagates an establishment acknowledgment one hop toward the
 // source: the ack arrives stamped with the *child's* flow-id, which this
-// node does not know — but it does know the child's address, so it locates
-// every flow on this shard that lists the sender among its children and
-// re-stamps the ack with its own flow before forwarding to its parents.
-// Runs with sh.mu held; every shard sees every ack.
+// node does not know — but it does know the child's address, so the
+// shard's byChild index hands it exactly the flows that list the sender
+// among their children (it used to scan every flow on the shard per ack).
+// Runs with sh.mu held.
 func (n *Node) handleAck(sh *shard, from wire.NodeID) {
-	for flow, fs := range sh.flows {
+	for flow, fs := range sh.byChild[from] {
 		if fs.info == nil || fs.ackSent {
-			continue
-		}
-		isChild := false
-		for _, c := range fs.info.Children {
-			if c == from {
-				isChild = true
-				break
-			}
-		}
-		if !isChild {
 			continue
 		}
 		n.sendAckLocked(sh, flow, fs)
 	}
 }
 
-// sendAckLocked emits this flow's ack to all parents — those named in the
-// maps plus every observed previous hop (a last-stage receiver has no maps).
-// Runs with sh.mu held.
+// ackTargetsLocked collects a flow's upstream fan-out — parents named in
+// the maps plus every observed previous hop (a last-stage receiver has no
+// maps) — into the shard's reusable scratch set. Valid until the next call
+// on the same shard; runs with sh.mu held.
+func (sh *shard) ackTargetsLocked(fs *flowState) map[wire.NodeID]bool {
+	if sh.ackTargets == nil {
+		sh.ackTargets = make(map[wire.NodeID]bool, 8)
+	}
+	clear(sh.ackTargets)
+	for p := range fs.parents {
+		sh.ackTargets[p] = true
+	}
+	for p := range fs.seen {
+		sh.ackTargets[p] = true
+	}
+	return sh.ackTargets
+}
+
+// sendAckLocked emits this flow's ack to all parents. Runs with sh.mu held.
 func (n *Node) sendAckLocked(sh *shard, flow wire.FlowID, fs *flowState) {
 	fs.ackSent = true
 	pkt := &wire.Packet{Type: wire.MsgAck, Flow: flow}
 	sh.pktBuf = pkt.AppendTo(sh.pktBuf[:0])
 	buf := sh.pktBuf
-	targets := make(map[wire.NodeID]bool, len(fs.parents)+len(fs.seen))
-	for p := range fs.parents {
-		targets[p] = true
-	}
-	for p := range fs.seen {
-		targets[p] = true
-	}
-	for p := range targets {
+	for p := range sh.ackTargetsLocked(fs) {
 		n.sendLocked(sh, p, buf)
 	}
 }
@@ -1009,7 +1050,7 @@ func (n *Node) handleSetup(sh *shard, f wire.FlowID, fs *flowState, from wire.No
 			sh.stats.FlowsEstablished++
 			// Register the flow's children so sender-addressed acks and
 			// reports from them route to this shard (table.go).
-			n.dirAddLocked(sh, pi)
+			n.dirAddLocked(sh, fs, pi)
 			// Seed parent liveness: a parent that never speaks after
 			// establishment is detected one LivenessTimeout from now, not
 			// reported blind.
@@ -1176,81 +1217,22 @@ func (n *Node) handleData(sh *shard, f wire.FlowID, fs *flowState, from wire.Nod
 		return
 	}
 	if len(r.slices) >= len(fs.parents)-len(fs.deadParents) {
-		n.forwardRoundLocked(sh, f, fs, pkt.Seq, r)
+		n.stageRoundLocked(sh, fs, pkt.Seq, r)
 		return
 	}
 	if r.timer == nil {
+		seq := pkt.Seq
 		r.timer = n.clk.AfterFunc(n.cfg.RoundWait, func() {
 			sh.mu.Lock()
-			defer sh.mu.Unlock()
-			if cur := sh.flows[f]; cur == fs && !r.forwarded {
-				n.forwardRoundLocked(sh, f, fs, pkt.Seq, r)
+			// Identity check on the round itself, not just its flag: the
+			// flow may have been evicted and recreated, or the round pruned,
+			// between arming and firing.
+			if cur := sh.flows[f]; cur == fs && fs.rounds[seq] == r && !r.forwarded {
+				n.stageRoundLocked(sh, fs, seq, r)
 			}
+			sh.mu.Unlock()
+			n.runEgress(sh)
 		})
-	}
-}
-
-// forwardRoundLocked applies the data-map. Missing parents' slices are
-// regenerated by recombining the round's survivors when the node holds
-// enough degrees of freedom (§4.4.1) — the key advantage over end-to-end
-// erasure coding.
-func (n *Node) forwardRoundLocked(sh *shard, f wire.FlowID, fs *flowState, seq uint32, r *round) {
-	r.forwarded = true
-	if r.timer != nil {
-		r.timer.Stop()
-	}
-	// Parents silent for deadParentStreak whole rounds in a row are
-	// presumed down; stop stalling future rounds on them.
-	if fs.deadParents == nil {
-		fs.deadParents = make(map[wire.NodeID]bool)
-	}
-	if fs.missStreak == nil {
-		fs.missStreak = make(map[wire.NodeID]int)
-	}
-	for p := range fs.parents {
-		if _, ok := r.slices[p]; !ok {
-			fs.missStreak[p]++
-			if fs.missStreak[p] >= deadParentStreak {
-				fs.deadParents[p] = true
-			}
-		} else {
-			delete(fs.missStreak, p)
-		}
-	}
-	pi := fs.info
-	all := sh.gatherLocked(r)
-	canRegen := pi.Recode && code.Decodable(fs.d, all)
-	for _, e := range pi.DataMap {
-		var out code.Slice
-		if s, ok := r.slices[e.Parent]; ok {
-			out = s
-		} else if canRegen {
-			fresh, err := code.RecombineInto(sh.regen, all, 1, sh.rng)
-			if err != nil {
-				continue
-			}
-			sh.regen = fresh
-			out = fresh[0]
-			sh.stats.Regenerated++
-		} else {
-			continue // cannot serve this child’s slice
-		}
-		if int(e.Child) >= len(pi.Children) {
-			continue
-		}
-		// Assemble header ‖ slot directly in the reusable framing buffer:
-		// the slice bytes are copied exactly once, into the buffer the
-		// transport consumes.
-		slotLen := len(out.Coeff) + len(out.Payload) + 4
-		sh.pktBuf = wire.AppendPacketHeader(sh.pktBuf[:0], wire.MsgData,
-			pi.ChildFlows[e.Child], seq, uint8(fs.d), uint16(slotLen), 1)
-		sh.pktBuf = wire.AppendSlot(sh.pktBuf, out)
-		n.sendLocked(sh, pi.Children[e.Child], sh.pktBuf)
-	}
-	// If the node is not the receiver the slices are dead weight now (they
-	// pin the receive buffers they view into).
-	if !pi.Receiver {
-		r.slices = map[wire.NodeID]code.Slice{}
 	}
 }
 

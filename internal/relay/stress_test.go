@@ -138,7 +138,7 @@ func TestConcurrentFlowsStress(t *testing.T) {
 		sh.flows[flow] = fs
 		sh.lruPushLocked(fs)
 		fs.inFilter = sh.filter.insert(uint64(flow), sh.rng)
-		n.dirAddLocked(sh, fs.info)
+		n.dirAddLocked(sh, fs, fs.info)
 		sh.mu.Unlock()
 		n.flowCount.Add(1)
 

@@ -124,8 +124,13 @@ func (n *Node) removeFlowLocked(sh *shard, f wire.FlowID, fs *flowState, evicted
 		sh.filter.overflow.Add(-1)
 	}
 	if fs.info != nil {
-		n.dirDelLocked(sh, fs.info)
+		n.dirDelLocked(sh, fs, fs.info)
 	}
+	// Retire the small per-flow maps into the shard free lists (egress.go).
+	sh.putNodeSetLocked(fs.deadParents)
+	fs.deadParents = nil
+	sh.putNodeCountsLocked(fs.missStreak)
+	fs.missStreak = nil
 	n.releaseSlot(fs.tenant)
 	if evicted {
 		sh.stats.FlowsEvicted++
@@ -201,12 +206,23 @@ func (n *Node) childMask(from wire.NodeID) uint64 {
 	return m
 }
 
-// dirAddLocked registers a flow's children for the shard. Called under
-// sh.mu at establishment and splice; the nested directory lock is fine
-// because no path takes a shard lock while holding it.
-func (n *Node) dirAddLocked(sh *shard, pi *wire.PerNodeInfo) {
+// dirAddLocked registers a flow's children for the shard: the global
+// child→shard mask consulted by transport goroutines, and the shard-local
+// byChild index that lets handleAck/handleParentDown touch only the flows
+// actually listing the sender instead of scanning the whole shard. Called
+// under sh.mu at establishment and splice; the nested directory lock is
+// fine because no path takes a shard lock while holding it.
+func (n *Node) dirAddLocked(sh *shard, fs *flowState, pi *wire.PerNodeInfo) {
 	if len(pi.Children) == 0 {
 		return
+	}
+	for _, c := range pi.Children {
+		m := sh.byChild[c]
+		if m == nil {
+			m = make(map[wire.FlowID]*flowState, 1)
+			sh.byChild[c] = m
+		}
+		m[fs.flow] = fs
 	}
 	n.children.mu.Lock()
 	for _, c := range pi.Children {
@@ -222,9 +238,17 @@ func (n *Node) dirAddLocked(sh *shard, pi *wire.PerNodeInfo) {
 }
 
 // dirDelLocked withdraws a flow's children refs (eviction, splice, close).
-func (n *Node) dirDelLocked(sh *shard, pi *wire.PerNodeInfo) {
+func (n *Node) dirDelLocked(sh *shard, fs *flowState, pi *wire.PerNodeInfo) {
 	if len(pi.Children) == 0 {
 		return
+	}
+	for _, c := range pi.Children {
+		if m := sh.byChild[c]; m != nil {
+			delete(m, fs.flow)
+			if len(m) == 0 {
+				delete(sh.byChild, c)
+			}
+		}
 	}
 	n.children.mu.Lock()
 	for _, c := range pi.Children {

@@ -14,11 +14,42 @@ import (
 // and add only their wire I/O — stream writev on one side, congestion-
 // controlled sendmmsg on the other — so Enqueue semantics, drop accounting,
 // and Close behaviour are identical across transports by construction.
+// outFrame is one outbound queue entry: either a copied frame (buf, from
+// the freelist, header already prepended) or an owned batch of frames
+// sharing one refcounted backing buffer (ob). Exactly one of the two is
+// set.
+type outFrame struct {
+	buf []byte
+	ob  *ownedBatch
+}
+
+// frames reports how many wire frames the entry carries (an owned batch
+// counts each of its frames; stats stay in frame units either way).
+func (f outFrame) frames() int64 {
+	if f.ob != nil {
+		return int64(len(f.ob.bufs))
+	}
+	return 1
+}
+
+// ownedBatch carries a burst of frames toward one peer by reference: the
+// payload views stay in the caller's refcounted buffer, release gives the
+// reference back, and hdrs is a pre-built arena of 8-byte wire headers
+// (one per frame) so the TCP writer can writev header‖payload pairs
+// without copying either. Pooled via outbox.freeOB.
+type ownedBatch struct {
+	from    wire.NodeID
+	bufs    [][]byte
+	release func()
+	hdrs    []byte
+}
+
 type outbox struct {
 	cfg Config
 
-	out  chan []byte // framed (header‖payload) buffers awaiting the writer
-	free chan []byte // recycled frame buffers
+	out    chan outFrame    // framed buffers / owned batches awaiting the writer
+	free   chan []byte      // recycled copied-frame buffers
+	freeOB chan *ownedBatch // recycled owned-batch envelopes
 
 	// closed signals shutdown (writer drains then exits); killed is the
 	// immediate variant (CloseNow) that also interrupts backoff sleeps.
@@ -53,8 +84,9 @@ type outbox struct {
 func newOutbox(cfg Config) outbox {
 	return outbox{
 		cfg:    cfg,
-		out:    make(chan []byte, cfg.QueueDepth),
+		out:    make(chan outFrame, cfg.QueueDepth),
 		free:   make(chan []byte, cfg.QueueDepth+cfg.MaxBatch),
+		freeOB: make(chan *ownedBatch, cfg.QueueDepth),
 		closed: make(chan struct{}),
 		killed: make(chan struct{}),
 		done:   make(chan struct{}),
@@ -80,7 +112,7 @@ func (o *outbox) Enqueue(from wire.NodeID, data []byte) bool {
 	buf = append(buf[:0], hdr[:]...)
 	buf = append(buf, data...)
 	select {
-	case o.out <- buf:
+	case o.out <- outFrame{buf: buf}:
 		o.enqueued.Add(1)
 		if o.dead.Load() {
 			// Lost the race with the writer's exit. The writer sets dead
@@ -96,6 +128,90 @@ func (o *outbox) Enqueue(from wire.NodeID, data []byte) bool {
 		o.dropped.Add(1)
 		return false
 	}
+}
+
+// EnqueueOwned hands a burst of frames toward this peer by reference: the
+// byte slices in bufs stay owned by the caller's refcounted buffer, and
+// release is consumed exactly once on EVERY path — after the writer
+// flushes or drops the batch, or right here when the queue is full, the
+// peer is closed, or a frame exceeds MaxFrame (all-or-nothing: either the
+// whole burst is queued as one transaction or none of it is). Like
+// Enqueue it never blocks; false means the burst was shed and counted.
+func (o *outbox) EnqueueOwned(from wire.NodeID, bufs [][]byte, release func()) bool {
+	n := int64(len(bufs))
+	if n == 0 {
+		release()
+		return true
+	}
+	if o.isClosed() {
+		release()
+		o.dropped.Add(n)
+		return false
+	}
+	for _, b := range bufs {
+		if len(b) > o.cfg.MaxFrame {
+			release()
+			o.dropped.Add(n)
+			return false
+		}
+	}
+	var ob *ownedBatch
+	select {
+	case ob = <-o.freeOB:
+	default:
+		ob = &ownedBatch{}
+	}
+	ob.from = from
+	ob.bufs = append(ob.bufs[:0], bufs...)
+	ob.release = release
+	ob.hdrs = ob.hdrs[:0]
+	for _, b := range bufs {
+		var hdr [HeaderLen]byte
+		putHeader(hdr[:], from, len(b))
+		ob.hdrs = append(ob.hdrs, hdr[:]...)
+	}
+	select {
+	case o.out <- outFrame{ob: ob}:
+		o.enqueued.Add(n)
+		if o.dead.Load() {
+			// Same exit race as Enqueue: one side's reap consumes the
+			// batch (and its release) — nothing strands, nothing double-
+			// releases.
+			o.discardQueue()
+			return false
+		}
+		return true
+	default:
+		o.finishOwned(ob)
+		o.dropped.Add(n)
+		return false
+	}
+}
+
+// finishOwned consumes an owned batch: fires its release exactly once,
+// unpins the payload views, and recycles the envelope.
+func (o *outbox) finishOwned(ob *ownedBatch) {
+	ob.release()
+	ob.release = nil
+	for i := range ob.bufs {
+		ob.bufs[i] = nil
+	}
+	ob.bufs = ob.bufs[:0]
+	ob.from = 0
+	select {
+	case o.freeOB <- ob:
+	default:
+	}
+}
+
+// finish returns a dequeued entry's resources: freelist for copied
+// frames, release+envelope recycle for owned batches.
+func (o *outbox) finish(f outFrame) {
+	if f.ob != nil {
+		o.finishOwned(f.ob)
+		return
+	}
+	o.recycle(f.buf)
 }
 
 // QueueLen reports how many frames are currently queued (diagnostics).
@@ -140,10 +256,10 @@ func (o *outbox) recycle(buf []byte) {
 	}
 }
 
-func (o *outbox) recycleBatch(batch [][]byte) {
+func (o *outbox) recycleBatch(batch []outFrame) {
 	for i, f := range batch {
-		o.recycle(f)
-		batch[i] = nil
+		o.finish(f)
+		batch[i] = outFrame{}
 	}
 }
 
@@ -190,13 +306,14 @@ func (o *outbox) sleepBackoff(rng *lazyRand, backoff *time.Duration) bool {
 	}
 }
 
-// discardQueue empties the outbound queue, counting everything as dropped.
+// discardQueue empties the outbound queue, counting everything as dropped
+// (in frame units) and releasing owned batches.
 func (o *outbox) discardQueue() {
 	for {
 		select {
 		case f := <-o.out:
-			o.recycle(f)
-			o.dropped.Add(1)
+			o.dropped.Add(f.frames())
+			o.finish(f)
 		default:
 			return
 		}

@@ -126,7 +126,7 @@ func (p *Peer) run(jitterSeed int64) {
 		close(p.done)
 	}()
 	var (
-		batch = make([][]byte, 0, p.cfg.MaxBatch)
+		batch = make([]outFrame, 0, p.cfg.MaxBatch)
 		nb    = new(net.Buffers)
 		idle  *time.Timer
 		// The jitter RNG is only materialized on the first backoff sleep:
@@ -136,7 +136,7 @@ func (p *Peer) run(jitterSeed int64) {
 		backoff = p.cfg.BackoffMin
 	)
 	for {
-		var first []byte
+		var first outFrame
 		if p.isClosed() {
 			if p.immediate.Load() {
 				p.discardQueue()
@@ -151,8 +151,8 @@ func (p *Peer) run(jitterSeed int64) {
 				return // queue drained; graceful exit
 			}
 			if time.Now().After(drainDeadline) {
-				p.recycle(first)
-				p.dropped.Add(1)
+				p.dropped.Add(first.frames())
+				p.finish(first)
 				p.discardQueue()
 				return
 			}
@@ -197,14 +197,21 @@ func (p *Peer) run(jitterSeed int64) {
 	}
 }
 
-// flush writes one batch with a single writev. A write error severs the
-// connection and drops the whole batch: a partial writev may have split a
-// frame, so resuming on a fresh connection would corrupt the framing —
-// every connection starts at a frame boundary.
-func (p *Peer) flush(batch [][]byte, nb *net.Buffers, rng *lazyRand, backoff *time.Duration) {
+// flush writes one batch with a single writev. Copied frames contribute
+// one iovec each; owned batches contribute header‖payload pairs pointing
+// straight into the caller's refcounted buffer — released (recycleBatch →
+// finish) only after the writev returns, success or not. A write error
+// severs the connection and drops the whole batch: a partial writev may
+// have split a frame, so resuming on a fresh connection would corrupt the
+// framing — every connection starts at a frame boundary.
+func (p *Peer) flush(batch []outFrame, nb *net.Buffers, rng *lazyRand, backoff *time.Duration) {
+	var frames int64
+	for _, f := range batch {
+		frames += f.frames()
+	}
 	c := p.ensureConn(rng, backoff)
 	if c == nil {
-		p.dropped.Add(int64(len(batch)))
+		p.dropped.Add(frames)
 		p.recycleBatch(batch)
 		return
 	}
@@ -226,16 +233,25 @@ func (p *Peer) flush(batch [][]byte, nb *net.Buffers, rng *lazyRand, backoff *ti
 		c.SetWriteDeadline(now.Add(p.cfg.WriteTimeout)) //nolint:errcheck
 		p.lastDeadline = now
 	}
-	*nb = append((*nb)[:0], batch...)
+	*nb = (*nb)[:0]
+	for _, f := range batch {
+		if f.ob != nil {
+			for i, b := range f.ob.bufs {
+				*nb = append(*nb, f.ob.hdrs[i*HeaderLen:(i+1)*HeaderLen], b)
+			}
+		} else {
+			*nb = append(*nb, f.buf)
+		}
+	}
 	n, err := nb.WriteTo(c)
 	p.bytesOut.Add(n)
 	if err != nil {
 		p.sendFailures.Add(1)
-		p.dropped.Add(int64(len(batch)))
+		p.dropped.Add(frames)
 		p.dropConn()
 	} else {
 		p.flushes.Add(1)
-		p.framesOut.Add(int64(len(batch)))
+		p.framesOut.Add(frames)
 	}
 	p.recycleBatch(batch)
 }

@@ -7,10 +7,12 @@ import (
 )
 
 // Link is what a PeerSet needs from one outbound peer, satisfied by both
-// the stream Peer and the datagram UDPPeer: the non-blocking enqueue, the
-// counters, and the two shutdown flavours.
+// the stream Peer and the datagram UDPPeer: the non-blocking enqueues
+// (copying and owned-buffer), the counters, and the two shutdown
+// flavours. Both flavours inherit EnqueueOwned from the shared outbox.
 type Link interface {
 	Enqueue(from wire.NodeID, data []byte) bool
+	EnqueueOwned(from wire.NodeID, bufs [][]byte, release func()) bool
 	Stats() Stats
 	Close()
 	CloseNow()

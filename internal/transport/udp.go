@@ -303,7 +303,7 @@ func (p *UDPPeer) run(jitterSeed int64) {
 		close(p.done)
 	}()
 	var (
-		batch   = make([][]byte, 0, p.cfg.MaxBatch)
+		batch   = make([]outFrame, 0, p.cfg.MaxBatch)
 		dgs     = make([][]byte, 0, p.cfg.MaxBatch)
 		dgPool  [][]byte
 		bs      batchSender
@@ -311,7 +311,7 @@ func (p *UDPPeer) run(jitterSeed int64) {
 		backoff = p.cfg.BackoffMin
 	)
 	for {
-		var first []byte
+		var first outFrame
 		if p.isClosed() {
 			if p.immediate.Load() {
 				p.discardQueue()
@@ -324,8 +324,8 @@ func (p *UDPPeer) run(jitterSeed int64) {
 				return // queue drained; graceful exit
 			}
 			if time.Now().After(drainDeadline) {
-				p.recycle(first)
-				p.dropped.Add(1)
+				p.dropped.Add(first.frames())
+				p.finish(first)
 				p.discardQueue()
 				return
 			}
@@ -358,31 +358,46 @@ func (p *UDPPeer) run(jitterSeed int64) {
 // pack copies the batch's frames into datagram buffers: whole frames only,
 // greedily filling each datagram up to the MaxDatagram budget. A frame
 // that alone exceeds the budget gets its own oversized datagram (Enqueue
-// already guarantees it fits MaxUDPPayload). The 9-byte datagram header is
-// laid down with a zero seq; stamping happens at send time, after the
-// window gate, so seqs stay contiguous with what actually hits the wire.
-func (p *UDPPeer) pack(batch [][]byte, dgs [][]byte, pool *[][]byte) [][]byte {
+// already guarantees it fits MaxUDPPayload). Copied frames arrive with
+// their 8-byte wire header in place; owned batches carry their headers in
+// a side arena, laid down here in front of each payload — packing is the
+// owned path's single copy, after which recycleBatch releases the backing
+// buffer. The 9-byte datagram header is laid down with a zero seq;
+// stamping happens at send time, after the window gate, so seqs stay
+// contiguous with what actually hits the wire.
+func (p *UDPPeer) pack(batch []outFrame, dgs [][]byte, pool *[][]byte) [][]byte {
 	budget := p.ucfg.MaxDatagram
 	var cur []byte
-	open := func() {
-		if n := len(*pool); n > 0 {
-			cur = (*pool)[n-1][:0]
-			*pool = (*pool)[:n-1]
-		} else {
-			cur = make([]byte, 0, budget)
-		}
-		cur = append(cur, dgMagic[:]...)
-		cur = append(cur, dgKindData, 0, 0, 0, 0)
-	}
 	for _, f := range batch {
-		if cur != nil && len(cur)+len(f) > budget {
-			dgs = append(dgs, cur)
-			cur = nil
+		nf := 1
+		if f.ob != nil {
+			nf = len(f.ob.bufs)
 		}
-		if cur == nil {
-			open()
+		for i := 0; i < nf; i++ {
+			var hdr, payload []byte
+			if f.ob != nil {
+				hdr = f.ob.hdrs[i*HeaderLen : (i+1)*HeaderLen]
+				payload = f.ob.bufs[i]
+			} else {
+				payload = f.buf
+			}
+			if cur != nil && len(cur)+len(hdr)+len(payload) > budget {
+				dgs = append(dgs, cur)
+				cur = nil
+			}
+			if cur == nil {
+				if n := len(*pool); n > 0 {
+					cur = (*pool)[n-1][:0]
+					*pool = (*pool)[:n-1]
+				} else {
+					cur = make([]byte, 0, budget)
+				}
+				cur = append(cur, dgMagic[:]...)
+				cur = append(cur, dgKindData, 0, 0, 0, 0)
+			}
+			cur = append(cur, hdr...)
+			cur = append(cur, payload...)
 		}
-		cur = append(cur, f...)
 	}
 	if cur != nil {
 		dgs = append(dgs, cur)

@@ -85,14 +85,19 @@ func TestUDPPeerRoundTrip(t *testing.T) {
 		}
 	}
 	// The ack channel must have run: acks flowed back and at least one RTT
-	// sample landed.
-	us := p.UDPStats()
-	if us.AcksIn == 0 {
-		t.Fatal("no transport acks processed")
-	}
-	if us.SRTT == 0 {
+	// sample landed. Acks trail the data they acknowledge, so wait for them
+	// like the frames above rather than sampling the instant of delivery.
+	if !waitFor(t, 5*time.Second, func() bool {
+		us := p.UDPStats()
+		return us.AcksIn > 0 && us.SRTT > 0
+	}) {
+		us := p.UDPStats()
+		if us.AcksIn == 0 {
+			t.Fatal("no transport acks processed")
+		}
 		t.Fatal("no RTT sample taken")
 	}
+	us := p.UDPStats()
 	if us.DatagramsOut == 0 {
 		t.Fatal("no datagrams counted")
 	}
